@@ -1,0 +1,92 @@
+//! Criterion: real CPU wall-time of the functional executors.
+//!
+//! Unlike the roofline-model figures, this bench measures the actual Rust
+//! implementations: the fused executors genuinely make fewer passes over
+//! memory, so the fusion advantage is observable on the CPU too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorafusion_gpu::DeviceKind;
+use lorafusion_kernels::multi::MultiLoraLayer;
+use lorafusion_kernels::{fused, multi, reference, LoraConfig, LoraLayer, Segment, TrafficModel};
+use lorafusion_tensor::{Matrix, Pcg32};
+use std::hint::black_box;
+
+fn setup(m: usize, k: usize, n: usize) -> (LoraLayer, Matrix, Matrix, TrafficModel) {
+    let mut rng = Pcg32::seeded(1);
+    let layer = LoraLayer::init_nonzero(k, n, LoraConfig::with_rank(8), &mut rng);
+    let x = Matrix::random_uniform(m, k, 1.0, &mut rng);
+    let dy = Matrix::random_uniform(m, n, 1.0, &mut rng);
+    let t = TrafficModel::for_device(&DeviceKind::H100Sxm.spec());
+    (layer, x, dy, t)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lora_forward");
+    for &m in &[64usize, 256] {
+        let (layer, x, _, t) = setup(m, 128, 128);
+        group.bench_with_input(BenchmarkId::new("reference", m), &m, |b, _| {
+            b.iter(|| black_box(reference::forward(&layer, &x, 0, &t).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fused", m), &m, |b, _| {
+            b.iter(|| black_box(fused::forward(&layer, &x, 0, &t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lora_backward");
+    for &m in &[64usize, 256] {
+        let (layer, x, dy, t) = setup(m, 128, 128);
+        let ref_fwd = reference::forward(&layer, &x, 0, &t).unwrap();
+        let fused_fwd = fused::forward(&layer, &x, 0, &t).unwrap();
+        group.bench_with_input(BenchmarkId::new("reference", m), &m, |b, _| {
+            b.iter(|| black_box(reference::backward(&layer, &ref_fwd.saved, &dy, &t).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fused", m), &m, |b, _| {
+            b.iter(|| black_box(fused::backward(&layer, &fused_fwd.saved, &dy, &t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_lora_forward");
+    let mut rng = Pcg32::seeded(2);
+    let k = 128;
+    let n = 128;
+    let w = Matrix::random_gaussian(k, n, 0.2, &mut rng);
+    for &adapters in &[2usize, 4] {
+        let layer = MultiLoraLayer {
+            w: w.clone(),
+            adapters: (0..adapters)
+                .map(|i| {
+                    let cfg = LoraConfig {
+                        seed: i as u64,
+                        ..LoraConfig::with_rank(8)
+                    };
+                    lorafusion_kernels::AdapterWeights::init_nonzero(k, n, cfg, &mut rng)
+                })
+                .collect(),
+        };
+        let per = 64usize;
+        let m = per * adapters;
+        let x = Matrix::random_uniform(m, k, 1.0, &mut rng);
+        let segments: Vec<Segment> = (0..adapters)
+            .map(|a| Segment {
+                adapter: a,
+                start: a * per,
+                end: (a + 1) * per,
+                dropout_row_offset: 0,
+            })
+            .collect();
+        let t = TrafficModel::for_device(&DeviceKind::H100Sxm.spec());
+        group.bench_with_input(BenchmarkId::new("adapters", adapters), &adapters, |b, _| {
+            b.iter(|| black_box(multi::forward(&layer, &x, &segments, &t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward, bench_multi);
+criterion_main!(benches);

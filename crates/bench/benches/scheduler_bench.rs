@@ -1,0 +1,66 @@
+//! Criterion: scheduler component performance — greedy vs. two-stage MILP
+//! packing, and the full Algorithm 1 pipeline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorafusion_data::{Dataset, DatasetPreset};
+use lorafusion_sched::{
+    greedy_packing, schedule_jobs, two_stage_milp_packing, AdapterJob, MicrobatchEntry,
+    SchedulerConfig,
+};
+use std::hint::black_box;
+
+fn entries(n: usize, adapters: usize) -> Vec<MicrobatchEntry> {
+    let data = Dataset::from_preset(DatasetPreset::Mixed, n, 3);
+    data.samples
+        .iter()
+        .enumerate()
+        .map(|(i, &sample)| MicrobatchEntry {
+            adapter: i % adapters,
+            global_batch: 0,
+            sample,
+        })
+        .collect()
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    for &n in &[16usize, 64] {
+        let e = entries(n, 2);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| black_box(greedy_packing(&e, 16384, 64)))
+        });
+        group.bench_with_input(BenchmarkId::new("two_stage_milp", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(two_stage_milp_packing(&e, 16384, 64, Duration::from_millis(20)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_jobs");
+    group.sample_size(10);
+    for &samples in &[64usize, 256] {
+        let jobs: Vec<AdapterJob> = (0..4)
+            .map(|i| AdapterJob {
+                adapter: i,
+                samples: Dataset::from_preset(DatasetPreset::Mixed, samples, 10 + i as u64).samples,
+                global_batch_size: 16,
+            })
+            .collect();
+        let cfg = SchedulerConfig {
+            milp_timeout: Duration::from_millis(10),
+            ..SchedulerConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("4_jobs", samples), &samples, |b, _| {
+            b.iter(|| black_box(schedule_jobs(&jobs, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_schedule);
+criterion_main!(benches);

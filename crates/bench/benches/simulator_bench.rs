@@ -1,0 +1,88 @@
+//! Criterion: throughput of the analytic substrates — matmul kernels,
+//! pipeline simulation, and an end-to-end system evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorafusion_data::{Dataset, DatasetPreset};
+use lorafusion_dist::baselines::{evaluate_system, SystemKind};
+use lorafusion_dist::cluster::ClusterSpec;
+use lorafusion_dist::model_config::ModelPreset;
+use lorafusion_dist::pipeline::{simulate_pipeline, PipelineJob, PipelineOptions};
+use lorafusion_sched::AdapterJob;
+use lorafusion_tensor::{matmul_nn, Matrix, Pcg32};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_nn");
+    for &dim in &[64usize, 128, 256] {
+        let mut rng = Pcg32::seeded(5);
+        let a = Matrix::random_uniform(dim, dim, 1.0, &mut rng);
+        let b = Matrix::random_uniform(dim, dim, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
+            bch.iter(|| black_box(matmul_nn(&a, &b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim");
+    for &mbs in &[64usize, 512] {
+        let jobs: Vec<PipelineJob> = (0..mbs)
+            .map(|i| PipelineJob {
+                fwd: vec![1.0 + (i % 5) as f64 * 0.1; 4],
+                bwd: vec![2.0 + (i % 3) as f64 * 0.2; 4],
+                tokens: 1000,
+                after_backward_of: None,
+            })
+            .collect();
+        let opts = PipelineOptions {
+            stages: 4,
+            comm_seconds: 0.001,
+            optimizer_seconds: 0.0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(mbs), &mbs, |b, _| {
+            b.iter(|| black_box(simulate_pipeline(&jobs, &[jobs.len()], &opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_eval");
+    group.sample_size(10);
+    let cluster = ClusterSpec::h100(4);
+    let jobs: Vec<AdapterJob> = (0..4)
+        .map(|i| AdapterJob {
+            adapter: i,
+            samples: Dataset::from_preset(DatasetPreset::Mixed, 64, 20 + i as u64).samples,
+            global_batch_size: 16,
+        })
+        .collect();
+    for kind in [
+        SystemKind::MegatronPp,
+        SystemKind::MLora,
+        SystemKind::LoraFusion,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                black_box(evaluate_system(
+                    kind,
+                    ModelPreset::Llama70b,
+                    &cluster,
+                    &jobs,
+                    16,
+                    16384,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_pipeline_sim,
+    bench_end_to_end_eval
+);
+criterion_main!(benches);

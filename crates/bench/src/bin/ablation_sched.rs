@@ -1,0 +1,93 @@
+//! Section 6.5 ablation: effectiveness of the merge pass and the
+//! two-stage MILP over pure greedy packing (70B, 4 adapters, 4 GPUs).
+
+use lorafusion_bench::{fmt, print_table, write_json, Workload};
+use lorafusion_dist::baselines::{evaluate_custom, Batching, CustomConfig, PipelineMode};
+use lorafusion_dist::cluster::ClusterSpec;
+use lorafusion_dist::layer_cost::KernelStrategy;
+use lorafusion_dist::model_config::ModelPreset;
+use lorafusion_sched::{schedule_jobs, SchedulerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    tokens_per_second: f64,
+    improvement_pct: f64,
+}
+
+fn main() {
+    let cluster = ClusterSpec::h100(4);
+    let jobs = Workload::Mixed.jobs(256, 32, 8000);
+
+    let eval = |use_milp: bool, use_merge: bool| {
+        let cfg = CustomConfig {
+            model: ModelPreset::Llama70b,
+            cluster: cluster.clone(),
+            rank: 16,
+            batching: Batching::Scheduled {
+                capacity: 16384,
+                use_milp,
+                use_merge,
+            },
+            kernel: KernelStrategy::FusedMultiLora { adapters: 1 },
+            pipeline: PipelineMode::Continuous,
+            sequential_jobs: false,
+        };
+        evaluate_custom(&cfg, &jobs).tokens_per_second
+    };
+
+    let greedy = eval(false, false);
+    let with_merge = eval(false, true);
+    let with_milp = eval(true, false);
+    let full = eval(true, true);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, v) in [
+        ("greedy packing only", greedy),
+        ("+ merge pass", with_merge),
+        ("+ two-stage MILP", with_milp),
+        ("+ MILP + merge (full)", full),
+    ] {
+        let row = Row {
+            config: name.to_string(),
+            tokens_per_second: v,
+            improvement_pct: 100.0 * (v / greedy - 1.0),
+        };
+        rows.push(vec![
+            row.config.clone(),
+            fmt(v, 0),
+            fmt(row.improvement_pct, 2),
+        ]);
+        out.push(row);
+    }
+    print_table(
+        "Ablation — merge pass and MILP vs. greedy (70B, 4xH100, Mixed)",
+        &["configuration", "tokens/sec", "improvement %"],
+        &rows,
+    );
+
+    // MILP selection statistics (the paper's 77.4% at a 10 s timeout).
+    let sched_cfg = SchedulerConfig {
+        capacity: 16384,
+        pipeline_stages: 4,
+        milp_timeout: std::time::Duration::from_millis(500),
+        ..SchedulerConfig::default()
+    };
+    let s = schedule_jobs(&jobs, &sched_cfg).expect("schedulable");
+    println!(
+        "\nMILP selected on {}/{} global-batch packings ({:.1}%), optimal on {}",
+        s.stats.milp_selected,
+        s.stats.packings,
+        100.0 * s.stats.milp_selected as f64 / s.stats.packings.max(1) as f64,
+        s.stats.milp_optimal,
+    );
+    println!(
+        "Merge moved {} samples and eliminated {} microbatches; {} no-ops inserted.",
+        s.stats.merged_samples, s.stats.eliminated_microbatches, s.stats.noops_inserted
+    );
+    println!("\nPaper: merge +4.34%, MILP +3.82% over greedy; MILP selected for 77.4%");
+    println!("of global batches at a 10 s timeout.");
+    write_json("ablation_sched", &out);
+}

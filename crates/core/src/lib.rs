@@ -1,0 +1,52 @@
+//! LoRAFusion — efficient LoRA fine-tuning for LLMs (Rust reproduction).
+//!
+//! This crate is the public face of the reproduction: it wires the fused
+//! kernels (`lorafusion-kernels`), the multi-LoRA scheduler
+//! (`lorafusion-sched`) and the distributed simulator (`lorafusion-dist`)
+//! into the system workflow of the paper's Fig. 8:
+//!
+//! 1. describe fine-tuning [`job`]s (adapter config + dataset);
+//! 2. let the [`planner`] extract dataset statistics, propose a microbatch
+//!    token capacity via the parallelism profiler, group adapters, build
+//!    the schedule and estimate throughput, iterating to the best
+//!    configuration;
+//! 3. execute with the [`runtime`] — a real-arithmetic multi-adapter
+//!    training loop (used at laptop scale to demonstrate losslessness and
+//!    convergence) backed by the [`optimizer`] (AdamW on adapter weights).
+//!
+//! # Examples
+//!
+//! ```
+//! use lorafusion::prelude::*;
+//!
+//! // Two fine-tuning jobs sharing a base model.
+//! let jobs = vec![
+//!     FinetuneJob::synthetic("xsum-a", DatasetPreset::XSum, 32, 8, 1),
+//!     FinetuneJob::synthetic("cnn-b", DatasetPreset::CnnDailyMail, 32, 8, 2),
+//! ];
+//! let planner = Planner::new(ModelPreset::Llama8b, ClusterSpec::h100(1));
+//! let plan = planner.plan(&jobs).unwrap();
+//! assert!(plan.predicted_tokens_per_second > 0.0);
+//! ```
+
+pub mod job;
+pub mod optimizer;
+pub mod planner;
+pub mod runtime;
+
+pub use job::FinetuneJob;
+pub use optimizer::AdamW;
+pub use planner::{Plan, Planner, PlannerError};
+pub use runtime::{ExecutorKind, MultiAdapterTrainer, TrainerConfig};
+
+/// Convenient glob import for downstream users and the examples.
+pub mod prelude {
+    pub use crate::job::FinetuneJob;
+    pub use crate::planner::{Plan, Planner};
+    pub use crate::runtime::{ExecutorKind, MultiAdapterTrainer, TrainerConfig};
+    pub use lorafusion_data::{Dataset, DatasetPreset};
+    pub use lorafusion_dist::baselines::SystemKind;
+    pub use lorafusion_dist::cluster::ClusterSpec;
+    pub use lorafusion_dist::model_config::ModelPreset;
+    pub use lorafusion_kernels::LoraConfig;
+}

@@ -1,0 +1,113 @@
+//! AdamW optimizer for adapter weights.
+
+use lorafusion_tensor::Matrix;
+
+/// AdamW state for one parameter matrix.
+///
+/// The frozen base model is never updated; only the LoRA `A`/`B` matrices
+/// carry optimizer state (Section 2.1's memory argument).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamW {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    m: Matrix,
+    v: Matrix,
+    t: u32,
+}
+
+impl AdamW {
+    /// Creates optimizer state for a parameter of the given shape.
+    pub fn new(rows: usize, cols: usize, lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u32 {
+        self.t
+    }
+
+    /// Applies one update to `param` given `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the state (programming error).
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.shape(), self.m.shape(), "parameter shape mismatch");
+        assert_eq!(grad.shape(), self.m.shape(), "gradient shape mismatch");
+        self.t += 1;
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let p = param.as_mut_slice();
+        let g = grad.as_slice();
+        let m = self.m.as_mut_slice();
+        let v = self.v.as_mut_slice();
+        for i in 0..p.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            p[i] -= self.lr * (m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * p[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = sum((x - 3)^2), grad = 2(x - 3).
+        let mut x = Matrix::zeros(2, 2);
+        let mut opt = AdamW::new(2, 2, 0.1);
+        for _ in 0..500 {
+            let grad = x.map(|v| 2.0 * (v - 3.0));
+            opt.step(&mut x, &grad);
+        }
+        for &v in x.as_slice() {
+            assert!((v - 3.0).abs() < 0.05, "converged to {v}");
+        }
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut x = Matrix::full(1, 4, 10.0);
+        let mut opt = AdamW::new(1, 4, 0.01);
+        opt.weight_decay = 0.1;
+        let zero_grad = Matrix::zeros(1, 4);
+        for _ in 0..100 {
+            opt.step(&mut x, &zero_grad);
+        }
+        for &v in x.as_slice() {
+            assert!(v < 10.0, "weight decay must shrink weights, got {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut x = Matrix::zeros(2, 2);
+        let mut opt = AdamW::new(2, 2, 0.1);
+        opt.step(&mut x, &Matrix::zeros(3, 3));
+    }
+}

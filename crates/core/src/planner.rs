@@ -1,0 +1,219 @@
+//! The system workflow of Fig. 8.
+//!
+//! Given a set of fine-tuning jobs, the planner (1) extracts dataset
+//! statistics, (2) proposes microbatch token-capacity candidates bounded
+//! by the memory model, (3) for each candidate builds the multi-LoRA
+//! schedule and simulates its throughput on the target cluster, and (4)
+//! returns the best configuration together with its schedule and the
+//! predicted throughput.
+
+use core::fmt;
+
+use lorafusion_dist::baselines::{evaluate_custom, Batching, CustomConfig, PipelineMode};
+use lorafusion_dist::cluster::ClusterSpec;
+use lorafusion_dist::layer_cost::KernelStrategy;
+use lorafusion_dist::memory::MemoryPlan;
+use lorafusion_dist::model_config::ModelPreset;
+use lorafusion_sched::{schedule_jobs, Schedule, SchedulerConfig};
+
+use crate::job::{to_adapter_jobs, FinetuneJob};
+
+/// Planner errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannerError {
+    /// No jobs were provided.
+    NoJobs,
+    /// No capacity candidate fits on the device (model too large).
+    NoFeasibleCapacity,
+    /// Scheduling failed for every feasible capacity.
+    SchedulingFailed,
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::NoJobs => write!(f, "no fine-tuning jobs provided"),
+            PlannerError::NoFeasibleCapacity => {
+                write!(f, "no microbatch capacity fits in GPU memory")
+            }
+            PlannerError::SchedulingFailed => write!(f, "scheduling failed for all capacities"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
+
+/// A finished plan: the configuration LoRAFusion will execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Chosen microbatch token capacity.
+    pub capacity: usize,
+    /// The multi-LoRA schedule.
+    pub schedule: Schedule,
+    /// Simulated end-to-end throughput (tokens/sec).
+    pub predicted_tokens_per_second: f64,
+    /// Simulated mean pipeline bubble ratio (None on a single GPU).
+    pub predicted_bubble_ratio: Option<f64>,
+    /// Capacities that were evaluated, with their predicted throughput
+    /// (the profiler trace of Fig. 8's iteration loop).
+    pub candidates: Vec<(usize, f64)>,
+}
+
+/// The LoRAFusion planner.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    model: ModelPreset,
+    cluster: ClusterSpec,
+    /// LoRA rank assumed for memory/cost models.
+    pub rank: usize,
+    /// Scheduler knobs reused across candidates.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Planner {
+    /// Creates a planner for `model` on `cluster`.
+    pub fn new(model: ModelPreset, cluster: ClusterSpec) -> Self {
+        Self {
+            model,
+            cluster,
+            rank: 16,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+
+    /// Capacity candidates that fit in memory: powers of two from 2048 up
+    /// to the largest in-flight-feasible size (and at least the longest
+    /// sample).
+    pub fn feasible_capacities(&self, jobs: &[FinetuneJob]) -> Vec<usize> {
+        let cfg = self.model.config();
+        let stages = self.cluster.gpus.max(1);
+        let plan = MemoryPlan::for_gpu(&cfg, jobs.len(), self.rank, stages, 1);
+        let device = self.cluster.device.spec();
+        let max_in_flight = plan.max_tokens_in_flight(&device) as usize;
+        // Stage 0 holds up to `stages` microbatches in flight.
+        let max_capacity = max_in_flight / stages.max(1);
+        let longest = jobs
+            .iter()
+            .flat_map(|j| j.dataset.lengths())
+            .max()
+            .unwrap_or(0);
+        let mut c = 2048usize;
+        let mut out = Vec::new();
+        while c <= max_capacity {
+            if c >= longest {
+                out.push(c);
+            }
+            c *= 2;
+        }
+        out
+    }
+
+    /// Runs the full Fig. 8 loop and returns the best plan.
+    pub fn plan(&self, jobs: &[FinetuneJob]) -> Result<Plan, PlannerError> {
+        if jobs.is_empty() {
+            return Err(PlannerError::NoJobs);
+        }
+        let capacities = self.feasible_capacities(jobs);
+        if capacities.is_empty() {
+            return Err(PlannerError::NoFeasibleCapacity);
+        }
+        let adapter_jobs = to_adapter_jobs(jobs);
+
+        let mut best: Option<Plan> = None;
+        let mut candidates = Vec::new();
+        for &capacity in &capacities {
+            let custom = CustomConfig {
+                model: self.model,
+                cluster: self.cluster.clone(),
+                rank: self.rank,
+                batching: Batching::Scheduled {
+                    capacity,
+                    use_milp: self.scheduler.use_milp,
+                    use_merge: self.scheduler.use_merge,
+                },
+                kernel: KernelStrategy::FusedMultiLora { adapters: 1 },
+                pipeline: PipelineMode::Continuous,
+                sequential_jobs: false,
+            };
+            let sim = evaluate_custom(&custom, &adapter_jobs);
+            if sim.oom {
+                candidates.push((capacity, 0.0));
+                continue;
+            }
+            candidates.push((capacity, sim.tokens_per_second));
+            if best
+                .as_ref()
+                .is_none_or(|b| sim.tokens_per_second > b.predicted_tokens_per_second)
+            {
+                let sched_cfg = SchedulerConfig {
+                    capacity,
+                    pipeline_stages: self.cluster.gpus.max(1),
+                    ..self.scheduler.clone()
+                };
+                let schedule = schedule_jobs(&adapter_jobs, &sched_cfg)
+                    .map_err(|_| PlannerError::SchedulingFailed)?;
+                best = Some(Plan {
+                    capacity,
+                    schedule,
+                    predicted_tokens_per_second: sim.tokens_per_second,
+                    predicted_bubble_ratio: sim.bubble_ratio,
+                    candidates: Vec::new(),
+                });
+            }
+        }
+        let mut plan = best.ok_or(PlannerError::SchedulingFailed)?;
+        plan.candidates = candidates;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_data::DatasetPreset;
+
+    fn jobs() -> Vec<FinetuneJob> {
+        vec![
+            FinetuneJob::synthetic("a", DatasetPreset::XSum, 48, 16, 1),
+            FinetuneJob::synthetic("b", DatasetPreset::CnnDailyMail, 48, 16, 2),
+            FinetuneJob::synthetic("c", DatasetPreset::XSum, 48, 16, 3),
+            FinetuneJob::synthetic("d", DatasetPreset::Mixed, 48, 16, 4),
+        ]
+    }
+
+    #[test]
+    fn plans_a_feasible_configuration() {
+        let planner = Planner::new(ModelPreset::Llama8b, ClusterSpec::h100(1));
+        let plan = planner.plan(&jobs()).unwrap();
+        assert!(plan.predicted_tokens_per_second > 0.0);
+        assert!(!plan.schedule.microbatches.is_empty());
+        assert!(plan.candidates.len() > 1, "profiler must sweep capacities");
+        // The chosen capacity is the argmax of the sweep.
+        let best = plan
+            .candidates
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(plan.capacity, best.0);
+    }
+
+    #[test]
+    fn empty_jobs_are_rejected() {
+        let planner = Planner::new(ModelPreset::Llama8b, ClusterSpec::h100(1));
+        assert_eq!(planner.plan(&[]), Err(PlannerError::NoJobs));
+    }
+
+    #[test]
+    fn infeasible_model_is_detected() {
+        // 70B does not fit on a single RTX 3090.
+        let cluster = lorafusion_dist::cluster::ClusterSpec {
+            device: lorafusion_gpu::DeviceKind::Rtx3090,
+            gpus: 1,
+            gpus_per_node: 1,
+            intra_link: lorafusion_dist::cluster::Link::PCIE,
+            inter_link: lorafusion_dist::cluster::Link::PCIE,
+        };
+        let planner = Planner::new(ModelPreset::Llama70b, cluster);
+        assert_eq!(planner.plan(&jobs()), Err(PlannerError::NoFeasibleCapacity));
+    }
+}

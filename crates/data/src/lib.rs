@@ -1,0 +1,27 @@
+//! Synthetic fine-tuning workloads.
+//!
+//! The paper evaluates on three public summarization datasets — XSum,
+//! CNN/DailyMail and WikiSum — whose *sequence-length distributions*
+//! (Fig. 13) drive everything the scheduler cares about: token counts per
+//! microbatch (Fig. 6), load imbalance across GPUs (Fig. 7) and packing
+//! quality. The corpora themselves are irrelevant to the systems claims, so
+//! this crate substitutes seeded lognormal generators matched to the
+//! published length statistics:
+//!
+//! * [`distributions`] — length distribution presets and samplers;
+//! * [`dataset`] — synthetic datasets of `(sample id, length)` records and
+//!   global-batch splitting;
+//! * [`packing`] — the three batching schemes of Fig. 2 (padding, dataset
+//!   pre-packing, on-the-fly packing) with token-waste accounting;
+//! * [`stats`] — summary statistics and histograms used by the figure
+//!   generators.
+
+pub mod dataset;
+pub mod distributions;
+pub mod packing;
+pub mod stats;
+
+pub use dataset::{Dataset, Sample};
+pub use distributions::{DatasetPreset, LengthDistribution};
+pub use packing::{pack_on_the_fly, pack_padded, pack_prepacked, PackedBatch};
+pub use stats::LengthStats;

@@ -1,0 +1,51 @@
+//! Diagnostic: inspect the LoRAFusion schedule and pipeline behaviour.
+
+use lorafusion_data::{Dataset, DatasetPreset};
+use lorafusion_dist::baselines::{evaluate_system, SystemKind};
+use lorafusion_dist::cluster::ClusterSpec;
+use lorafusion_dist::model_config::ModelPreset;
+use lorafusion_sched::{schedule_jobs, AdapterJob, SchedulerConfig};
+
+fn main() {
+    for (gbs, n, cap) in [
+        (16usize, 128usize, 16384usize),
+        (32, 256, 16384),
+        (32, 256, 8192),
+    ] {
+        let jobs: Vec<AdapterJob> = (0..4)
+            .map(|i| AdapterJob {
+                adapter: i,
+                samples: Dataset::from_preset(DatasetPreset::CnnDailyMail, n, 42 + i as u64)
+                    .samples,
+                global_batch_size: gbs,
+            })
+            .collect();
+        let cfg = SchedulerConfig {
+            capacity: cap,
+            pipeline_stages: 4,
+            ..SchedulerConfig::default()
+        };
+        let s = schedule_jobs(&jobs, &cfg).unwrap();
+        let noops = s.microbatches.iter().filter(|m| m.noop).count();
+        let tokens: Vec<usize> = s.microbatches.iter().map(|m| m.padded_tokens(64)).collect();
+        println!(
+            "gbs={gbs} cap={cap}: mbs={} noops={} min={} max={} mean={:.0}",
+            s.microbatches.len(),
+            noops,
+            tokens.iter().min().unwrap(),
+            tokens.iter().max().unwrap(),
+            tokens.iter().sum::<usize>() as f64 / tokens.len() as f64
+        );
+        let cluster = ClusterSpec::h100(4);
+        for kind in SystemKind::ALL {
+            let r = evaluate_system(kind, ModelPreset::Llama70b, &cluster, &jobs, 16, cap);
+            println!(
+                "  {:<22} tok/s={:>8.0} bubble={:?} oom={}",
+                kind.name(),
+                r.tokens_per_second,
+                r.bubble_ratio.map(|b| (b * 1000.0).round() / 1000.0),
+                r.oom
+            );
+        }
+    }
+}

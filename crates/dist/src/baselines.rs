@@ -1,0 +1,746 @@
+//! The end-to-end systems compared in Figs. 14-16, 20 and 22.
+//!
+//! * **Megatron-LM (FSDP)** — one job at a time, unfused Torch-LoRA
+//!   kernels, fixed-sample-count microbatches, data-parallel ranks
+//!   synchronizing per global batch;
+//! * **Megatron-LM (PP)** — one job at a time, 1F1B pipeline with a full
+//!   flush at every global batch;
+//! * **mLoRA** — all jobs together in a zero-bubble pipeline with uniform
+//!   round-robin adapter filling, but naive LoRA kernels and no
+//!   length-aware packing;
+//! * **LoRAFusion** — the scheduler of `lorafusion-sched` plus the
+//!   FusedMultiLoRA kernels in a zero-bubble pipeline.
+//!
+//! A lower-level [`CustomConfig`] exposes the individual dimensions
+//! (batching x kernel x pipeline mode) so the Fig. 22 breakdown and the
+//! ablation benches can mix them freely.
+
+use lorafusion_gpu::{CostModel, DeviceSpec};
+use lorafusion_kernels::TrafficModel;
+use lorafusion_sched::{schedule_jobs, AdapterJob, Microbatch, SchedulerConfig};
+
+use crate::cluster::ClusterSpec;
+use crate::collective::{all_reduce_seconds, p2p_seconds};
+use crate::fsdp::{simulate_fsdp_step, FsdpModel, RankWork};
+use crate::layer_cost::{even_stages, microbatch_cost, KernelStrategy};
+use crate::memory::MemoryPlan;
+use crate::model_config::ModelPreset;
+use crate::pipeline::{simulate_pipeline, PipelineJob, PipelineOptions};
+
+/// The four systems of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Megatron-LM with fully sharded data parallelism.
+    MegatronFsdp,
+    /// Megatron-LM with pipeline parallelism.
+    MegatronPp,
+    /// mLoRA (re-implemented with fast communication, as in the paper).
+    MLora,
+    /// This paper's system.
+    LoraFusion,
+}
+
+impl SystemKind {
+    /// All systems in figure order.
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::MegatronFsdp,
+        SystemKind::MegatronPp,
+        SystemKind::MLora,
+        SystemKind::LoraFusion,
+    ];
+
+    /// Display name matching the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::MegatronFsdp => "Megatron-LM (FSDP)",
+            SystemKind::MegatronPp => "Megatron-LM (PP)",
+            SystemKind::MLora => "mLoRA",
+            SystemKind::LoraFusion => "LoRAFusion",
+        }
+    }
+}
+
+/// How microbatches are formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Batching {
+    /// Fixed number of samples per microbatch (baseline behaviour whose
+    /// token variance Fig. 6 plots).
+    FixedSamples {
+        /// Samples per microbatch.
+        samples: usize,
+    },
+    /// LoRAFusion's capacity-packed scheduling.
+    Scheduled {
+        /// Token capacity per microbatch.
+        capacity: usize,
+        /// Run the two-stage MILP (false = greedy only, for ablation).
+        use_milp: bool,
+        /// Run the merge pass (ablation).
+        use_merge: bool,
+    },
+    /// Like [`Batching::Scheduled`] but with an explicit adapter group
+    /// count (the grouping ablation).
+    ScheduledGrouped {
+        /// Token capacity per microbatch.
+        capacity: usize,
+        /// Number of adapter groups.
+        groups: usize,
+    },
+}
+
+/// Pipeline discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Full pipeline flush + optimizer at every global batch.
+    Flushed,
+    /// Continuous multi-LoRA zero-bubble stream.
+    Continuous,
+}
+
+/// A fully custom system configuration (the Fig. 22 ablation space).
+#[derive(Debug, Clone)]
+pub struct CustomConfig {
+    /// Model preset.
+    pub model: ModelPreset,
+    /// Cluster.
+    pub cluster: ClusterSpec,
+    /// LoRA rank.
+    pub rank: usize,
+    /// Batching scheme.
+    pub batching: Batching,
+    /// Kernel used for the LoRA linears.
+    pub kernel: KernelStrategy,
+    /// Pipeline discipline.
+    pub pipeline: PipelineMode,
+    /// Whether jobs run one after another (Megatron) or jointly.
+    pub sequential_jobs: bool,
+}
+
+/// Outcome of evaluating one system on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemResult {
+    /// Throughput in trained tokens per second (0 when OOM).
+    pub tokens_per_second: f64,
+    /// Mean pipeline bubble ratio (None for FSDP/single-GPU runs).
+    pub bubble_ratio: Option<f64>,
+    /// Whether the configuration ran out of GPU memory.
+    pub oom: bool,
+    /// Total wall-clock seconds simulated.
+    pub makespan: f64,
+    /// Total real tokens trained.
+    pub tokens: usize,
+}
+
+impl SystemResult {
+    fn oom() -> Self {
+        Self {
+            tokens_per_second: 0.0,
+            bubble_ratio: None,
+            oom: true,
+            makespan: 0.0,
+            tokens: 0,
+        }
+    }
+}
+
+/// Evaluates one of the four named systems.
+pub fn evaluate_system(
+    kind: SystemKind,
+    model: ModelPreset,
+    cluster: &ClusterSpec,
+    jobs: &[AdapterJob],
+    rank: usize,
+    capacity: usize,
+) -> SystemResult {
+    let cfg = match kind {
+        SystemKind::MegatronFsdp => CustomConfig {
+            model,
+            cluster: cluster.clone(),
+            rank,
+            batching: Batching::FixedSamples { samples: 4 },
+            kernel: KernelStrategy::TorchLora,
+            pipeline: PipelineMode::Flushed,
+            sequential_jobs: true,
+        },
+        SystemKind::MegatronPp => CustomConfig {
+            model,
+            cluster: cluster.clone(),
+            rank,
+            batching: Batching::FixedSamples { samples: 4 },
+            kernel: KernelStrategy::TorchLora,
+            pipeline: PipelineMode::Flushed,
+            sequential_jobs: true,
+        },
+        SystemKind::MLora => CustomConfig {
+            model,
+            cluster: cluster.clone(),
+            rank,
+            batching: Batching::FixedSamples { samples: 4 },
+            kernel: KernelStrategy::TorchLora,
+            pipeline: PipelineMode::Continuous,
+            sequential_jobs: false,
+        },
+        SystemKind::LoraFusion => CustomConfig {
+            model,
+            cluster: cluster.clone(),
+            rank,
+            batching: Batching::Scheduled {
+                capacity,
+                use_milp: true,
+                use_merge: true,
+            },
+            kernel: KernelStrategy::FusedMultiLora { adapters: 1 },
+            pipeline: PipelineMode::Continuous,
+            sequential_jobs: false,
+        },
+    };
+    match kind {
+        SystemKind::MegatronFsdp => evaluate_fsdp(&cfg, jobs),
+        _ => evaluate_pipelined(&cfg, jobs),
+    }
+}
+
+/// Evaluates an arbitrary configuration on `jobs` (FSDP configurations
+/// should use [`evaluate_fsdp`]).
+pub fn evaluate_custom(cfg: &CustomConfig, jobs: &[AdapterJob]) -> SystemResult {
+    evaluate_pipelined(cfg, jobs)
+}
+
+struct Env {
+    device: DeviceSpec,
+    cost: CostModel,
+    traffic: TrafficModel,
+}
+
+fn env(cluster: &ClusterSpec) -> Env {
+    let device = cluster.device.spec();
+    Env {
+        device,
+        cost: CostModel::default(),
+        traffic: TrafficModel::for_device(&device),
+    }
+}
+
+/// Builds the microbatch stream (with per-adapter dependency edges) for a
+/// set of jobs under the given batching scheme. Returns the stream plus
+/// the flush-group sizes (one group per global-batch round).
+fn build_stream(
+    cfg: &CustomConfig,
+    jobs: &[AdapterJob],
+) -> Result<(Vec<Microbatch>, Vec<usize>), SystemResult> {
+    match cfg.batching {
+        Batching::FixedSamples { samples } => {
+            let max_batches = jobs
+                .iter()
+                .map(AdapterJob::num_global_batches)
+                .max()
+                .unwrap_or(0);
+            let mut stream = Vec::new();
+            let mut groups = Vec::new();
+            for j in 0..max_batches {
+                let mut group_len = 0usize;
+                for job in jobs {
+                    if j >= job.num_global_batches() {
+                        continue;
+                    }
+                    for chunk in job.global_batch(j).chunks(samples) {
+                        stream.push(Microbatch {
+                            entries: chunk
+                                .iter()
+                                .map(|&sample| lorafusion_sched::MicrobatchEntry {
+                                    adapter: job.adapter,
+                                    global_batch: j,
+                                    sample,
+                                })
+                                .collect(),
+                            noop: false,
+                        });
+                        group_len += 1;
+                    }
+                }
+                if group_len > 0 {
+                    groups.push(group_len);
+                }
+            }
+            Ok((stream, groups))
+        }
+        Batching::Scheduled {
+            capacity,
+            use_milp,
+            use_merge,
+        } => {
+            let sched_cfg = SchedulerConfig {
+                capacity,
+                pipeline_stages: cfg.cluster.gpus.max(1),
+                use_milp,
+                use_merge,
+                ..SchedulerConfig::default()
+            };
+            let schedule = schedule_jobs(jobs, &sched_cfg).map_err(|_| SystemResult::oom())?;
+            let groups = vec![schedule.microbatches.len()];
+            Ok((schedule.microbatches, groups))
+        }
+        Batching::ScheduledGrouped { capacity, groups } => {
+            let sched_cfg = SchedulerConfig {
+                capacity,
+                pipeline_stages: cfg.cluster.gpus.max(1),
+                num_groups: Some(groups),
+                ..SchedulerConfig::default()
+            };
+            let schedule = schedule_jobs(jobs, &sched_cfg).map_err(|_| SystemResult::oom())?;
+            let groups = vec![schedule.microbatches.len()];
+            Ok((schedule.microbatches, groups))
+        }
+    }
+}
+
+/// Computes per-adapter global-batch dependency edges over a stream.
+fn dependency_edges(stream: &[Microbatch]) -> Vec<Option<usize>> {
+    use std::collections::BTreeMap;
+    let mut last_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut first_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, mb) in stream.iter().enumerate() {
+        for e in &mb.entries {
+            last_of
+                .entry((e.adapter, e.global_batch))
+                .and_modify(|v| *v = (*v).max(i))
+                .or_insert(i);
+            first_of.entry((e.adapter, e.global_batch)).or_insert(i);
+        }
+    }
+    let mut edges = vec![None; stream.len()];
+    for (&(adapter, batch), &first) in &first_of {
+        if batch == 0 {
+            continue;
+        }
+        if let Some(&prev_last) = last_of.get(&(adapter, batch - 1)) {
+            let edge = edges[first].get_or_insert(prev_last);
+            *edge = (*edge).max(prev_last);
+        }
+    }
+    edges
+}
+
+/// Ensures every same-adapter batch dependency is at least `gap` schedule
+/// positions back by inserting no-op microbatches (modeling the stall the
+/// pipeline would otherwise take).
+fn enforce_spacing(stream: &mut Vec<Microbatch>, gap: usize) {
+    // `fix_with_noops(S)` guarantees spacing of `S - 1` positions.
+    lorafusion_sched::fix_with_noops(stream, gap + 1);
+}
+
+/// Physical tokens a microbatch occupies. Every system uses on-the-fly
+/// packing (Section 2.2 "we adopt on-the-fly packing throughout"), so the
+/// fixed-sample baselines concatenate their samples — giving the variable
+/// token counts of Fig. 6 — while LoRAFusion packs to the per-adapter
+/// padding multiple.
+fn physical_tokens(mb: &Microbatch, batching: Batching) -> usize {
+    match batching {
+        Batching::FixedSamples { .. } => mb.real_tokens().div_ceil(64) * 64,
+        Batching::Scheduled { .. } | Batching::ScheduledGrouped { .. } => mb.padded_tokens(64),
+    }
+}
+
+/// Sum of squared per-document lengths (FlashAttention cost).
+fn physical_sum_sq(mb: &Microbatch, _batching: Batching) -> u64 {
+    mb.entries
+        .iter()
+        .map(|e| (e.sample.len as u64).pow(2))
+        .sum()
+}
+
+fn evaluate_pipelined(cfg: &CustomConfig, jobs: &[AdapterJob]) -> SystemResult {
+    let env = env(&cfg.cluster);
+    let model_cfg = cfg.model.config();
+    let stages = cfg.cluster.gpus.max(1);
+    let stage_shapes = even_stages(&model_cfg, stages);
+    let num_jobs = jobs.len().max(1);
+
+    let job_sets: Vec<Vec<AdapterJob>> = if cfg.sequential_jobs {
+        jobs.iter().map(|j| vec![j.clone()]).collect()
+    } else {
+        vec![jobs.to_vec()]
+    };
+
+    let plan = MemoryPlan::for_gpu(&model_cfg, num_jobs, cfg.rank, stages, 1);
+    let mut total_tokens = 0usize;
+    let mut total_time = 0.0f64;
+    let mut bubble_acc = 0.0f64;
+    let mut bubble_n = 0usize;
+
+    for set in &job_sets {
+        let (mut stream, groups) = match build_stream(cfg, set) {
+            Ok(v) => v,
+            Err(oom) => return oom,
+        };
+        if stream.is_empty() {
+            continue;
+        }
+        // OOM check: stage 0 holds up to `stages` microbatches of
+        // activations in flight.
+        let max_tokens = stream
+            .iter()
+            .map(|m| physical_tokens(m, cfg.batching))
+            .max()
+            .unwrap_or(0);
+        if !plan.fits(&env.device, (max_tokens * stages) as u64) {
+            return SystemResult::oom();
+        }
+
+        let groups = match cfg.pipeline {
+            PipelineMode::Flushed => groups,
+            PipelineMode::Continuous => {
+                enforce_spacing(&mut stream, stages.saturating_sub(1));
+                vec![stream.len()]
+            }
+        };
+
+        let edges = match cfg.pipeline {
+            // Flushes already serialize global batches.
+            PipelineMode::Flushed => vec![None; stream.len()],
+            PipelineMode::Continuous => dependency_edges(&stream),
+        };
+
+        let mean_tokens = (stream.iter().map(Microbatch::real_tokens).sum::<usize>() as f64
+            / stream.len() as f64)
+            .max(1.0);
+        let link = cfg.cluster.bottleneck_link(stages);
+        let comm = if stages > 1 {
+            p2p_seconds(link, (mean_tokens as u64) * model_cfg.hidden as u64 * 2)
+        } else {
+            0.0
+        };
+
+        let pipeline_jobs: Vec<PipelineJob> = stream
+            .iter()
+            .zip(&edges)
+            .map(|(mb, &edge)| {
+                if mb.noop || mb.entries.is_empty() {
+                    return PipelineJob::noop(stages);
+                }
+                let kernel = match cfg.kernel {
+                    KernelStrategy::FusedMultiLora { .. } => KernelStrategy::FusedMultiLora {
+                        adapters: mb.adapters().len().max(1) as u32,
+                    },
+                    k => k,
+                };
+                let cost = microbatch_cost(
+                    &model_cfg,
+                    kernel,
+                    physical_tokens(mb, cfg.batching).max(1),
+                    physical_sum_sq(mb, cfg.batching),
+                    &stage_shapes,
+                    cfg.rank,
+                    &env.device,
+                    &env.cost,
+                    &env.traffic,
+                );
+                PipelineJob {
+                    fwd: cost.fwd,
+                    bwd: cost.bwd,
+                    tokens: mb.real_tokens(),
+                    after_backward_of: edge,
+                }
+            })
+            .collect();
+
+        let opts = PipelineOptions {
+            stages,
+            comm_seconds: comm,
+            optimizer_seconds: 0.002,
+        };
+        let result = simulate_pipeline(&pipeline_jobs, &groups, &opts);
+        total_tokens += result.tokens;
+        total_time += result.makespan;
+        if stages > 1 {
+            bubble_acc += result.bubble_ratio;
+            bubble_n += 1;
+        }
+    }
+
+    SystemResult {
+        tokens_per_second: if total_time > 0.0 {
+            total_tokens as f64 / total_time
+        } else {
+            0.0
+        },
+        bubble_ratio: (bubble_n > 0).then(|| bubble_acc / bubble_n as f64),
+        oom: false,
+        makespan: total_time,
+        tokens: total_tokens,
+    }
+}
+
+/// Evaluates the Megatron-LM FSDP baseline (or any FSDP-style config).
+pub fn evaluate_fsdp(cfg: &CustomConfig, jobs: &[AdapterJob]) -> SystemResult {
+    let env = env(&cfg.cluster);
+    let model_cfg = cfg.model.config();
+    let ranks_n = cfg.cluster.gpus.max(1);
+    let stage_shapes = even_stages(&model_cfg, 1);
+    let samples_per_mb = match cfg.batching {
+        Batching::FixedSamples { samples } => samples,
+        _ => 4,
+    };
+
+    let plan = MemoryPlan::for_gpu(&model_cfg, jobs.len(), cfg.rank, 1, ranks_n);
+    let fsdp_model = FsdpModel {
+        param_bytes: model_cfg.total_params() * 2,
+        grad_bytes: model_cfg.lora_params(cfg.rank) * 4,
+        overlap_fraction: 0.9,
+        optimizer_seconds: 0.002,
+    };
+
+    let mut total_tokens = 0usize;
+    let mut total_time = 0.0f64;
+    for job in jobs {
+        for j in 0..job.num_global_batches() {
+            let batch = job.global_batch(j);
+            // Microbatches of fixed sample count, dealt round-robin to
+            // data-parallel ranks.
+            let mbs: Vec<&[lorafusion_data::Sample]> = batch.chunks(samples_per_mb).collect();
+            let mut ranks: Vec<RankWork> = vec![RankWork::default(); ranks_n];
+            let mut max_mb_tokens = 0usize;
+            for (i, mb) in mbs.iter().enumerate() {
+                let tokens: usize = mb.iter().map(|s| s.len).sum();
+                let physical = tokens.div_ceil(64) * 64;
+                max_mb_tokens = max_mb_tokens.max(physical);
+                let ssq: u64 = mb.iter().map(|s| (s.len as u64).pow(2)).sum();
+                let cost = microbatch_cost(
+                    &model_cfg,
+                    cfg.kernel,
+                    physical.max(1),
+                    ssq,
+                    &stage_shapes,
+                    cfg.rank,
+                    &env.device,
+                    &env.cost,
+                    &env.traffic,
+                );
+                let rank = &mut ranks[i % ranks_n];
+                rank.microbatch_seconds.push(cost.total());
+                rank.tokens += tokens;
+            }
+            if !plan.fits(&env.device, max_mb_tokens as u64) {
+                return SystemResult::oom();
+            }
+            let step = simulate_fsdp_step(&cfg.cluster, &fsdp_model, &ranks);
+            total_tokens += step.tokens;
+            total_time += step.step_seconds;
+        }
+    }
+    SystemResult {
+        tokens_per_second: if total_time > 0.0 {
+            total_tokens as f64 / total_time
+        } else {
+            0.0
+        },
+        bubble_ratio: None,
+        oom: false,
+        makespan: total_time,
+        tokens: total_tokens,
+    }
+}
+
+/// Data-parallel scaling of a pipelined configuration: `dp` replicas each
+/// run the same pipeline over their share of the jobs, synchronizing
+/// adapter gradients per global batch (Fig. 16's DP scaling mode).
+pub fn evaluate_dp_pipelined(cfg: &CustomConfig, jobs: &[AdapterJob], dp: usize) -> SystemResult {
+    let dp = dp.max(1);
+    let model_cfg = cfg.model.config();
+    // Split every job's samples across replicas.
+    let mut replica_results = Vec::new();
+    for r in 0..dp {
+        let shard: Vec<AdapterJob> = jobs
+            .iter()
+            .map(|j| AdapterJob {
+                adapter: j.adapter,
+                samples: j
+                    .samples
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % dp == r)
+                    .map(|(_, s)| *s)
+                    .collect(),
+                global_batch_size: j.global_batch_size.div_ceil(dp),
+            })
+            .collect();
+        replica_results.push(evaluate_pipelined(cfg, &shard));
+    }
+    if replica_results.iter().any(|r| r.oom) {
+        return SystemResult::oom();
+    }
+    let makespan = replica_results
+        .iter()
+        .map(|r| r.makespan)
+        .fold(0.0f64, f64::max);
+    let tokens: usize = replica_results.iter().map(|r| r.tokens).sum();
+    // Per-step adapter gradient all-reduce across replicas (small).
+    let link = cfg.cluster.bottleneck_link(cfg.cluster.gpus);
+    let sync = all_reduce_seconds(link, dp, model_cfg.lora_params(cfg.rank) * 4) * 8.0;
+    let makespan = makespan + sync;
+    SystemResult {
+        tokens_per_second: if makespan > 0.0 {
+            tokens as f64 / makespan
+        } else {
+            0.0
+        },
+        bubble_ratio: replica_results[0].bubble_ratio,
+        oom: false,
+        makespan,
+        tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_data::{Dataset, DatasetPreset};
+
+    fn jobs(preset: DatasetPreset, n: usize, count: usize, gbs: usize) -> Vec<AdapterJob> {
+        (0..count)
+            .map(|i| AdapterJob {
+                adapter: i,
+                samples: Dataset::from_preset(preset, n, 42 + i as u64).samples,
+                global_batch_size: gbs,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lorafusion_beats_baselines_on_70b() {
+        let cluster = ClusterSpec::h100(4);
+        let js = jobs(DatasetPreset::CnnDailyMail, 128, 4, 32);
+        let mut results = std::collections::BTreeMap::new();
+        for kind in SystemKind::ALL {
+            let r = evaluate_system(kind, ModelPreset::Llama70b, &cluster, &js, 16, 16384);
+            assert!(!r.oom, "{:?} unexpectedly OOMs", kind);
+            results.insert(kind.name(), r.tokens_per_second);
+        }
+        let lf = results["LoRAFusion"];
+        let mlora = results["mLoRA"];
+        let mpp = results["Megatron-LM (PP)"];
+        let mfsdp = results["Megatron-LM (FSDP)"];
+        assert!(lf > mlora, "LoRAFusion {lf} vs mLoRA {mlora}");
+        assert!(mlora > mpp, "mLoRA {mlora} vs Megatron-PP {mpp}");
+        assert!(lf > mfsdp, "LoRAFusion {lf} vs Megatron-FSDP {mfsdp}");
+        // Speedup bands from Fig. 14: 1.1-2.2x over the best baseline.
+        let best_baseline = mlora.max(mpp).max(mfsdp);
+        let speedup = lf / best_baseline;
+        assert!((1.05..2.5).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn wikisum_ooms_fixed_sample_baselines_but_not_lorafusion() {
+        let cluster = ClusterSpec::h100(4);
+        let js = jobs(DatasetPreset::WikiSum, 128, 4, 16);
+        let pp = evaluate_system(
+            SystemKind::MegatronPp,
+            ModelPreset::Llama70b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        let lf = evaluate_system(
+            SystemKind::LoraFusion,
+            ModelPreset::Llama70b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        assert!(pp.oom, "padding baseline should OOM on WikiSum at 70B");
+        assert!(!lf.oom, "LoRAFusion packs within capacity and survives");
+        assert!(lf.tokens_per_second > 0.0);
+    }
+
+    #[test]
+    fn single_gpu_gains_come_from_kernels() {
+        let cluster = ClusterSpec::h100(1);
+        let js = jobs(DatasetPreset::XSum, 128, 4, 16);
+        let base = evaluate_system(
+            SystemKind::MegatronPp,
+            ModelPreset::Llama8b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        let lf = evaluate_system(
+            SystemKind::LoraFusion,
+            ModelPreset::Llama8b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        assert!(!base.oom && !lf.oom);
+        let speedup = lf.tokens_per_second / base.tokens_per_second;
+        // Fig. 14's 8B single-GPU band: ~1.1-1.5x.
+        assert!(
+            (1.02..1.7).contains(&speedup),
+            "single-GPU speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn bubble_ratio_ordering_matches_fig20() {
+        let cluster = ClusterSpec::h100(4);
+        let js = jobs(DatasetPreset::CnnDailyMail, 128, 4, 32);
+        let pp = evaluate_system(
+            SystemKind::MegatronPp,
+            ModelPreset::Llama70b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        let ml = evaluate_system(
+            SystemKind::MLora,
+            ModelPreset::Llama70b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        let lf = evaluate_system(
+            SystemKind::LoraFusion,
+            ModelPreset::Llama70b,
+            &cluster,
+            &js,
+            16,
+            16384,
+        );
+        let (bp, bm, bl) = (
+            pp.bubble_ratio.unwrap(),
+            ml.bubble_ratio.unwrap(),
+            lf.bubble_ratio.unwrap(),
+        );
+        assert!(bp > bm, "Megatron bubble {bp} must exceed mLoRA {bm}");
+        assert!(bm > bl, "mLoRA bubble {bm} must exceed LoRAFusion {bl}");
+    }
+
+    #[test]
+    fn dp_scaling_is_compatible() {
+        let cluster = ClusterSpec::h100(4);
+        let js = jobs(DatasetPreset::XSum, 128, 4, 16);
+        let cfg = CustomConfig {
+            model: ModelPreset::Llama70b,
+            cluster: cluster.clone(),
+            rank: 16,
+            batching: Batching::Scheduled {
+                capacity: 16384,
+                use_milp: false,
+                use_merge: true,
+            },
+            kernel: KernelStrategy::FusedMultiLora { adapters: 1 },
+            pipeline: PipelineMode::Continuous,
+            sequential_jobs: false,
+        };
+        let single = evaluate_custom(&cfg, &js);
+        let dp2 = evaluate_dp_pipelined(&cfg, &js, 2);
+        assert!(!single.oom && !dp2.oom);
+        // DP halves each replica's work; aggregate throughput grows.
+        assert!(dp2.tokens_per_second > single.tokens_per_second);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cluster and interconnect models.
+
+use lorafusion_gpu::DeviceKind;
+
+/// A point-to-point or collective transport link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Effective per-direction bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Link {
+    /// NVLink 4 (H100 SXM): 450 GB/s per direction.
+    pub const NVLINK: Link = Link {
+        bandwidth_gbs: 450.0,
+        latency_us: 5.0,
+    };
+    /// PCIe Gen4 x16 (~25 GB/s effective, the L40S servers).
+    pub const PCIE: Link = Link {
+        bandwidth_gbs: 25.0,
+        latency_us: 10.0,
+    };
+    /// InfiniBand NDR 400 (~45 GB/s effective per pair).
+    pub const INFINIBAND: Link = Link {
+        bandwidth_gbs: 45.0,
+        latency_us: 8.0,
+    };
+
+    /// Transfer time for `bytes` over this link.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+}
+
+/// A homogeneous GPU cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// GPU model.
+    pub device: DeviceKind,
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// GPUs per node (intra-node link applies within, inter-node across).
+    pub gpus_per_node: usize,
+    /// Intra-node link.
+    pub intra_link: Link,
+    /// Inter-node link.
+    pub inter_link: Link,
+}
+
+impl ClusterSpec {
+    /// The paper's H100 node: 8x H100 SXM with NVLink, InfiniBand across
+    /// nodes; `gpus` may be smaller than a node.
+    pub fn h100(gpus: usize) -> Self {
+        Self {
+            device: DeviceKind::H100Sxm,
+            gpus,
+            gpus_per_node: 8,
+            intra_link: Link::NVLINK,
+            inter_link: Link::INFINIBAND,
+        }
+    }
+
+    /// The paper's L40S server: 4x L40S over PCIe.
+    pub fn l40s(gpus: usize) -> Self {
+        Self {
+            device: DeviceKind::L40S,
+            gpus,
+            gpus_per_node: 4,
+            intra_link: Link::PCIE,
+            inter_link: Link::INFINIBAND,
+        }
+    }
+
+    /// The link connecting ranks `a` and `b`.
+    pub fn link_between(&self, a: usize, b: usize) -> Link {
+        if a / self.gpus_per_node == b / self.gpus_per_node {
+            self.intra_link
+        } else {
+            self.inter_link
+        }
+    }
+
+    /// The slowest link among any group of `n` consecutive ranks (the
+    /// bottleneck link a ring collective over them sees).
+    pub fn bottleneck_link(&self, n: usize) -> Link {
+        if n <= self.gpus_per_node {
+            self.intra_link
+        } else {
+            self.inter_link
+        }
+    }
+
+    /// Whether the cluster spans several nodes.
+    pub fn multi_node(&self) -> bool {
+        self.gpus > self.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let t1 = Link::NVLINK.transfer_seconds(1 << 30);
+        let t2 = Link::NVLINK.transfer_seconds(2 << 30);
+        assert!(t2 > t1 * 1.9);
+        // 1 GiB over 450 GB/s is ~2.4 ms.
+        assert!((t1 - 2.4e-3).abs() < 0.5e-3, "t1 {t1}");
+    }
+
+    #[test]
+    fn link_topology() {
+        let c = ClusterSpec::h100(16);
+        assert!(c.multi_node());
+        assert_eq!(c.link_between(0, 7), Link::NVLINK);
+        assert_eq!(c.link_between(7, 8), Link::INFINIBAND);
+        assert_eq!(c.bottleneck_link(4), Link::NVLINK);
+        assert_eq!(c.bottleneck_link(16), Link::INFINIBAND);
+    }
+
+    #[test]
+    fn l40s_uses_pcie() {
+        let c = ClusterSpec::l40s(4);
+        assert!(!c.multi_node());
+        assert_eq!(c.intra_link, Link::PCIE);
+    }
+}

@@ -1,0 +1,68 @@
+//! Alpha-beta cost models for NCCL-style collectives.
+//!
+//! Ring algorithms: each of the `n` ranks sends `(n-1)/n` of the payload
+//! across the bottleneck link, in `n - 1` latency-bearing steps.
+
+use crate::cluster::Link;
+
+/// All-gather of `bytes` total output across `n` ranks.
+pub fn all_gather_seconds(link: Link, n: usize, bytes: u64) -> f64 {
+    ring_seconds(link, n, bytes)
+}
+
+/// Reduce-scatter of `bytes` total input across `n` ranks.
+pub fn reduce_scatter_seconds(link: Link, n: usize, bytes: u64) -> f64 {
+    ring_seconds(link, n, bytes)
+}
+
+/// All-reduce of `bytes` across `n` ranks (reduce-scatter + all-gather).
+pub fn all_reduce_seconds(link: Link, n: usize, bytes: u64) -> f64 {
+    2.0 * ring_seconds(link, n, bytes)
+}
+
+/// Point-to-point activation transfer.
+pub fn p2p_seconds(link: Link, bytes: u64) -> f64 {
+    link.transfer_seconds(bytes)
+}
+
+fn ring_seconds(link: Link, n: usize, bytes: u64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let steps = (n - 1) as f64;
+    let payload = bytes as f64 * steps / n as f64;
+    steps * link.latency_us * 1e-6 + payload / (link.bandwidth_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        assert_eq!(all_gather_seconds(Link::NVLINK, 1, 1 << 30), 0.0);
+        assert_eq!(all_reduce_seconds(Link::NVLINK, 1, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn allreduce_is_twice_reduce_scatter() {
+        let rs = reduce_scatter_seconds(Link::NVLINK, 8, 1 << 30);
+        let ar = all_reduce_seconds(Link::NVLINK, 8, 1 << 30);
+        assert!((ar - 2.0 * rs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_term_approaches_full_payload() {
+        // For large n, ring time approaches bytes / bandwidth.
+        let t = all_gather_seconds(Link::NVLINK, 64, 1 << 30);
+        let ideal = (1u64 << 30) as f64 / (450.0 * 1e9);
+        assert!(t > ideal * 0.9 && t < ideal * 1.3, "t {t} ideal {ideal}");
+    }
+
+    #[test]
+    fn slower_links_cost_more() {
+        let nv = all_reduce_seconds(Link::NVLINK, 4, 1 << 28);
+        let pcie = all_reduce_seconds(Link::PCIE, 4, 1 << 28);
+        assert!(pcie > 10.0 * nv);
+    }
+}

@@ -1,0 +1,347 @@
+//! Microbatch cost lowering: decoder layers to kernel profiles to seconds.
+
+use lorafusion_gpu::{CostModel, DeviceSpec, KernelClass, KernelProfile};
+use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
+
+use crate::model_config::TransformerConfig;
+
+/// Which kernel implementation executes the LoRA linear layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStrategy {
+    /// No adapter (the frozen baseline of Fig. 3).
+    Frozen,
+    /// Unfused PEFT-style kernels (Megatron-LM and mLoRA baselines).
+    TorchLora,
+    /// Split-graph FusedLoRA (single adapter per microbatch).
+    FusedLora,
+    /// FusedMultiLoRA with `adapters` distinct adapters routed per tile.
+    FusedMultiLora {
+        /// Distinct adapters in the microbatch.
+        adapters: u32,
+    },
+}
+
+/// What a pipeline stage hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageShape {
+    /// Decoder layers on this stage.
+    pub layers: usize,
+    /// Whether the input embedding lives here (first stage).
+    pub has_embedding: bool,
+    /// Whether the LM head and loss live here (last stage).
+    pub has_lm_head: bool,
+}
+
+/// Per-stage forward/backward seconds of one microbatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrobatchCost {
+    /// Forward seconds per stage.
+    pub fwd: Vec<f64>,
+    /// Backward seconds per stage.
+    pub bwd: Vec<f64>,
+    /// Real tokens in the microbatch.
+    pub tokens: usize,
+}
+
+impl MicrobatchCost {
+    /// Total compute seconds across stages (fwd + bwd).
+    pub fn total(&self) -> f64 {
+        self.fwd.iter().sum::<f64>() + self.bwd.iter().sum::<f64>()
+    }
+}
+
+fn retag_adapters(mut profiles: Vec<KernelProfile>, adapters: u32) -> Vec<KernelProfile> {
+    for p in &mut profiles {
+        if let KernelClass::FusedGemm { m, k, n, .. } = p.class {
+            p.class = KernelClass::FusedGemm { m, k, n, adapters };
+        }
+    }
+    profiles
+}
+
+/// Kernel profiles of one LoRA linear layer under `strategy`.
+pub fn linear_profiles(
+    strategy: KernelStrategy,
+    shape: Shape,
+    t: &TrafficModel,
+) -> (Vec<KernelProfile>, Vec<KernelProfile>) {
+    match strategy {
+        KernelStrategy::Frozen => (
+            frozen::forward_profiles(shape, t),
+            frozen::backward_profiles(shape, t),
+        ),
+        KernelStrategy::TorchLora => (
+            reference::forward_profiles(shape, t),
+            reference::backward_profiles(shape, t),
+        ),
+        KernelStrategy::FusedLora => (
+            fused::forward_profiles(shape, t),
+            fused::backward_profiles(shape, t),
+        ),
+        KernelStrategy::FusedMultiLora { adapters } => (
+            retag_adapters(fused::forward_profiles(shape, t), adapters),
+            retag_adapters(fused::backward_profiles(shape, t), adapters),
+        ),
+    }
+}
+
+/// Attention + norm + activation profiles for one decoder layer over
+/// `tokens` tokens whose per-sample squared lengths sum to `sum_sq_len`
+/// (FlashAttention cost is quadratic per document).
+fn layer_misc_profiles(
+    cfg: &TransformerConfig,
+    tokens: usize,
+    sum_sq_len: u64,
+    t: &TrafficModel,
+) -> (Vec<KernelProfile>, Vec<KernelProfile>) {
+    let h = cfg.hidden;
+    let kv = cfg.kv_dim();
+    let f = cfg.ffn_hidden;
+    let e = 2u64;
+    let m = tokens as u64;
+
+    // FlashAttention: QK^T and PV are each 2 * sum_sq * h FLOPs.
+    let attn_flops_fwd = 4.0 * sum_sq_len as f64 * h as f64;
+    let attn_fwd = KernelProfile {
+        name: "flash_attention_fwd".into(),
+        class: KernelClass::Gemm {
+            m,
+            k: h as u64,
+            n: 128,
+        },
+        flops: attn_flops_fwd,
+        bytes_read: (m * h as u64 + 2 * m * kv as u64) * e,
+        bytes_written: m * h as u64 * e,
+    };
+    let attn_bwd = KernelProfile {
+        name: "flash_attention_bwd".into(),
+        class: KernelClass::Gemm {
+            m,
+            k: h as u64,
+            n: 128,
+        },
+        flops: attn_flops_fwd * 2.5,
+        bytes_read: (3 * m * h as u64 + 4 * m * kv as u64) * e,
+        bytes_written: (m * h as u64 + 2 * m * kv as u64) * e,
+    };
+    // Norms, rotary, SwiGLU, residuals lumped as streaming elementwise.
+    let misc_bytes_fwd = e * m * (10 * h as u64 + 3 * f as u64);
+    let misc_fwd = KernelProfile {
+        name: "layer_elementwise_fwd".into(),
+        class: KernelClass::Elementwise { tensors: 4 },
+        flops: (m * (h as u64 + f as u64)) as f64,
+        bytes_read: misc_bytes_fwd / 2,
+        bytes_written: misc_bytes_fwd / 2,
+    };
+    let misc_bytes_bwd = (misc_bytes_fwd as f64 * 1.2) as u64;
+    let misc_bwd = KernelProfile {
+        name: "layer_elementwise_bwd".into(),
+        class: KernelClass::Elementwise { tensors: 4 },
+        flops: (m * (h as u64 + f as u64)) as f64,
+        bytes_read: misc_bytes_bwd / 2,
+        bytes_written: misc_bytes_bwd / 2,
+    };
+    let _ = t;
+    (vec![attn_fwd, misc_fwd], vec![attn_bwd, misc_bwd])
+}
+
+/// LM-head + cross-entropy profiles (last stage only).
+fn lm_head_profiles(
+    cfg: &TransformerConfig,
+    tokens: usize,
+    t: &TrafficModel,
+) -> (Vec<KernelProfile>, Vec<KernelProfile>) {
+    let shape = Shape::new(tokens, cfg.hidden, cfg.vocab, 0);
+    let mut fwd = frozen::forward_profiles(shape, t);
+    fwd[0].name = "lm_head_fwd".into();
+    let ce = KernelProfile {
+        name: "cross_entropy".into(),
+        class: KernelClass::Reduction,
+        flops: (tokens * cfg.vocab) as f64,
+        bytes_read: (tokens * cfg.vocab) as u64 * 2,
+        bytes_written: tokens as u64 * 4,
+    };
+    fwd.push(ce);
+    let mut bwd = frozen::backward_profiles(shape, t);
+    bwd[0].name = "lm_head_bwd".into();
+    (fwd, bwd)
+}
+
+/// Computes per-stage forward/backward seconds for one microbatch.
+///
+/// `stages` describes the pipeline partition (length 1 = no pipeline).
+/// `rank` is the LoRA rank (ignored for [`KernelStrategy::Frozen`]).
+#[allow(clippy::too_many_arguments)]
+pub fn microbatch_cost(
+    cfg: &TransformerConfig,
+    strategy: KernelStrategy,
+    tokens: usize,
+    sum_sq_len: u64,
+    stages: &[StageShape],
+    rank: usize,
+    device: &DeviceSpec,
+    cost: &CostModel,
+    traffic: &TrafficModel,
+) -> MicrobatchCost {
+    let mut fwd = Vec::with_capacity(stages.len());
+    let mut bwd = Vec::with_capacity(stages.len());
+
+    // Per-decoder-layer profile set (shared by every layer).
+    let mut layer_fwd: Vec<KernelProfile> = Vec::new();
+    let mut layer_bwd: Vec<KernelProfile> = Vec::new();
+    for (_, k, n) in cfg.lora_linears() {
+        let shape = Shape::new(tokens, k, n, rank.max(1));
+        let (f, b) = linear_profiles(strategy, shape, traffic);
+        layer_fwd.extend(f);
+        layer_bwd.extend(b);
+    }
+    let (misc_fwd, misc_bwd) = layer_misc_profiles(cfg, tokens, sum_sq_len, traffic);
+    layer_fwd.extend(misc_fwd);
+    layer_bwd.extend(misc_bwd);
+
+    let layer_fwd_s = cost.sequence_seconds(device, &layer_fwd);
+    let layer_bwd_s = cost.sequence_seconds(device, &layer_bwd);
+
+    for stage in stages {
+        let mut f = layer_fwd_s * stage.layers as f64;
+        let mut b = layer_bwd_s * stage.layers as f64;
+        if stage.has_embedding {
+            // Embedding lookup: one streaming pass over token embeddings.
+            f += (tokens * cfg.hidden) as f64 * 2.0
+                / (device.bandwidth_bytes() * cost.elementwise_mem_efficiency);
+        }
+        if stage.has_lm_head {
+            let (hf, hb) = lm_head_profiles(cfg, tokens, traffic);
+            f += cost.sequence_seconds(device, &hf);
+            b += cost.sequence_seconds(device, &hb);
+        }
+        fwd.push(f);
+        bwd.push(b);
+    }
+    MicrobatchCost { fwd, bwd, tokens }
+}
+
+/// Builds an even pipeline partition of `cfg.layers` over `s` stages, with
+/// the embedding on the first and the LM head on the last stage.
+pub fn even_stages(cfg: &TransformerConfig, s: usize) -> Vec<StageShape> {
+    let s = s.max(1);
+    let base = cfg.layers / s;
+    let extra = cfg.layers % s;
+    (0..s)
+        .map(|i| StageShape {
+            layers: base + usize::from(i < extra),
+            has_embedding: i == 0,
+            has_lm_head: i == s - 1,
+        })
+        .collect()
+}
+
+/// Sum of squared sample lengths for a uniform split of `tokens` into
+/// `samples` equal documents (attention cost helper).
+pub fn uniform_sum_sq(tokens: usize, samples: usize) -> u64 {
+    let samples = samples.max(1);
+    let len = tokens / samples;
+    (samples as u64) * (len as u64) * (len as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_config::ModelPreset;
+    use lorafusion_gpu::DeviceKind;
+
+    fn setup() -> (TransformerConfig, DeviceSpec, CostModel, TrafficModel) {
+        let dev = DeviceKind::H100Sxm.spec();
+        (
+            ModelPreset::Llama8b.config(),
+            dev,
+            CostModel::default(),
+            TrafficModel::for_device(&dev),
+        )
+    }
+
+    #[test]
+    fn even_stage_partition() {
+        let cfg = ModelPreset::Llama70b.config();
+        let stages = even_stages(&cfg, 4);
+        assert_eq!(stages.len(), 4);
+        assert_eq!(stages.iter().map(|s| s.layers).sum::<usize>(), 80);
+        assert!(stages[0].has_embedding && !stages[0].has_lm_head);
+        assert!(stages[3].has_lm_head && !stages[3].has_embedding);
+    }
+
+    #[test]
+    fn torch_lora_is_slower_than_frozen_and_fused() {
+        let (cfg, dev, cost, traffic) = setup();
+        let stages = even_stages(&cfg, 1);
+        let run = |s: KernelStrategy| {
+            microbatch_cost(
+                &cfg,
+                s,
+                8192,
+                uniform_sum_sq(8192, 8),
+                &stages,
+                16,
+                &dev,
+                &cost,
+                &traffic,
+            )
+            .total()
+        };
+        let frozen = run(KernelStrategy::Frozen);
+        let torch = run(KernelStrategy::TorchLora);
+        let fused = run(KernelStrategy::FusedLora);
+        let multi = run(KernelStrategy::FusedMultiLora { adapters: 4 });
+        assert!(torch > frozen, "torch {torch} frozen {frozen}");
+        assert!(fused < torch, "fused {fused} torch {torch}");
+        assert!(multi >= fused, "multi {multi} fused {fused}");
+        assert!(multi < torch);
+        // Whole-layer speedup is diluted by attention/misc: Fig. 18's
+        // 1.1-1.3x band.
+        let speedup = torch / fused;
+        assert!((1.03..1.45).contains(&speedup), "layer speedup {speedup}");
+    }
+
+    #[test]
+    fn last_stage_costs_more() {
+        // The LM head + loss make the last stage slower (Fig. 20's
+        // residual-bubble explanation).
+        let (cfg, dev, cost, traffic) = setup();
+        let stages = even_stages(&cfg, 4);
+        let mb = microbatch_cost(
+            &cfg,
+            KernelStrategy::FusedLora,
+            4096,
+            uniform_sum_sq(4096, 4),
+            &stages,
+            16,
+            &dev,
+            &cost,
+            &traffic,
+        );
+        assert!(mb.fwd[3] > mb.fwd[1] * 1.05);
+    }
+
+    #[test]
+    fn cost_scales_roughly_linearly_with_tokens() {
+        let (cfg, dev, cost, traffic) = setup();
+        let stages = even_stages(&cfg, 1);
+        let run = |tokens: usize| {
+            microbatch_cost(
+                &cfg,
+                KernelStrategy::FusedLora,
+                tokens,
+                uniform_sum_sq(tokens, tokens / 1024),
+                &stages,
+                16,
+                &dev,
+                &cost,
+                &traffic,
+            )
+            .total()
+        };
+        let t1 = run(4096);
+        let t2 = run(8192);
+        assert!(t2 > t1 * 1.7 && t2 < t1 * 2.6, "t1 {t1} t2 {t2}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Distributed LoRA fine-tuning simulator.
+//!
+//! Reproduces the paper's evaluation substrate: Megatron-LM-style training
+//! of LLaMa/Qwen models on multi-GPU clusters, without the GPUs. The
+//! kernel layer (`lorafusion-kernels` + `lorafusion-gpu`) supplies
+//! per-microbatch compute times and DRAM traffic; this crate adds
+//!
+//! * [`model_config`] — transformer architectures (LLaMa-3.1-8B,
+//!   Qwen-2.5-32B, LLaMa-3.1-70B) and their LoRA target modules;
+//! * [`cluster`] — GPU clusters and interconnects (NVLink, PCIe,
+//!   InfiniBand);
+//! * [`collective`] — alpha-beta cost models for all-gather,
+//!   reduce-scatter, all-reduce and P2P;
+//! * [`memory`] — GPU memory accounting (model states, optimizer,
+//!   activations) and OOM detection;
+//! * [`layer_cost`] — decoder-layer and microbatch cost lowering per
+//!   kernel strategy;
+//! * [`pipeline`] — event-driven 1F1B pipeline simulation with optional
+//!   per-global-batch flushes and the multi-LoRA zero-bubble stream;
+//! * [`fsdp`] — FSDP step simulation with compute/communication overlap;
+//! * [`baselines`] — the four systems of Fig. 14: Megatron-LM (FSDP),
+//!   Megatron-LM (PP), mLoRA, and LoRAFusion.
+
+pub mod baselines;
+pub mod cluster;
+pub mod collective;
+pub mod fsdp;
+pub mod layer_cost;
+pub mod memory;
+pub mod model_config;
+pub mod pipeline;
+
+pub use baselines::{SystemKind, SystemResult};
+pub use cluster::{ClusterSpec, Link};
+pub use layer_cost::{KernelStrategy, MicrobatchCost};
+pub use model_config::{ModelPreset, TransformerConfig};
+pub use pipeline::{simulate_pipeline, PipelineOptions, PipelineResult};

@@ -1,0 +1,156 @@
+//! GPU memory accounting and OOM detection.
+//!
+//! Section 2.1's arithmetic: half-precision frozen weights (2 bytes per
+//! parameter), full-precision optimizer on the trainable adapter
+//! parameters (weight 2 + master copy 4 + gradient 4 + Adam moments 8 = 18
+//! bytes per trainable parameter), plus activations proportional to the
+//! tokens in flight. The WikiSum OOM failures of the padding baselines in
+//! Fig. 14 fall out of this model.
+
+use lorafusion_gpu::DeviceSpec;
+
+use crate::model_config::TransformerConfig;
+
+/// Bytes per frozen parameter (bf16).
+pub const FROZEN_BYTES: u64 = 2;
+/// Bytes per trainable parameter (bf16 weight + fp32 master + fp32 grad +
+/// fp32 Adam m/v).
+pub const TRAINABLE_BYTES: u64 = 18;
+/// Saved activation bytes per token per decoder layer, with Megatron-style
+/// selective recomputation (layer inputs plus attention residues).
+pub const ACT_BYTES_PER_TOKEN_PER_LAYER_FACTOR: u64 = 3;
+/// Fixed framework overhead (CUDA context, workspace, fragmentation).
+pub const FRAMEWORK_OVERHEAD_BYTES: u64 = 6 * 1024 * 1024 * 1024;
+
+/// Memory plan of one GPU in a training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// Frozen model state bytes resident on this GPU.
+    pub frozen_bytes: u64,
+    /// Adapter (trainable) state bytes, including optimizer.
+    pub adapter_bytes: u64,
+    /// Activation bytes per token *in flight* on this GPU.
+    pub activation_bytes_per_token: u64,
+}
+
+impl MemoryPlan {
+    /// Builds the plan for one GPU.
+    ///
+    /// `pp_stages` divides the layer stack; `fsdp_shards` divides the
+    /// frozen/adapter states instead (use 1 for the unsharded case). The
+    /// GPU hosting the embedding/LM head carries the extra vocab weights;
+    /// we size for that worst-case GPU.
+    pub fn for_gpu(
+        cfg: &TransformerConfig,
+        num_adapters: usize,
+        rank: usize,
+        pp_stages: usize,
+        fsdp_shards: usize,
+    ) -> Self {
+        let pp = pp_stages.max(1) as u64;
+        let shards = fsdp_shards.max(1) as u64;
+        let layer_params = cfg.layer_params() * (cfg.layers as u64).div_ceil(pp);
+        let vocab_params = cfg.vocab as u64 * cfg.hidden as u64; // Embedding or head.
+        let frozen_params = layer_params + vocab_params;
+        let adapter_params = cfg.lora_params(rank) * num_adapters as u64 / pp;
+        let layers_here = (cfg.layers as u64).div_ceil(pp);
+        Self {
+            frozen_bytes: frozen_params * FROZEN_BYTES / shards,
+            adapter_bytes: adapter_params * TRAINABLE_BYTES / shards,
+            activation_bytes_per_token: layers_here
+                * cfg.hidden as u64
+                * ACT_BYTES_PER_TOKEN_PER_LAYER_FACTOR,
+        }
+    }
+
+    /// Total bytes with `tokens_in_flight` activation tokens resident.
+    pub fn total_bytes(&self, tokens_in_flight: u64) -> u64 {
+        self.frozen_bytes
+            + self.adapter_bytes
+            + self.activation_bytes_per_token * tokens_in_flight
+            + FRAMEWORK_OVERHEAD_BYTES
+    }
+
+    /// Whether the configuration fits on `device`.
+    pub fn fits(&self, device: &DeviceSpec, tokens_in_flight: u64) -> bool {
+        self.total_bytes(tokens_in_flight) <= device.memory_bytes()
+    }
+
+    /// Largest token count in flight that still fits on `device`.
+    pub fn max_tokens_in_flight(&self, device: &DeviceSpec) -> u64 {
+        let fixed = self.frozen_bytes + self.adapter_bytes + FRAMEWORK_OVERHEAD_BYTES;
+        device
+            .memory_bytes()
+            .saturating_sub(fixed)
+            .checked_div(self.activation_bytes_per_token.max(1))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_config::ModelPreset;
+    use lorafusion_gpu::DeviceKind;
+
+    #[test]
+    fn full_finetune_would_not_fit_but_lora_does() {
+        // Section 1: 70B LoRA fits in ~142 GB total (4 GPUs), while full
+        // fine-tuning needs ~1120 GB of model states.
+        let cfg = ModelPreset::Llama70b.config();
+        let full_states = cfg.total_params() * 16; // Params+grad+optimizer.
+        assert!(full_states as f64 / 1e9 > 1000.0);
+
+        let plan = MemoryPlan::for_gpu(&cfg, 1, 16, 4, 1);
+        let h100 = DeviceKind::H100Sxm.spec();
+        assert!(
+            plan.fits(&h100, 16384),
+            "70B/4GPU LoRA must fit with 16k tokens"
+        );
+    }
+
+    #[test]
+    fn llama8b_fits_one_gpu() {
+        let cfg = ModelPreset::Llama8b.config();
+        let plan = MemoryPlan::for_gpu(&cfg, 4, 16, 1, 1);
+        let h100 = DeviceKind::H100Sxm.spec();
+        assert!(plan.fits(&h100, 16384));
+        // But not on an RTX 3090.
+        let rtx = DeviceKind::Rtx3090.spec();
+        assert!(!plan.fits(&rtx, 16384));
+    }
+
+    #[test]
+    fn padding_to_wikisum_max_oooms_the_70b_baseline() {
+        // Four samples padded to 12288 tokens = 49k tokens per microbatch;
+        // with S=4 microbatches in flight on stage 0, the baseline OOMs.
+        let cfg = ModelPreset::Llama70b.config();
+        let plan = MemoryPlan::for_gpu(&cfg, 4, 16, 4, 1);
+        let h100 = DeviceKind::H100Sxm.spec();
+        let padded_tokens_in_flight = 4 * 12288 * 4;
+        assert!(!plan.fits(&h100, padded_tokens_in_flight));
+        // While a packed 16k-token capacity stream fits.
+        assert!(plan.fits(&h100, 16384 * 4));
+    }
+
+    #[test]
+    fn adapters_are_cheap() {
+        let cfg = ModelPreset::Llama70b.config();
+        let one = MemoryPlan::for_gpu(&cfg, 1, 16, 4, 1);
+        let four = MemoryPlan::for_gpu(&cfg, 4, 16, 4, 1);
+        let delta = four.adapter_bytes - one.adapter_bytes;
+        assert!(
+            delta < one.frozen_bytes / 10,
+            "adapter states must stay far below frozen weights"
+        );
+    }
+
+    #[test]
+    fn max_tokens_decreases_with_more_layers_per_gpu() {
+        let cfg = ModelPreset::Llama70b.config();
+        let h100 = DeviceKind::H100Sxm.spec();
+        let pp4 = MemoryPlan::for_gpu(&cfg, 4, 16, 4, 1).max_tokens_in_flight(&h100);
+        let pp8 = MemoryPlan::for_gpu(&cfg, 4, 16, 8, 1).max_tokens_in_flight(&h100);
+        assert!(pp8 > pp4);
+    }
+}

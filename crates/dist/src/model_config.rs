@@ -1,0 +1,173 @@
+//! Transformer model configurations used in the paper's evaluation.
+
+/// Architecture of a decoder-only transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Hidden size `h`.
+    pub hidden: usize,
+    /// FFN intermediate size (SwiGLU width).
+    pub ffn_hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Key/value heads (grouped-query attention).
+    pub kv_heads: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl TransformerConfig {
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Projection width of the K/V projections.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// The seven LoRA-target linear layers of one decoder layer as
+    /// `(name, k, n)` shapes: attention q/k/v/o plus SwiGLU gate/up/down.
+    pub fn lora_linears(&self) -> [(&'static str, usize, usize); 7] {
+        let h = self.hidden;
+        let kv = self.kv_dim();
+        let f = self.ffn_hidden;
+        [
+            ("attn_q", h, h),
+            ("attn_k", h, kv),
+            ("attn_v", h, kv),
+            ("attn_o", h, h),
+            ("mlp_gate", h, f),
+            ("mlp_up", h, f),
+            ("mlp_down", f, h),
+        ]
+    }
+
+    /// Frozen parameter count of one decoder layer.
+    pub fn layer_params(&self) -> u64 {
+        self.lora_linears()
+            .iter()
+            .map(|&(_, k, n)| (k * n) as u64)
+            .sum::<u64>()
+            + 2 * self.hidden as u64 // The two RMSNorm weights.
+    }
+
+    /// Total frozen parameters (decoder stack + embeddings + LM head).
+    pub fn total_params(&self) -> u64 {
+        self.layer_params() * self.layers as u64
+            + 2 * (self.vocab as u64 * self.hidden as u64) // Embed + head.
+            + self.hidden as u64 // Final norm.
+    }
+
+    /// Trainable LoRA parameters per adapter at rank `r` (all seven
+    /// target modules).
+    pub fn lora_params(&self, rank: usize) -> u64 {
+        self.lora_linears()
+            .iter()
+            .map(|&(_, k, n)| (rank * (k + n)) as u64)
+            .sum::<u64>()
+            * self.layers as u64
+    }
+}
+
+/// The three models of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelPreset {
+    /// LLaMa-3.1-8B.
+    Llama8b,
+    /// Qwen-2.5-32B.
+    Qwen32b,
+    /// LLaMa-3.1-70B.
+    Llama70b,
+}
+
+impl ModelPreset {
+    /// All presets in paper order.
+    pub const ALL: [ModelPreset; 3] = [
+        ModelPreset::Llama8b,
+        ModelPreset::Qwen32b,
+        ModelPreset::Llama70b,
+    ];
+
+    /// Architecture parameters (public model cards).
+    pub fn config(self) -> TransformerConfig {
+        match self {
+            ModelPreset::Llama8b => TransformerConfig {
+                name: "LLaMa-3.1-8B",
+                layers: 32,
+                hidden: 4096,
+                ffn_hidden: 14336,
+                heads: 32,
+                kv_heads: 8,
+                vocab: 128_256,
+            },
+            ModelPreset::Qwen32b => TransformerConfig {
+                name: "Qwen-2.5-32B",
+                layers: 64,
+                hidden: 5120,
+                ffn_hidden: 27_648,
+                heads: 40,
+                kv_heads: 8,
+                vocab: 152_064,
+            },
+            ModelPreset::Llama70b => TransformerConfig {
+                name: "LLaMa-3.1-70B",
+                layers: 80,
+                hidden: 8192,
+                ffn_hidden: 28_672,
+                heads: 64,
+                kv_heads: 8,
+                vocab: 128_256,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_model_cards() {
+        // Within a few percent of the published totals.
+        let b = |p: ModelPreset| p.config().total_params() as f64 / 1e9;
+        assert!(
+            (b(ModelPreset::Llama8b) - 8.0).abs() < 0.5,
+            "{}",
+            b(ModelPreset::Llama8b)
+        );
+        assert!(
+            (b(ModelPreset::Qwen32b) - 32.5).abs() < 2.0,
+            "{}",
+            b(ModelPreset::Qwen32b)
+        );
+        assert!(
+            (b(ModelPreset::Llama70b) - 70.5).abs() < 2.0,
+            "{}",
+            b(ModelPreset::Llama70b)
+        );
+    }
+
+    #[test]
+    fn lora_params_are_tiny_fraction() {
+        // Section 2.1: rank 16 adds ~0.29% parameters on 70B.
+        let cfg = ModelPreset::Llama70b.config();
+        let frac = cfg.lora_params(16) as f64 / cfg.total_params() as f64;
+        assert!(frac < 0.005, "lora fraction {frac}");
+        assert!(frac > 0.0005);
+    }
+
+    #[test]
+    fn gqa_shapes() {
+        let cfg = ModelPreset::Llama8b.config();
+        assert_eq!(cfg.head_dim(), 128);
+        assert_eq!(cfg.kv_dim(), 1024);
+        let linears = cfg.lora_linears();
+        assert_eq!(linears[1], ("attn_k", 4096, 1024));
+        assert_eq!(linears[4], ("mlp_gate", 4096, 14336));
+    }
+}

@@ -1,0 +1,28 @@
+//! Analytic GPU performance substrate.
+//!
+//! The paper's kernel-level argument is a roofline argument: LoRA's extra
+//! operations are *memory-bandwidth-bound* (arithmetic intensity far below
+//! the machine balance, Eq. 2), so their cost is proportional to the DRAM
+//! traffic they generate, and fusion pays off exactly in proportion to the
+//! traffic it removes. This crate reproduces that reasoning as an explicit
+//! model:
+//!
+//! * [`DeviceSpec`] — peak FLOP/s, memory bandwidth, launch overhead and
+//!   capacity for the GPUs used in the paper (H100, L40S, and the artifact's
+//!   pre-tuned A100/RTX3090 targets);
+//! * [`KernelProfile`] — the FLOPs and DRAM bytes of one kernel launch,
+//!   produced by the lowering in `lorafusion-kernels`;
+//! * [`CostModel`] — a calibrated roofline timing model with shape-dependent
+//!   GEMM efficiency and access-pattern-dependent memory efficiency;
+//! * [`Timeline`] / [`TrafficLedger`] — per-stream execution records used by
+//!   the distributed simulator and the figure generators.
+
+pub mod device;
+pub mod kernel;
+pub mod roofline;
+pub mod timeline;
+
+pub use device::{DType, DeviceKind, DeviceSpec};
+pub use kernel::{Boundedness, CostModel, KernelClass, KernelCost, KernelProfile};
+pub use roofline::{arithmetic_intensity, lora_down_projection_intensity, machine_balance};
+pub use timeline::{Timeline, TrafficLedger};

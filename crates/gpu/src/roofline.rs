@@ -1,0 +1,84 @@
+//! Roofline arithmetic: intensities and machine balance (Eq. 2).
+
+use crate::device::DeviceSpec;
+
+/// Arithmetic intensity in FLOPs per DRAM byte.
+#[inline]
+pub fn arithmetic_intensity(flops: f64, bytes: u64) -> f64 {
+    if bytes == 0 {
+        return f64::INFINITY;
+    }
+    flops / bytes as f64
+}
+
+/// Machine balance of `device` in FLOPs per byte.
+///
+/// Section 3.1 quotes ~295 FLOP/byte for FP16 on H100.
+#[inline]
+pub fn machine_balance(device: &DeviceSpec) -> f64 {
+    device.machine_balance()
+}
+
+/// Arithmetic intensity of LoRA's down-projection GEMM `X̂ A` (Eq. 2).
+///
+/// For an `m x k` input and rank `r`, in half precision:
+/// `I = 1 / (1/r + 1/m + 1/k)` FLOPs per byte. Because `r ≪ m, k`, the
+/// intensity collapses to roughly `r`, far below the machine balance — the
+/// paper's core observation that LoRA GEMMs are memory-bound.
+#[inline]
+pub fn lora_down_projection_intensity(m: u64, k: u64, r: u64) -> f64 {
+    1.0 / (1.0 / r as f64 + 1.0 / m as f64 + 1.0 / k as f64)
+}
+
+/// Whether a kernel with the given intensity is memory-bound on `device`.
+#[inline]
+pub fn is_memory_bound(intensity: f64, device: &DeviceSpec) -> bool {
+    intensity < machine_balance(device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    #[test]
+    fn eq2_matches_first_principles() {
+        // I = 2mkr / (2(mk + kr + mr)).
+        let (m, k, r) = (8192u64, 4096u64, 16u64);
+        let flops = 2.0 * m as f64 * k as f64 * r as f64;
+        let bytes = 2 * (m * k + k * r + m * r);
+        let direct = arithmetic_intensity(flops, bytes);
+        let closed = lora_down_projection_intensity(m, k, r);
+        assert!((direct - closed).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn lora_down_projection_is_memory_bound_on_h100() {
+        let h100 = DeviceKind::H100Sxm.spec();
+        let intensity = lora_down_projection_intensity(8192, 4096, 16);
+        assert!(
+            intensity < 16.5,
+            "intensity {intensity} should collapse to ~r"
+        );
+        assert!(is_memory_bound(intensity, &h100));
+        // And it stays memory-bound even for huge token counts.
+        assert!(is_memory_bound(
+            lora_down_projection_intensity(1 << 22, 8192, 64),
+            &h100
+        ));
+    }
+
+    #[test]
+    fn frozen_gemm_is_compute_bound_on_h100() {
+        let h100 = DeviceKind::H100Sxm.spec();
+        let (m, k, n) = (8192u64, 4096u64, 4096u64);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let bytes = 2 * (m * k + k * n + m * n);
+        assert!(!is_memory_bound(arithmetic_intensity(flops, bytes), &h100));
+    }
+
+    #[test]
+    fn zero_bytes_is_infinite_intensity() {
+        assert!(arithmetic_intensity(1.0, 0).is_infinite());
+    }
+}

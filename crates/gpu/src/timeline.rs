@@ -1,0 +1,228 @@
+//! Execution timelines and DRAM-traffic ledgers.
+//!
+//! [`Timeline`] records kernel executions on one logical stream; the
+//! distributed simulator uses one timeline per pipeline stage to measure
+//! bubble ratios (Fig. 20). [`TrafficLedger`] aggregates DRAM bytes per
+//! kernel name, reproducing the NCU traffic comparison of Fig. 19.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceSpec;
+use crate::kernel::{CostModel, KernelProfile};
+
+/// One executed kernel interval on a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Kernel name.
+    pub name: String,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+impl TimelineEvent {
+    /// Event duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A single-stream execution record.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+    cursor: f64,
+}
+
+impl Timeline {
+    /// Creates an empty timeline starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time cursor (end of the last event or last wait).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.cursor
+    }
+
+    /// Advances the cursor to `time` if it is later, recording idle time.
+    pub fn wait_until(&mut self, time: f64) {
+        if time > self.cursor {
+            self.cursor = time;
+        }
+    }
+
+    /// Appends an event of `duration` seconds starting at the cursor and
+    /// returns its `(start, end)` interval.
+    pub fn push(&mut self, name: impl Into<String>, duration: f64) -> (f64, f64) {
+        let start = self.cursor;
+        let end = start + duration.max(0.0);
+        self.events.push(TimelineEvent {
+            name: name.into(),
+            start,
+            end,
+        });
+        self.cursor = end;
+        (start, end)
+    }
+
+    /// Executes `profile` through `model` on `device` and appends it.
+    pub fn execute(
+        &mut self,
+        device: &DeviceSpec,
+        model: &CostModel,
+        profile: &KernelProfile,
+    ) -> (f64, f64) {
+        let cost = model.kernel_cost(device, profile);
+        self.push(profile.name.clone(), cost.seconds)
+    }
+
+    /// All recorded events in execution order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Sum of event durations (busy time).
+    pub fn busy(&self) -> f64 {
+        self.events.iter().map(TimelineEvent::duration).sum()
+    }
+
+    /// Total elapsed time from zero to the cursor.
+    pub fn makespan(&self) -> f64 {
+        self.cursor
+    }
+
+    /// Idle fraction in `[0, 1]`: the pipeline-bubble ratio of this stream.
+    pub fn idle_ratio(&self) -> f64 {
+        if self.cursor <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.busy() / self.cursor
+    }
+}
+
+/// Aggregated DRAM traffic per kernel name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficLedger {
+    per_kernel: BTreeMap<String, (u64, u64)>,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the traffic of one kernel launch.
+    pub fn record(&mut self, profile: &KernelProfile) {
+        let entry = self
+            .per_kernel
+            .entry(profile.name.clone())
+            .or_insert((0, 0));
+        entry.0 += profile.bytes_read;
+        entry.1 += profile.bytes_written;
+    }
+
+    /// Records every kernel in a lowered sequence.
+    pub fn record_all(&mut self, profiles: &[KernelProfile]) {
+        for p in profiles {
+            self.record(p);
+        }
+    }
+
+    /// Total bytes read across all kernels.
+    pub fn total_read(&self) -> u64 {
+        self.per_kernel.values().map(|(r, _)| r).sum()
+    }
+
+    /// Total bytes written across all kernels.
+    pub fn total_written(&self) -> u64 {
+        self.per_kernel.values().map(|(_, w)| w).sum()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn total(&self) -> u64 {
+        self.total_read() + self.total_written()
+    }
+
+    /// Iterates `(kernel name, bytes_read, bytes_written)` sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.per_kernel
+            .iter()
+            .map(|(k, &(r, w))| (k.as_str(), r, w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+    use crate::kernel::KernelClass;
+
+    #[test]
+    fn timeline_accumulates_and_measures_idle() {
+        let mut t = Timeline::new();
+        t.push("a", 1.0);
+        t.wait_until(3.0);
+        t.push("b", 1.0);
+        assert_eq!(t.makespan(), 4.0);
+        assert_eq!(t.busy(), 2.0);
+        assert!((t.idle_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].start, 3.0);
+    }
+
+    #[test]
+    fn wait_until_never_rewinds() {
+        let mut t = Timeline::new();
+        t.push("a", 2.0);
+        t.wait_until(1.0);
+        assert_eq!(t.now(), 2.0);
+    }
+
+    #[test]
+    fn execute_uses_cost_model() {
+        let dev = DeviceKind::H100Sxm.spec();
+        let model = CostModel::default();
+        let profile = KernelProfile {
+            name: "ew".into(),
+            class: KernelClass::Elementwise { tensors: 2 },
+            flops: 0.0,
+            bytes_read: 1 << 30,
+            bytes_written: 1 << 30,
+        };
+        let mut t = Timeline::new();
+        let (s, e) = t.execute(&dev, &model, &profile);
+        assert_eq!(s, 0.0);
+        let expect = model.kernel_cost(&dev, &profile).seconds;
+        assert!((e - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ledger_aggregates_by_name() {
+        let mk = |name: &str, r: u64, w: u64| KernelProfile {
+            name: name.into(),
+            class: KernelClass::Reduction,
+            flops: 0.0,
+            bytes_read: r,
+            bytes_written: w,
+        };
+        let mut ledger = TrafficLedger::new();
+        ledger.record_all(&[mk("x", 10, 1), mk("x", 5, 2), mk("y", 7, 3)]);
+        assert_eq!(ledger.total_read(), 22);
+        assert_eq!(ledger.total_written(), 6);
+        assert_eq!(ledger.total(), 28);
+        let rows: Vec<_> = ledger.iter().collect();
+        assert_eq!(rows, vec![("x", 15, 3), ("y", 7, 3)]);
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_idle() {
+        assert_eq!(Timeline::new().idle_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Calibration probe: prints the headline ratios the paper reports for a
+//! grid of traffic-model constants. Used to pick the defaults.
+
+use lorafusion_gpu::{CostModel, DeviceKind, KernelProfile};
+use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
+
+fn total_bytes(ks: &[KernelProfile]) -> u64 {
+    ks.iter().map(KernelProfile::bytes_total).sum()
+}
+
+fn main() {
+    let dev = DeviceKind::H100Sxm.spec();
+    let shape = Shape::new(8192, 4096, 4096, 16);
+    for reread in [2.4f64, 2.6, 2.9, 3.2, 3.6] {
+        for l2 in [0.75f64, 0.85, 0.92] {
+            for ew_eff in [0.6f64, 0.66, 0.72, 0.8] {
+                let mut t = TrafficModel::for_device(&dev);
+                t.gemm_input_reread = reread;
+                t.l2_reuse = l2;
+                let model = CostModel {
+                    elementwise_mem_efficiency: ew_eff,
+                    ..CostModel::default()
+                };
+
+                let fr_f = frozen::forward_profiles(shape, &t);
+                let fr_b = frozen::backward_profiles(shape, &t);
+                let to_f = reference::forward_profiles(shape, &t);
+                let to_b = reference::backward_profiles(shape, &t);
+                let fu_f = fused::forward_profiles(shape, &t);
+                let fu_b = fused::backward_profiles(shape, &t);
+
+                let traffic_ratio = (total_bytes(&to_f) + total_bytes(&to_b)) as f64
+                    / (total_bytes(&fr_f) + total_bytes(&fr_b)) as f64;
+                let fig19 = (total_bytes(&fu_f) + total_bytes(&fu_b)) as f64
+                    / (total_bytes(&to_f) + total_bytes(&to_b)) as f64;
+
+                let tf = |ks: &[KernelProfile]| model.sequence_seconds(&dev, ks);
+                let fwd_slow = tf(&to_f) / tf(&fr_f);
+                let bwd_slow = tf(&to_b) / tf(&fr_b);
+                let speedup_f = tf(&to_f) / tf(&fu_f);
+                let speedup_b = tf(&to_b) / tf(&fu_b);
+
+                println!(
+                    "reread={reread:.2} l2={l2:.2} ew={ew_eff:.2} | traffic x{traffic_ratio:.2} fig19 {fig19:.2} | slow f{fwd_slow:.2} b{bwd_slow:.2} | fused f{speedup_f:.2} b{speedup_b:.2}"
+                );
+            }
+        }
+    }
+}

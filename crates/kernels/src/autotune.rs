@@ -1,0 +1,157 @@
+//! Tile-configuration autotuning.
+//!
+//! The artifact ships pre-tuned Triton tile configurations per GPU
+//! (`lorafusion/ops/triton_ops/config.py`) and a `tools/tune_kernels.py`
+//! script for other hardware. This module reproduces that workflow: given a
+//! device and a GEMM shape, it searches a candidate space of
+//! `(block_m, block_n, block_k, num_warps)` configurations using a
+//! wave-quantization model and returns the best one.
+
+use std::collections::BTreeMap;
+
+use lorafusion_gpu::DeviceSpec;
+
+use crate::lora::Shape;
+
+/// One tile configuration candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    /// Tile rows (token dimension).
+    pub block_m: usize,
+    /// Tile columns (output dimension).
+    pub block_n: usize,
+    /// Contraction step.
+    pub block_k: usize,
+    /// Warps per thread block.
+    pub num_warps: usize,
+}
+
+impl TileConfig {
+    /// The candidate space searched by the tuner (mirrors the artifact's
+    /// Triton autotune configs).
+    pub const CANDIDATES: [TileConfig; 6] = [
+        TileConfig {
+            block_m: 64,
+            block_n: 64,
+            block_k: 32,
+            num_warps: 4,
+        },
+        TileConfig {
+            block_m: 64,
+            block_n: 128,
+            block_k: 32,
+            num_warps: 4,
+        },
+        TileConfig {
+            block_m: 128,
+            block_n: 64,
+            block_k: 32,
+            num_warps: 4,
+        },
+        TileConfig {
+            block_m: 128,
+            block_n: 128,
+            block_k: 32,
+            num_warps: 8,
+        },
+        TileConfig {
+            block_m: 128,
+            block_n: 256,
+            block_k: 64,
+            num_warps: 8,
+        },
+        TileConfig {
+            block_m: 256,
+            block_n: 128,
+            block_k: 64,
+            num_warps: 8,
+        },
+    ];
+}
+
+/// Estimated relative execution quality of a config on a shape (higher is
+/// better): tile-wave occupancy discounted by padding waste.
+pub fn config_score(device: &DeviceSpec, shape: Shape, cfg: TileConfig) -> f64 {
+    let tiles_m = shape.m.div_ceil(cfg.block_m);
+    let tiles_n = shape.n.div_ceil(cfg.block_n);
+    let tiles = (tiles_m * tiles_n) as f64;
+    let sms = device.sm_count as f64;
+    // Wave quantization: the final partial wave idles SMs.
+    let waves = (tiles / sms).ceil().max(1.0);
+    let occupancy = tiles / (waves * sms);
+    // Padding waste: fraction of each tile that covers real data.
+    let eff_m = shape.m as f64 / (tiles_m * cfg.block_m) as f64;
+    let eff_n = shape.n as f64 / (tiles_n * cfg.block_n) as f64;
+    // Larger tiles amortize instruction overhead (mild preference).
+    let size_bonus = ((cfg.block_m * cfg.block_n) as f64).ln();
+    occupancy * eff_m * eff_n * size_bonus
+}
+
+/// Picks the best tile configuration for `shape` on `device`.
+pub fn tune(device: &DeviceSpec, shape: Shape) -> TileConfig {
+    let mut best = TileConfig::CANDIDATES[0];
+    let mut best_score = f64::MIN;
+    for cfg in TileConfig::CANDIDATES {
+        let score = config_score(device, shape, cfg);
+        if score > best_score {
+            best_score = score;
+            best = cfg;
+        }
+    }
+    best
+}
+
+/// Tunes a set of shapes, returning a config table keyed by shape — the
+/// equivalent of the artifact's generated `config.py`.
+pub fn tune_table(
+    device: &DeviceSpec,
+    shapes: &[Shape],
+) -> BTreeMap<(usize, usize, usize), TileConfig> {
+    shapes
+        .iter()
+        .map(|&s| ((s.m, s.k, s.n), tune(device, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_gpu::DeviceKind;
+
+    #[test]
+    fn tuner_prefers_large_tiles_for_large_shapes() {
+        let dev = DeviceKind::H100Sxm.spec();
+        let big = tune(&dev, Shape::new(16384, 4096, 4096, 16));
+        assert!(big.block_m * big.block_n >= 128 * 128, "got {big:?}");
+    }
+
+    #[test]
+    fn tuner_prefers_small_tiles_for_small_shapes() {
+        let dev = DeviceKind::H100Sxm.spec();
+        let small = tune(&dev, Shape::new(256, 512, 512, 16));
+        assert!(
+            small.block_m <= 128 && small.block_n <= 128,
+            "got {small:?}"
+        );
+    }
+
+    #[test]
+    fn scores_are_finite_and_positive() {
+        let dev = DeviceKind::L40S.spec();
+        for cfg in TileConfig::CANDIDATES {
+            let s = config_score(&dev, Shape::new(4096, 4096, 4096, 16), cfg);
+            assert!(s.is_finite() && s > 0.0);
+        }
+    }
+
+    #[test]
+    fn table_covers_all_shapes() {
+        let dev = DeviceKind::A100Sxm.spec();
+        let shapes = [
+            Shape::new(1024, 4096, 4096, 16),
+            Shape::new(8192, 8192, 8192, 16),
+        ];
+        let table = tune_table(&dev, &shapes);
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! The frozen linear layer — the no-adapter baseline of Fig. 3.
+
+use lorafusion_gpu::{KernelClass, KernelProfile};
+use lorafusion_tensor::{matmul_nn, matmul_nt, Matrix};
+
+use crate::lora::Shape;
+use crate::traffic::TrafficModel;
+use crate::Result;
+
+/// Kernel lowering of the frozen forward pass (`Y = X W`).
+pub fn forward_profiles(shape: Shape, t: &TrafficModel) -> Vec<KernelProfile> {
+    let Shape { m, k, n, .. } = shape;
+    vec![KernelProfile {
+        name: "frozen_fwd_gemm".into(),
+        class: KernelClass::Gemm {
+            m: m as u64,
+            k: k as u64,
+            n: n as u64,
+        },
+        flops: 2.0 * m as f64 * k as f64 * n as f64,
+        bytes_read: t.read_gemm_input(m * k, n) + t.read_gemm_input(k * n, n),
+        bytes_written: t.write(m * n),
+    }]
+}
+
+/// Kernel lowering of the frozen backward pass (`dX = dY Wᵀ`; `W` is frozen
+/// so no weight gradient is produced).
+pub fn backward_profiles(shape: Shape, t: &TrafficModel) -> Vec<KernelProfile> {
+    let Shape { m, k, n, .. } = shape;
+    vec![KernelProfile {
+        name: "frozen_bwd_gemm".into(),
+        class: KernelClass::Gemm {
+            m: m as u64,
+            k: n as u64,
+            n: k as u64,
+        },
+        flops: 2.0 * m as f64 * k as f64 * n as f64,
+        bytes_read: t.read_gemm_input(m * n, k) + t.read_gemm_input(k * n, k),
+        bytes_written: t.write(m * k),
+    }]
+}
+
+/// Functional frozen forward: returns `X W`.
+pub fn forward(w: &Matrix, x: &Matrix) -> Result<Matrix> {
+    matmul_nn(x, w)
+}
+
+/// Functional frozen backward: returns `dY Wᵀ`.
+pub fn backward(w: &Matrix, dy: &Matrix) -> Result<Matrix> {
+    // `w` is `(k, n)` and `dy` is `(m, n)`, so `dY Wᵀ` is the NT layout.
+    matmul_nt(dy, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_tensor::ops::all_close;
+    use lorafusion_tensor::Pcg32;
+
+    #[test]
+    fn profiles_have_expected_flops() {
+        let shape = Shape::new(128, 64, 32, 8);
+        let t = TrafficModel::for_device(&lorafusion_gpu::DeviceKind::H100Sxm.spec());
+        let fwd = forward_profiles(shape, &t);
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].flops, 2.0 * 128.0 * 64.0 * 32.0);
+        let bwd = backward_profiles(shape, &t);
+        assert_eq!(bwd[0].flops, fwd[0].flops);
+    }
+
+    #[test]
+    fn functional_backward_matches_explicit_transpose() {
+        let mut rng = Pcg32::seeded(4);
+        let w = Matrix::random_uniform(16, 12, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(8, 12, 1.0, &mut rng);
+        let dx = backward(&w, &dy).unwrap();
+        let expect = matmul_nn(&dy, &w.transpose()).unwrap();
+        assert!(all_close(&dx, &expect, 1e-5));
+    }
+}

@@ -1,0 +1,301 @@
+//! FusedLoRA — the split-graph fusion design (Fig. 10).
+//!
+//! The graph is split exactly at the rank-`r` intermediate `S = X̂ A`,
+//! which is cheap to materialize. Around that split point every
+//! memory-bound operation is fused with the GEMM that already streams the
+//! same full-size activation:
+//!
+//! * **K1** (`fused_lora_fwd_dropout_down`) — dropout fused into the
+//!   down-projection: `X` is read *once* and both `X̂` (kept for the
+//!   backward `dA`, Fig. 10's op 4 operating on "the small masked input")
+//!   and the tiny `S` are produced in the same pass, eliminating the
+//!   standalone dropout kernel's extra full-tensor round trip.
+//! * **K2** (`fused_lora_fwd_base_epilogue`) — the compute-bound base GEMM
+//!   `X W` with an epilogue that accumulates `alpha * S B` into the output
+//!   tile while it is still in registers, eliminating the partial-output
+//!   write/read and the separate scale and add kernels.
+//! * **K3** (`fused_lora_bwd_ds_db`) — `dS = alpha * dY Bᵀ` and
+//!   `dB = alpha * Sᵀ dY` computed in one kernel so `dY` is loaded once.
+//! * **K4** (`fused_lora_bwd_da`) — `dA = X̂ᵀ dS`, with `X̂` regenerated on
+//!   the fly from `X` and the stored mask (kept separate, Fig. 10's op 4:
+//!   it reads only the small `dS` plus one pass over `X`).
+//! * **K5** (`fused_lora_bwd_dx_epilogue`) — the compute-bound `dY Wᵀ`
+//!   with an epilogue adding the mask-routed `dS Aᵀ` contribution,
+//!   eliminating the partial `dX` write/read and the separate dropout-
+//!   backward and accumulation kernels.
+
+use lorafusion_gpu::{KernelClass, KernelProfile};
+use lorafusion_tensor::ops::{add, hadamard, scale};
+use lorafusion_tensor::{dropout_mask, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix};
+
+use crate::lora::{LoraGrads, LoraLayer, Shape};
+use crate::traffic::TrafficModel;
+use crate::Result;
+
+/// Activations saved by the fused forward pass.
+#[derive(Debug, Clone)]
+pub struct Saved {
+    /// The masked input `X̂`, produced by K1 in the same pass as `S`.
+    pub x_hat: Matrix,
+    /// Dropout mask (needed by K5 to route the `dX` epilogue).
+    pub mask: Matrix,
+    /// Low-rank intermediate `S`.
+    pub s: Matrix,
+}
+
+/// Forward result of the fused executor.
+#[derive(Debug, Clone)]
+pub struct ForwardOutput {
+    /// Layer output `Y`.
+    pub y: Matrix,
+    /// Saved activations.
+    pub saved: Saved,
+    /// Kernel profiles in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+/// Backward result of the fused executor.
+#[derive(Debug, Clone)]
+pub struct BackwardOutput {
+    /// Gradient w.r.t. the layer input.
+    pub dx: Matrix,
+    /// Gradients of the adapter weights.
+    pub grads: LoraGrads,
+    /// Kernel profiles in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+/// Kernel lowering of the fused forward pass (profiles only).
+pub fn forward_profiles(shape: Shape, t: &TrafficModel) -> Vec<KernelProfile> {
+    let Shape { m, k, n, r } = shape;
+    let (mf, kf, nf, rf) = (m as f64, k as f64, n as f64, r as f64);
+    vec![
+        KernelProfile {
+            name: "fused_lora_fwd_dropout_down".into(),
+            class: KernelClass::FusedGemm {
+                m: m as u64,
+                k: k as u64,
+                n: r as u64,
+                adapters: 1,
+            },
+            flops: 2.0 * mf * kf * rf + mf * kf,
+            bytes_read: t.read_cold(m * k) + t.read_cold(k * r),
+            bytes_written: t.write(m * r) + t.write(m * k) + t.write_mask(m * k),
+        },
+        KernelProfile {
+            name: "fused_lora_fwd_base_epilogue".into(),
+            class: KernelClass::FusedGemm {
+                m: m as u64,
+                k: k as u64,
+                n: n as u64,
+                adapters: 1,
+            },
+            flops: 2.0 * mf * kf * nf + 2.0 * mf * rf * nf + mf * nf,
+            // K1's working set evicted `X` from L2: the GEMM reads it cold.
+            bytes_read: t.read_gemm_input(m * k, n)
+                + t.read_gemm_input(k * n, n)
+                + t.read_hot(m * r)
+                + t.read_cold(r * n),
+            bytes_written: t.write(m * n),
+        },
+    ]
+}
+
+/// Kernel lowering of the fused backward pass (profiles only).
+pub fn backward_profiles(shape: Shape, t: &TrafficModel) -> Vec<KernelProfile> {
+    let Shape { m, k, n, r } = shape;
+    let (mf, kf, nf, rf) = (m as f64, k as f64, n as f64, r as f64);
+    vec![
+        KernelProfile {
+            name: "fused_lora_bwd_ds_db".into(),
+            class: KernelClass::FusedGemm {
+                m: m as u64,
+                k: n as u64,
+                n: r as u64,
+                adapters: 1,
+            },
+            flops: 4.0 * mf * nf * rf,
+            bytes_read: t.read_cold(m * n) + t.read_cold(r * n) + t.read_cold(m * r),
+            bytes_written: t.write(m * r) + t.write(r * n),
+        },
+        KernelProfile {
+            name: "fused_lora_bwd_da".into(),
+            class: KernelClass::Gemm {
+                m: k as u64,
+                k: m as u64,
+                n: r as u64,
+            },
+            flops: 2.0 * mf * kf * rf,
+            // Reads the stored masked input X̂ (Fig. 10's op 4).
+            bytes_read: t.read_cold(m * k) + t.read_hot(m * r),
+            bytes_written: t.write(k * r),
+        },
+        KernelProfile {
+            name: "fused_lora_bwd_dx_epilogue".into(),
+            class: KernelClass::FusedGemm {
+                m: m as u64,
+                k: n as u64,
+                n: k as u64,
+                adapters: 1,
+            },
+            flops: 2.0 * mf * kf * nf + 2.0 * mf * kf * rf + mf * kf,
+            bytes_read: t.read_gemm_input(m * n, k)
+                + t.read_gemm_input(k * n, k)
+                + t.read_cold(m * r)
+                + t.read_cold(k * r)
+                + t.mask(m * k),
+            bytes_written: t.write(m * k),
+        },
+    ]
+}
+
+/// Functional + profiled fused forward pass.
+///
+/// Numerically this performs the same mathematics as
+/// [`crate::reference::forward`] with a different association of the scalar
+/// `alpha` (folded into the epilogue GEMM rather than applied as a separate
+/// elementwise kernel), so outputs agree to floating-point rounding — the
+/// "functionally identical within numerical precision" guarantee of
+/// Section 6.
+pub fn forward(
+    layer: &LoraLayer,
+    x: &Matrix,
+    dropout_row_offset: usize,
+    t: &TrafficModel,
+) -> Result<ForwardOutput> {
+    let cfg = layer.adapter.config;
+    let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(dropout_row_offset);
+
+    // K1: dropout fused into the down-projection, producing X̂ and S in one
+    // pass over X. The mask is identical to the unfused one because dropout
+    // is counter-based.
+    let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
+    let x_hat = hadamard(x, &mask)?;
+    let s = matmul_nn(&x_hat, &layer.adapter.a)?;
+
+    // K2: base GEMM with the LoRA epilogue accumulated in-place.
+    let mut y = matmul_nn(x, &layer.w)?;
+    lorafusion_tensor::matmul::gemm_nn(
+        cfg.alpha,
+        &s,
+        &layer.adapter.b,
+        &mut y,
+        lorafusion_tensor::matmul::Accumulate::Add,
+    )?;
+
+    let shape = Shape::new(x.rows(), layer.k(), layer.n(), layer.rank());
+    Ok(ForwardOutput {
+        y,
+        saved: Saved { x_hat, mask, s },
+        kernels: forward_profiles(shape, t),
+    })
+}
+
+/// Functional + profiled fused backward pass.
+pub fn backward(
+    layer: &LoraLayer,
+    saved: &Saved,
+    dy: &Matrix,
+    t: &TrafficModel,
+) -> Result<BackwardOutput> {
+    let cfg = layer.adapter.config;
+
+    // K3: dS and dB share one load of dY; alpha is folded into the GEMM.
+    let ds = scale(cfg.alpha, &matmul_nt(dy, &layer.adapter.b)?);
+    let db = scale(cfg.alpha, &matmul_tn(&saved.s, dy)?);
+
+    // K4: dA from the stored masked input.
+    let da = matmul_tn(&saved.x_hat, &ds)?;
+
+    // K5: base input gradient with the mask-routed LoRA epilogue.
+    let dx_base = matmul_nt(dy, &layer.w)?;
+    let dx_lora = hadamard(&matmul_nt(&ds, &layer.adapter.a)?, &saved.mask)?;
+    let dx = add(&dx_base, &dx_lora)?;
+
+    let shape = Shape::new(dy.rows(), layer.k(), layer.n(), layer.rank());
+    Ok(BackwardOutput {
+        dx,
+        grads: LoraGrads { da, db },
+        kernels: backward_profiles(shape, t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_gpu::{CostModel, DeviceKind, KernelProfile};
+    use lorafusion_tensor::ops::all_close;
+    use lorafusion_tensor::Pcg32;
+
+    use crate::lora::LoraConfig;
+    use crate::reference;
+
+    fn traffic() -> TrafficModel {
+        TrafficModel::for_device(&DeviceKind::H100Sxm.spec())
+    }
+
+    #[test]
+    fn fused_forward_matches_reference() {
+        let mut rng = Pcg32::seeded(30);
+        let layer = LoraLayer::init_nonzero(32, 28, LoraConfig::with_rank(4), &mut rng);
+        let x = Matrix::random_uniform(20, 32, 1.0, &mut rng);
+        let t = traffic();
+        let fused = forward(&layer, &x, 0, &t).unwrap();
+        let unfused = reference::forward(&layer, &x, 0, &t).unwrap();
+        assert!(all_close(&fused.y, &unfused.y, 1e-5));
+        // The dropout mask is bit-identical (counter-based RNG).
+        assert_eq!(fused.saved.mask, unfused.saved.mask);
+        assert_eq!(fused.saved.s, unfused.saved.s);
+    }
+
+    #[test]
+    fn fused_backward_matches_reference() {
+        let mut rng = Pcg32::seeded(31);
+        let layer = LoraLayer::init_nonzero(16, 14, LoraConfig::with_rank(4), &mut rng);
+        let x = Matrix::random_uniform(10, 16, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(10, 14, 1.0, &mut rng);
+        let t = traffic();
+        let fused_fwd = forward(&layer, &x, 0, &t).unwrap();
+        let ref_fwd = reference::forward(&layer, &x, 0, &t).unwrap();
+        let fused_bwd = backward(&layer, &fused_fwd.saved, &dy, &t).unwrap();
+        let ref_bwd = reference::backward(&layer, &ref_fwd.saved, &dy, &t).unwrap();
+        assert!(all_close(&fused_bwd.dx, &ref_bwd.dx, 1e-5));
+        assert!(all_close(&fused_bwd.grads.da, &ref_bwd.grads.da, 1e-5));
+        assert!(all_close(&fused_bwd.grads.db, &ref_bwd.grads.db, 1e-5));
+    }
+
+    #[test]
+    fn fused_uses_fewer_kernels_and_less_traffic() {
+        let t = traffic();
+        let shape = Shape::new(8192, 4096, 4096, 16);
+        let fused_fwd = forward_profiles(shape, &t);
+        let ref_fwd = reference::forward_profiles(shape, &t);
+        assert!(fused_fwd.len() < ref_fwd.len());
+        let sum = |ks: &[KernelProfile]| ks.iter().map(KernelProfile::bytes_total).sum::<u64>();
+        assert!(sum(&fused_fwd) < sum(&ref_fwd));
+        let fused_bwd = backward_profiles(shape, &t);
+        let ref_bwd = reference::backward_profiles(shape, &t);
+        assert!(fused_bwd.len() < ref_bwd.len());
+        assert!(sum(&fused_bwd) < sum(&ref_bwd));
+    }
+
+    #[test]
+    fn fused_is_faster_under_cost_model() {
+        // Fig. 17: 1.2-1.4x module speedup on H100 shapes.
+        let t = traffic();
+        let dev = DeviceKind::H100Sxm.spec();
+        let model = CostModel::default();
+        let shape = Shape::new(8192, 4096, 4096, 16);
+        let fused: Vec<_> = forward_profiles(shape, &t)
+            .into_iter()
+            .chain(backward_profiles(shape, &t))
+            .collect();
+        let unfused: Vec<_> = reference::forward_profiles(shape, &t)
+            .into_iter()
+            .chain(reference::backward_profiles(shape, &t))
+            .collect();
+        let speedup = model.sequence_seconds(&dev, &unfused) / model.sequence_seconds(&dev, &fused);
+        assert!(speedup > 1.1, "fused speedup {speedup}");
+        assert!(speedup < 1.6, "fused speedup {speedup} implausibly large");
+    }
+}

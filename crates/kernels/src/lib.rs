@@ -1,0 +1,60 @@
+//! LoRA kernel strategies.
+//!
+//! This crate reproduces the kernel-level contribution of the paper: the
+//! observation that LoRA's runtime overhead comes from redundant DRAM
+//! traffic on full-size activation tensors, and the *split-graph fusion*
+//! design (FusedLoRA / FusedMultiLoRA) that removes it without hurting the
+//! compute-bound base GEMM.
+//!
+//! Every strategy is implemented twice over:
+//!
+//! 1. **Functionally** — real `f32` arithmetic over `lorafusion-tensor`,
+//!    used by the equivalence tests to prove the fusion is *lossless*
+//!    (fused and unfused executors agree to floating-point rounding, and
+//!    dropout masks are bit-identical thanks to counter-based RNG);
+//! 2. **As a kernel lowering** — a sequence of
+//!    [`lorafusion_gpu::KernelProfile`]s with explicit FLOP and DRAM-byte
+//!    accounting, timed by the roofline [`lorafusion_gpu::CostModel`].
+//!
+//! Strategies:
+//!
+//! * [`frozen`] — the frozen linear layer (no adapter), the baseline of
+//!   Fig. 3;
+//! * [`reference`] — "Torch LoRA": the unfused PEFT-style execution with
+//!   separate dropout, projection, scale and add kernels (Fig. 4);
+//! * [`fused`] — FusedLoRA: the split-graph design of Fig. 10, fusing
+//!   dropout into the down-projection and the LoRA epilogue into the base
+//!   GEMM, splitting only at the rank-`r` tensor `S`;
+//! * [`multi`] — FusedMultiLoRA: tile-level routing of heterogeneous
+//!   adapters in a single launch (Fig. 11);
+//! * [`full_fusion`] — the two *rejected* designs of Fig. 9 (full fusion
+//!   with recomputation, full fusion with cross-tile synchronization),
+//!   modeled for the ablation benches;
+//! * [`autotune`] — tile-configuration tuning mirroring the artifact's
+//!   `tools/tune_kernels.py`;
+//! * [`qlora`] — the Section 7 quantization extension: block-wise 4-bit
+//!   base weights with the two-step dequantize-then-fuse scheme;
+//! * [`variants`] — the Section 7 LoRA-variant extension: prologue/epilogue
+//!   hooks around the fused core, instantiated for VeRA and DoRA.
+
+pub mod autotune;
+pub mod frozen;
+pub mod full_fusion;
+pub mod fused;
+pub mod lora;
+pub mod multi;
+pub mod qlora;
+pub mod reference;
+pub mod variants;
+pub mod traffic;
+
+pub use lora::{AdapterWeights, LoraConfig, LoraGrads, LoraLayer, Shape};
+pub use multi::{MultiLoraLayer, Segment};
+pub use qlora::{QLoraLayer, QuantizedMatrix};
+pub use traffic::TrafficModel;
+
+/// Errors from kernel execution (re-exported tensor errors).
+pub type KernelError = lorafusion_tensor::TensorError;
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, KernelError>;

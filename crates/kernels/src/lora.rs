@@ -1,0 +1,222 @@
+//! LoRA layer definitions shared by every execution strategy.
+
+use lorafusion_tensor::{matmul_nn, Matrix, Pcg32};
+
+use crate::Result;
+
+/// Logical GEMM shape of one LoRA-equipped linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of tokens (batch size x sequence length), `m` in the paper.
+    pub m: usize,
+    /// Input dimension of the weight matrix, `k`.
+    pub k: usize,
+    /// Output dimension of the weight matrix, `n`.
+    pub n: usize,
+    /// LoRA rank, `r`.
+    pub r: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub const fn new(m: usize, k: usize, n: usize, r: usize) -> Self {
+        Self { m, k, n, r }
+    }
+}
+
+/// Hyper-parameters of one LoRA adapter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoraConfig {
+    /// Low-rank dimension `r`.
+    pub rank: usize,
+    /// Scaling constant `alpha` applied to the low-rank branch.
+    pub alpha: f32,
+    /// Dropout probability applied to the adapter input.
+    pub dropout: f32,
+    /// Seed of the counter-based dropout stream.
+    pub seed: u64,
+}
+
+impl LoraConfig {
+    /// Creates a config with the common defaults used in the paper's
+    /// evaluation (rank 16, alpha 32, 10% dropout).
+    pub fn with_rank(rank: usize) -> Self {
+        Self {
+            rank,
+            alpha: 2.0 * rank as f32,
+            dropout: 0.1,
+            seed: 0x10ADF051,
+        }
+    }
+}
+
+/// Trainable weights of one adapter (the frozen base `W` lives in
+/// [`LoraLayer`] / [`crate::MultiLoraLayer`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdapterWeights {
+    /// Down-projection `A` of shape `(k, r)`.
+    pub a: Matrix,
+    /// Up-projection `B` of shape `(r, n)`.
+    pub b: Matrix,
+    /// Adapter hyper-parameters.
+    pub config: LoraConfig,
+}
+
+impl AdapterWeights {
+    /// Initializes an adapter in the standard LoRA fashion: `A` Gaussian,
+    /// `B` zero (so the adapter starts as the identity residual).
+    pub fn init(k: usize, n: usize, config: LoraConfig, rng: &mut Pcg32) -> Self {
+        let std_dev = 1.0 / (k as f32).sqrt();
+        Self {
+            a: Matrix::random_gaussian(k, config.rank, std_dev, rng),
+            b: Matrix::zeros(config.rank, n),
+            config,
+        }
+    }
+
+    /// Initializes an adapter with non-zero `B`, useful in tests where a
+    /// zero branch would mask bugs in the up-projection path.
+    pub fn init_nonzero(k: usize, n: usize, config: LoraConfig, rng: &mut Pcg32) -> Self {
+        let std_dev = 1.0 / (k as f32).sqrt();
+        Self {
+            a: Matrix::random_gaussian(k, config.rank, std_dev, rng),
+            b: Matrix::random_gaussian(config.rank, n, std_dev, rng),
+            config,
+        }
+    }
+}
+
+/// A LoRA-equipped linear layer: frozen `W` plus one trainable adapter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoraLayer {
+    /// Frozen pre-trained weight of shape `(k, n)`.
+    pub w: Matrix,
+    /// Trainable adapter.
+    pub adapter: AdapterWeights,
+}
+
+impl LoraLayer {
+    /// Creates a layer with random frozen weights and a fresh adapter.
+    pub fn init(k: usize, n: usize, config: LoraConfig, rng: &mut Pcg32) -> Self {
+        let std_dev = 1.0 / (k as f32).sqrt();
+        Self {
+            w: Matrix::random_gaussian(k, n, std_dev, rng),
+            adapter: AdapterWeights::init(k, n, config, rng),
+        }
+    }
+
+    /// Like [`LoraLayer::init`] but with a non-zero `B` (see
+    /// [`AdapterWeights::init_nonzero`]).
+    pub fn init_nonzero(k: usize, n: usize, config: LoraConfig, rng: &mut Pcg32) -> Self {
+        let std_dev = 1.0 / (k as f32).sqrt();
+        Self {
+            w: Matrix::random_gaussian(k, n, std_dev, rng),
+            adapter: AdapterWeights::init_nonzero(k, n, config, rng),
+        }
+    }
+
+    /// Input dimension `k`.
+    pub fn k(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension `n`.
+    pub fn n(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// LoRA rank `r`.
+    pub fn rank(&self) -> usize {
+        self.adapter.config.rank
+    }
+
+    /// The merged weight `W + alpha * A B`.
+    ///
+    /// With dropout disabled, `X (W + alpha A B)` must equal the layer
+    /// output; equivalence tests use this identity.
+    pub fn effective_weight(&self) -> Result<Matrix> {
+        let ab = matmul_nn(&self.adapter.a, &self.adapter.b)?;
+        let mut w = self.w.clone();
+        lorafusion_tensor::ops::axpy(self.adapter.config.alpha, &ab, &mut w)?;
+        Ok(w)
+    }
+}
+
+/// Gradients of one adapter's trainable weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoraGrads {
+    /// Gradient of `A`, shape `(k, r)`.
+    pub da: Matrix,
+    /// Gradient of `B`, shape `(r, n)`.
+    pub db: Matrix,
+}
+
+impl LoraGrads {
+    /// Zero gradients of the given dimensions.
+    pub fn zeros(k: usize, n: usize, r: usize) -> Self {
+        Self {
+            da: Matrix::zeros(k, r),
+            db: Matrix::zeros(r, n),
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn accumulate(&mut self, other: &LoraGrads) -> Result<()> {
+        lorafusion_tensor::ops::axpy(1.0, &other.da, &mut self.da)?;
+        lorafusion_tensor::ops::axpy(1.0, &other.db, &mut self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_tensor::ops::{all_close, frobenius_norm};
+
+    #[test]
+    fn default_config_scales_with_rank() {
+        let c = LoraConfig::with_rank(16);
+        assert_eq!(c.rank, 16);
+        assert_eq!(c.alpha, 32.0);
+    }
+
+    #[test]
+    fn fresh_adapter_is_identity_residual() {
+        let mut rng = Pcg32::seeded(1);
+        let layer = LoraLayer::init(32, 24, LoraConfig::with_rank(4), &mut rng);
+        // B is zero, so W_eff == W.
+        assert!(all_close(&layer.effective_weight().unwrap(), &layer.w, 0.0));
+    }
+
+    #[test]
+    fn nonzero_adapter_changes_effective_weight() {
+        let mut rng = Pcg32::seeded(2);
+        let layer = LoraLayer::init_nonzero(32, 24, LoraConfig::with_rank(4), &mut rng);
+        let diff =
+            lorafusion_tensor::ops::sub(&layer.effective_weight().unwrap(), &layer.w).unwrap();
+        assert!(frobenius_norm(&diff) > 0.0);
+    }
+
+    #[test]
+    fn grads_accumulate() {
+        let mut g = LoraGrads::zeros(4, 4, 2);
+        let ones = LoraGrads {
+            da: Matrix::full(4, 2, 1.0),
+            db: Matrix::full(2, 4, 1.0),
+        };
+        g.accumulate(&ones).unwrap();
+        g.accumulate(&ones).unwrap();
+        assert!(all_close(&g.da, &Matrix::full(4, 2, 2.0), 0.0));
+        assert!(all_close(&g.db, &Matrix::full(2, 4, 2.0), 0.0));
+    }
+
+    #[test]
+    fn layer_dimensions() {
+        let mut rng = Pcg32::seeded(3);
+        let layer = LoraLayer::init(8, 6, LoraConfig::with_rank(2), &mut rng);
+        assert_eq!(layer.k(), 8);
+        assert_eq!(layer.n(), 6);
+        assert_eq!(layer.rank(), 2);
+        assert_eq!(layer.adapter.a.shape(), (8, 2));
+        assert_eq!(layer.adapter.b.shape(), (2, 6));
+    }
+}

@@ -1,0 +1,418 @@
+//! LoRA-variant extensions (Section 7, "Generalizability to LoRA
+//! Variants").
+//!
+//! The paper argues the fused kernels extend to popular LoRA variants
+//! because those "typically add pre- or post-processing functions around
+//! the core LoRA computation", and suggests user-defined prologue/epilogue
+//! functions. This module implements that design:
+//!
+//! * [`Epilogue`] / [`Prologue`] — hooks applied around the fused core;
+//! * [`VeraLayer`] — VeRA: *shared frozen* low-rank matrices `A`, `B` with
+//!   trainable per-dimension scaling vectors `d` (rank side) and `b_vec`
+//!   (output side): `Y = X W + Λ_b (Λ_d(X̂ A)) B` — expressed here as a
+//!   prologue/epilogue pair around the same split-graph core, training two
+//!   vectors instead of two matrices;
+//! * [`DoraLayer`] — DoRA's weight decomposition: the merged direction
+//!   `V = W + alpha A B` is column-normalized and re-scaled by a trainable
+//!   magnitude vector `m`: `Y = X (m ∘ V / ||V||_col)`. Implemented in its
+//!   mathematically equivalent post-scaling form for the forward pass
+//!   (each output column scaled by `m_j / ||V_j||`), which is exactly an
+//!   epilogue over the fused core.
+//!
+//! Functional correctness is checked against direct dense computation;
+//! gradient support covers the variants' trainable vectors via analytic
+//! formulas validated with finite differences.
+
+use lorafusion_tensor::ops::hadamard;
+use lorafusion_tensor::{dropout_mask, matmul_nn, matmul_tn, DropoutSpec, Matrix, Pcg32};
+
+use crate::lora::LoraConfig;
+use crate::{KernelError, Result};
+
+/// A column-wise output transform applied inside the fused GEMM's epilogue
+/// (while the output tile is still in registers, in the real kernel).
+pub trait Epilogue {
+    /// Scale factor applied to output column `j` of the LoRA branch.
+    fn column_scale(&self, j: usize) -> f32;
+}
+
+/// A rank-dimension transform applied inside the down-projection kernel's
+/// epilogue (on the tiny `S` tensor).
+pub trait Prologue {
+    /// Scale factor applied to rank dimension `r` of `S`.
+    fn rank_scale(&self, r: usize) -> f32;
+}
+
+/// VeRA: frozen shared `A`/`B`, trainable scaling vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VeraLayer {
+    /// Frozen base weight `(k, n)`.
+    pub w: Matrix,
+    /// Frozen shared down-projection `(k, r)`.
+    pub a: Matrix,
+    /// Frozen shared up-projection `(r, n)`.
+    pub b: Matrix,
+    /// Trainable rank scaling `d` (length `r`).
+    pub d: Vec<f32>,
+    /// Trainable output scaling `b_vec` (length `n`).
+    pub b_vec: Vec<f32>,
+    /// Shared hyper-parameters (alpha, dropout, seed).
+    pub config: LoraConfig,
+}
+
+impl Prologue for VeraLayer {
+    fn rank_scale(&self, r: usize) -> f32 {
+        self.d[r]
+    }
+}
+
+impl Epilogue for VeraLayer {
+    fn column_scale(&self, j: usize) -> f32 {
+        self.b_vec[j]
+    }
+}
+
+/// Gradients of VeRA's trainable vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VeraGrads {
+    /// Gradient of `d`.
+    pub dd: Vec<f32>,
+    /// Gradient of `b_vec`.
+    pub db_vec: Vec<f32>,
+}
+
+/// Saved activations of a VeRA forward pass.
+#[derive(Debug, Clone)]
+pub struct VeraSaved {
+    mask: Matrix,
+    x_hat: Matrix,
+    /// `S = X̂ A` before the `d` scaling.
+    s_raw: Matrix,
+    /// `(Λ_d S) B` before the `b_vec` scaling.
+    u: Matrix,
+}
+
+impl VeraLayer {
+    /// Initializes a VeRA layer: frozen Gaussian `A`/`B`, `d = 0.1`,
+    /// `b_vec = 0` (identity residual at start, as in the VeRA paper).
+    pub fn init(k: usize, n: usize, config: LoraConfig, rng: &mut Pcg32) -> Self {
+        let std = 1.0 / (k as f32).sqrt();
+        Self {
+            w: Matrix::random_gaussian(k, n, std, rng),
+            a: Matrix::random_gaussian(k, config.rank, std, rng),
+            b: Matrix::random_gaussian(config.rank, n, std, rng),
+            d: vec![0.1; config.rank],
+            b_vec: vec![0.0; n],
+            config,
+        }
+    }
+
+    /// Forward pass through the split-graph core with the VeRA prologue
+    /// (rank scaling) and epilogue (output scaling).
+    pub fn forward(&self, x: &Matrix, dropout_row_offset: usize) -> Result<(Matrix, VeraSaved)> {
+        let spec =
+            DropoutSpec::new(self.config.dropout, self.config.seed).with_row_offset(dropout_row_offset);
+        let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
+        let x_hat = hadamard(x, &mask)?;
+        // K1 core: S = X̂ A, with the prologue's rank scaling fused in.
+        let s_raw = matmul_nn(&x_hat, &self.a)?;
+        let mut s = s_raw.clone();
+        apply_rank_scale(&mut s, self);
+        // K2 core: Y = X W + alpha * epilogue(S B).
+        let u = matmul_nn(&s, &self.b)?;
+        let mut y = matmul_nn(x, &self.w)?;
+        for i in 0..y.rows() {
+            for j in 0..y.cols() {
+                let add = self.config.alpha * self.column_scale(j) * u.get(i, j)?;
+                y.set(i, j, y.get(i, j)? + add)?;
+            }
+        }
+        Ok((y, VeraSaved { mask, x_hat, s_raw, u }))
+    }
+
+    /// Backward pass: gradients of the trainable vectors `d` and `b_vec`.
+    ///
+    /// `dL/db_j = alpha * sum_i dY_ij * U_ij` and
+    /// `dL/dd_r = alpha * sum_i S_raw_ir * [dY Λ_b Bᵀ]_ir`.
+    pub fn backward(&self, saved: &VeraSaved, dy: &Matrix) -> Result<VeraGrads> {
+        let n = self.w.cols();
+        let r = self.config.rank;
+        // db_vec.
+        let mut db_vec = vec![0.0f32; n];
+        for i in 0..dy.rows() {
+            for j in 0..n {
+                db_vec[j] += self.config.alpha * dy.get(i, j)? * saved.u.get(i, j)?;
+            }
+        }
+        // dd: route dY through the epilogue scaling and Bᵀ.
+        let mut dy_scaled = dy.clone();
+        for i in 0..dy_scaled.rows() {
+            for j in 0..n {
+                let v = dy_scaled.get(i, j)? * self.column_scale(j);
+                dy_scaled.set(i, j, v)?;
+            }
+        }
+        let g = matmul_nn(&dy_scaled, &self.b.transpose())?; // (m, r)
+        let mut dd = vec![0.0f32; r];
+        for i in 0..g.rows() {
+            for rr in 0..r {
+                dd[rr] += self.config.alpha * saved.s_raw.get(i, rr)? * g.get(i, rr)?;
+            }
+        }
+        let _ = (&saved.mask, &saved.x_hat);
+        Ok(VeraGrads { dd, db_vec })
+    }
+
+    /// Dense reference: `Y = X W + alpha * Λ_b ((Λ_d (X̂ A)) B)` computed
+    /// without the split-graph structure, for equivalence testing.
+    pub fn forward_dense(&self, x: &Matrix, dropout_row_offset: usize) -> Result<Matrix> {
+        let spec =
+            DropoutSpec::new(self.config.dropout, self.config.seed).with_row_offset(dropout_row_offset);
+        let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
+        let x_hat = hadamard(x, &mask)?;
+        let mut s = matmul_nn(&x_hat, &self.a)?;
+        apply_rank_scale(&mut s, self);
+        let u = matmul_nn(&s, &self.b)?;
+        let mut y = matmul_nn(x, &self.w)?;
+        for i in 0..y.rows() {
+            for j in 0..y.cols() {
+                let add = self.config.alpha * self.b_vec[j] * u.get(i, j)?;
+                y.set(i, j, y.get(i, j)? + add)?;
+            }
+        }
+        Ok(y)
+    }
+}
+
+fn apply_rank_scale<P: Prologue>(s: &mut Matrix, p: &P) {
+    let cols = s.cols();
+    for i in 0..s.rows() {
+        for r in 0..cols {
+            let v = s.get(i, r).expect("in range") * p.rank_scale(r);
+            s.set(i, r, v).expect("in range");
+        }
+    }
+}
+
+/// DoRA: weight-decomposed LoRA. `V = W + alpha A B`; the effective weight
+/// is `m_j * V_j / ||V_j||` per output column `j`, with `m` trainable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoraLayer {
+    /// The underlying LoRA layer (frozen `W`, trainable `A`/`B`).
+    pub lora: crate::lora::LoraLayer,
+    /// Trainable per-column magnitude (length `n`), initialized to
+    /// `||W_j||` so the layer starts as the identity transformation of
+    /// plain LoRA.
+    pub magnitude: Vec<f32>,
+}
+
+impl DoraLayer {
+    /// Wraps a LoRA layer, initializing magnitudes to the column norms of
+    /// the merged direction (the DoRA initialization).
+    pub fn from_lora(lora: crate::lora::LoraLayer) -> Result<Self> {
+        let v = lora.effective_weight()?;
+        let magnitude = column_norms(&v);
+        Ok(Self { lora, magnitude })
+    }
+
+    /// Column scales of the epilogue: `m_j / ||V_j||`.
+    pub fn epilogue_scales(&self) -> Result<Vec<f32>> {
+        let v = self.lora.effective_weight()?;
+        let norms = column_norms(&v);
+        Ok(self
+            .magnitude
+            .iter()
+            .zip(&norms)
+            .map(|(&m, &n)| if n > 0.0 { m / n } else { 0.0 })
+            .collect())
+    }
+
+    /// Forward pass (no dropout in the decomposition path): the plain
+    /// merged-weight product with the DoRA epilogue applied per column.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.lora.k() {
+            return Err(KernelError::ShapeMismatch {
+                op: "dora_forward",
+                lhs: x.shape(),
+                rhs: self.lora.w.shape(),
+            });
+        }
+        let v = self.lora.effective_weight()?;
+        let mut y = matmul_nn(x, &v)?;
+        let scales = self.epilogue_scales()?;
+        for i in 0..y.rows() {
+            for j in 0..y.cols() {
+                y.set(i, j, y.get(i, j)? * scales[j])?;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Gradient of the magnitude vector: `dL/dm_j = sum_i dY_ij * [X V]_ij
+    /// / ||V_j||`.
+    pub fn magnitude_grad(&self, x: &Matrix, dy: &Matrix) -> Result<Vec<f32>> {
+        let v = self.lora.effective_weight()?;
+        let xv = matmul_nn(x, &v)?;
+        let norms = column_norms(&v);
+        let mut dm = vec![0.0f32; self.magnitude.len()];
+        for i in 0..dy.rows() {
+            for j in 0..dy.cols() {
+                if norms[j] > 0.0 {
+                    dm[j] += dy.get(i, j)? * xv.get(i, j)? / norms[j];
+                }
+            }
+        }
+        Ok(dm)
+    }
+
+    /// Dense reference used by the tests: `Y = X (Λ_{m/||V||} applied to V
+    /// columns)`.
+    pub fn forward_dense(&self, x: &Matrix) -> Result<Matrix> {
+        let v = self.lora.effective_weight()?;
+        let scales = self.epilogue_scales()?;
+        let mut v_scaled = v.clone();
+        for i in 0..v_scaled.rows() {
+            for j in 0..v_scaled.cols() {
+                v_scaled.set(i, j, v_scaled.get(i, j)? * scales[j])?;
+            }
+        }
+        matmul_nn(x, &v_scaled)
+    }
+}
+
+fn column_norms(m: &Matrix) -> Vec<f32> {
+    let g = matmul_tn(m, m).expect("square gram");
+    (0..m.cols()).map(|j| g.get(j, j).expect("diagonal").sqrt()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lora::LoraLayer;
+    use lorafusion_tensor::ops::all_close;
+
+    fn cfg(rank: usize) -> LoraConfig {
+        LoraConfig { rank, alpha: 1.0, dropout: 0.0, seed: 7 }
+    }
+
+    #[test]
+    fn vera_split_graph_matches_dense() {
+        let mut rng = Pcg32::seeded(60);
+        let mut layer = VeraLayer::init(20, 16, cfg(4), &mut rng);
+        layer.b_vec.iter_mut().enumerate().for_each(|(j, v)| *v = 0.1 * (j as f32 + 1.0));
+        layer.d.iter_mut().enumerate().for_each(|(r, v)| *v = 0.2 + 0.1 * r as f32);
+        let x = Matrix::random_uniform(10, 20, 1.0, &mut rng);
+        let (y, _) = layer.forward(&x, 0).unwrap();
+        let dense = layer.forward_dense(&x, 0).unwrap();
+        assert!(all_close(&y, &dense, 1e-5));
+    }
+
+    #[test]
+    fn vera_gradients_match_finite_differences() {
+        let mut rng = Pcg32::seeded(61);
+        let mut layer = VeraLayer::init(8, 6, cfg(3), &mut rng);
+        layer.b_vec.iter_mut().for_each(|v| *v = 0.3);
+        let x = Matrix::random_uniform(5, 8, 1.0, &mut rng);
+        let (y, saved) = layer.forward(&x, 0).unwrap();
+        let dy = Matrix::full(5, 6, 1.0); // dL/dY for L = sum(Y).
+        let grads = layer.backward(&saved, &dy).unwrap();
+        let _ = y;
+
+        let eps = 1e-2f32;
+        let loss = |l: &VeraLayer| -> f64 {
+            lorafusion_tensor::ops::sum(&l.forward(&x, 0).unwrap().0)
+        };
+        for r in 0..3 {
+            let mut plus = layer.clone();
+            plus.d[r] += eps;
+            let mut minus = layer.clone();
+            minus.d[r] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps as f64);
+            let analytic = grads.dd[r] as f64;
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "dd[{r}] numeric {numeric} analytic {analytic}"
+            );
+        }
+        for j in [0usize, 5] {
+            let mut plus = layer.clone();
+            plus.b_vec[j] += eps;
+            let mut minus = layer.clone();
+            minus.b_vec[j] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps as f64);
+            let analytic = grads.db_vec[j] as f64;
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + analytic.abs()),
+                "db_vec[{j}] numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn vera_trains_far_fewer_parameters_than_lora() {
+        let k = 4096;
+        let n = 4096;
+        let r = 16;
+        let lora_params = r * (k + n);
+        let vera_params = r + n;
+        assert!(vera_params * 25 < lora_params);
+    }
+
+    #[test]
+    fn dora_starts_as_plain_lora() {
+        // With m initialized to ||V_j||, DoRA's forward equals the plain
+        // merged-weight product.
+        let mut rng = Pcg32::seeded(62);
+        let lora = LoraLayer::init_nonzero(16, 12, cfg(4), &mut rng);
+        let x = Matrix::random_uniform(8, 16, 1.0, &mut rng);
+        let expect = matmul_nn(&x, &lora.effective_weight().unwrap()).unwrap();
+        let dora = DoraLayer::from_lora(lora).unwrap();
+        let y = dora.forward(&x).unwrap();
+        assert!(all_close(&y, &expect, 1e-4));
+    }
+
+    #[test]
+    fn dora_forward_matches_dense_reference() {
+        let mut rng = Pcg32::seeded(63);
+        let lora = LoraLayer::init_nonzero(12, 10, cfg(3), &mut rng);
+        let mut dora = DoraLayer::from_lora(lora).unwrap();
+        // Perturb the magnitudes so the epilogue is non-trivial.
+        dora.magnitude.iter_mut().enumerate().for_each(|(j, m)| *m *= 1.0 + 0.05 * j as f32);
+        let x = Matrix::random_uniform(6, 12, 1.0, &mut rng);
+        assert!(all_close(&dora.forward(&x).unwrap(), &dora.forward_dense(&x).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn dora_magnitude_gradient_matches_finite_differences() {
+        let mut rng = Pcg32::seeded(64);
+        let lora = LoraLayer::init_nonzero(8, 6, cfg(2), &mut rng);
+        let dora = DoraLayer::from_lora(lora).unwrap();
+        let x = Matrix::random_uniform(5, 8, 1.0, &mut rng);
+        let dy = Matrix::full(5, 6, 1.0);
+        let dm = dora.magnitude_grad(&x, &dy).unwrap();
+
+        let eps = 1e-2f32;
+        for j in [0usize, 3, 5] {
+            let mut plus = dora.clone();
+            plus.magnitude[j] += eps;
+            let mut minus = dora.clone();
+            minus.magnitude[j] -= eps;
+            let lp = lorafusion_tensor::ops::sum(&plus.forward(&x).unwrap());
+            let lm = lorafusion_tensor::ops::sum(&minus.forward(&x).unwrap());
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - dm[j] as f64).abs() < 2e-2 * (1.0 + dm[j].abs() as f64),
+                "dm[{j}] numeric {numeric} analytic {}",
+                dm[j]
+            );
+        }
+    }
+
+    #[test]
+    fn dora_rejects_bad_shapes() {
+        let mut rng = Pcg32::seeded(65);
+        let dora =
+            DoraLayer::from_lora(LoraLayer::init(8, 6, cfg(2), &mut rng)).unwrap();
+        assert!(dora.forward(&Matrix::zeros(3, 99)).is_err());
+    }
+}

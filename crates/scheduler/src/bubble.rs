@@ -1,0 +1,178 @@
+//! The bubble lemma: dependency verification and no-op insertion.
+//!
+//! In pipeline parallelism with `S` stages, a sample's backward pass can
+//! only start after `S - 1` other microbatches have entered the pipeline.
+//! The lemma (Section 5.2): if any sample of adapter `i`'s global batch
+//! `j` is committed at microbatch `k`, no sample of batch `j + 1` of the
+//! same adapter may appear before microbatch `k + S - 1`. Violations are
+//! repaired by inserting no-op microbatches (Algorithm 1, line 15).
+
+use std::collections::BTreeMap;
+
+use crate::types::Microbatch;
+
+/// One detected dependency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BubbleViolation {
+    /// Offending adapter.
+    pub adapter: usize,
+    /// The earlier global batch.
+    pub global_batch: usize,
+    /// Microbatch index where batch `global_batch` last appears.
+    pub last_of_batch: usize,
+    /// Microbatch index where batch `global_batch + 1` first appears.
+    pub first_of_next: usize,
+    /// Required minimum value of `first_of_next`.
+    pub required: usize,
+}
+
+/// Per-adapter first/last microbatch index of each global batch.
+fn batch_spans(schedule: &[Microbatch]) -> BTreeMap<(usize, usize), (usize, usize)> {
+    let mut spans: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+    for (k, mb) in schedule.iter().enumerate() {
+        for e in &mb.entries {
+            let span = spans.entry((e.adapter, e.global_batch)).or_insert((k, k));
+            span.0 = span.0.min(k);
+            span.1 = span.1.max(k);
+        }
+    }
+    spans
+}
+
+/// Checks the bubble lemma over a microbatch schedule.
+///
+/// Returns all violations (empty = dependency-safe). Also flags
+/// out-of-order global batches (batch `j + 1` starting before `j` ends)
+/// as violations with `required` past the end marker.
+pub fn verify_bubble_lemma(schedule: &[Microbatch], stages: usize) -> Vec<BubbleViolation> {
+    let spans = batch_spans(schedule);
+    let mut violations = Vec::new();
+    for (&(adapter, batch), &(_, last)) in &spans {
+        if let Some(&(first_next, _)) = spans.get(&(adapter, batch + 1)) {
+            let required = last + stages.saturating_sub(1);
+            if first_next < required {
+                violations.push(BubbleViolation {
+                    adapter,
+                    global_batch: batch,
+                    last_of_batch: last,
+                    first_of_next: first_next,
+                    required,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Repairs violations by inserting no-op microbatches before the earliest
+/// offending microbatch until the lemma holds (Algorithm 1's
+/// `VerifyAndFix`).
+///
+/// Returns the number of no-ops inserted.
+pub fn fix_with_noops(schedule: &mut Vec<Microbatch>, stages: usize) -> usize {
+    let mut inserted = 0usize;
+    // Each insertion shifts indices; recompute until clean. Bounded by the
+    // total slack needed, which is finite.
+    loop {
+        let violations = verify_bubble_lemma(schedule, stages);
+        let Some(worst) = violations
+            .iter()
+            .min_by_key(|v| (v.first_of_next, v.adapter, v.global_batch))
+        else {
+            return inserted;
+        };
+        let need = worst.required - worst.first_of_next;
+        for _ in 0..need {
+            schedule.insert(worst.first_of_next, Microbatch::noop());
+            inserted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MicrobatchEntry;
+    use lorafusion_data::Sample;
+
+    fn mb(entries: &[(usize, usize)]) -> Microbatch {
+        Microbatch {
+            entries: entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(adapter, global_batch))| MicrobatchEntry {
+                    adapter,
+                    global_batch,
+                    sample: Sample {
+                        id: i as u64,
+                        len: 10,
+                    },
+                })
+                .collect(),
+            noop: false,
+        }
+    }
+
+    #[test]
+    fn clean_schedule_passes() {
+        // Adapter 0: batch 0 at mb 0, batch 1 at mb 3; S=4 requires gap 3.
+        let schedule = vec![mb(&[(0, 0)]), mb(&[(1, 0)]), mb(&[(1, 0)]), mb(&[(0, 1)])];
+        assert!(verify_bubble_lemma(&schedule, 4).is_empty());
+    }
+
+    #[test]
+    fn detects_violation() {
+        // Adapter 0 batch 1 appears immediately after batch 0 with S=4.
+        let schedule = vec![mb(&[(0, 0)]), mb(&[(0, 1)])];
+        let violations = verify_bubble_lemma(&schedule, 4);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].adapter, 0);
+        assert_eq!(violations[0].required, 3);
+    }
+
+    #[test]
+    fn noop_insertion_repairs() {
+        let mut schedule = vec![mb(&[(0, 0)]), mb(&[(0, 1)])];
+        let inserted = fix_with_noops(&mut schedule, 4);
+        assert_eq!(inserted, 2);
+        assert!(verify_bubble_lemma(&schedule, 4).is_empty());
+        assert_eq!(schedule.len(), 4);
+        assert!(schedule[1].noop && schedule[2].noop);
+    }
+
+    #[test]
+    fn multi_adapter_interleaving_needs_no_noops() {
+        // Two adapters alternating give each other natural spacing.
+        let mut schedule = vec![
+            mb(&[(0, 0)]),
+            mb(&[(1, 0)]),
+            mb(&[(0, 0)]),
+            mb(&[(1, 0)]),
+            mb(&[(0, 1)]), // Adapter 0 batch 0 last at 2; 2+2=4 <= 4. OK for S=3.
+            mb(&[(1, 1)]),
+        ];
+        assert!(verify_bubble_lemma(&schedule, 3).is_empty());
+        assert_eq!(fix_with_noops(&mut schedule, 3), 0);
+    }
+
+    #[test]
+    fn stage_one_pipeline_never_violates() {
+        // S=1: no pipeline, gap requirement is 0.
+        let schedule = vec![mb(&[(0, 0)]), mb(&[(0, 1)]), mb(&[(0, 2)])];
+        assert!(verify_bubble_lemma(&schedule, 1).is_empty());
+    }
+
+    #[test]
+    fn repair_handles_chained_batches() {
+        let mut schedule = vec![mb(&[(0, 0)]), mb(&[(0, 1)]), mb(&[(0, 2)]), mb(&[(0, 3)])];
+        fix_with_noops(&mut schedule, 3);
+        assert!(verify_bubble_lemma(&schedule, 3).is_empty());
+        // Real microbatches keep their relative order.
+        let real: Vec<usize> = schedule
+            .iter()
+            .filter(|m| !m.noop)
+            .map(|m| m.entries[0].global_batch)
+            .collect();
+        assert_eq!(real, vec![0, 1, 2, 3]);
+    }
+}

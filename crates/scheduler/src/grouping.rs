@@ -1,0 +1,149 @@
+//! Adapter grouping with head-tail pairing.
+//!
+//! Groups impose a strict execution order between their microbatch runs,
+//! while samples of adapters *within* a group may be merged freely. With
+//! `G` groups, consecutive global batches of an adapter are separated by
+//! the microbatches of the other `G - 1` groups, which is how the bubble
+//! lemma's `S - 1` spacing is obtained without per-sample constraints.
+//!
+//! For load balance inside each group, adapters are sorted by mean sample
+//! length and paired head-to-tail (shortest with longest), so every group
+//! sees a similar token volume per global batch.
+
+use lorafusion_data::LengthStats;
+
+/// Groups `adapters` (given per-adapter length statistics) into
+/// `num_groups` groups using head-tail pairing.
+///
+/// Returns group membership as a list of adapter-index lists. `num_groups`
+/// is clamped to `[1, adapters]`.
+pub fn group_adapters(stats: &[LengthStats], num_groups: usize) -> Vec<Vec<usize>> {
+    let n = stats.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let g = num_groups.clamp(1, n);
+
+    // Sort adapter indices by mean length.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        stats[a]
+            .mean
+            .partial_cmp(&stats[b].mean)
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+
+    // Head-tail pairing: take (shortest, longest) pairs off the sorted
+    // order and deal them to groups so every group carries a similar token
+    // volume; leftovers go to the least-loaded group with room.
+    let cap = n.div_ceil(g);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); g];
+    let mut load = vec![0.0f64; g];
+    let least_loaded = |groups: &[Vec<usize>], load: &[f64], need: usize| -> Option<usize> {
+        (0..groups.len())
+            .filter(|&gi| groups[gi].len() + need <= cap)
+            .min_by(|&a, &b| {
+                load[a]
+                    .partial_cmp(&load[b])
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })
+    };
+    let place_one = |groups: &mut Vec<Vec<usize>>, load: &mut Vec<f64>, idx: usize| {
+        let target = least_loaded(groups, load, 1).unwrap_or(0);
+        load[target] += stats[idx].mean;
+        groups[target].push(idx);
+    };
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        if hi - lo == 1 {
+            // Odd leftover: the median adapter balances wherever lightest.
+            place_one(&mut groups, &mut load, order[lo]);
+            break;
+        }
+        let (short, long) = (order[lo], order[hi - 1]);
+        lo += 1;
+        hi -= 1;
+        if let Some(target) = least_loaded(&groups, &load, 2) {
+            load[target] += stats[short].mean + stats[long].mean;
+            groups[target].push(short);
+            groups[target].push(long);
+        } else {
+            // Groups too small for a pair (g close to n): place singly.
+            place_one(&mut groups, &mut load, short);
+            place_one(&mut groups, &mut load, long);
+        }
+    }
+    groups.retain(|grp| !grp.is_empty());
+    groups
+}
+
+/// Suggests a group count: enough groups that an adapter's consecutive
+/// global batches are separated by at least `stages - 1` microbatches even
+/// in the worst case of one microbatch per group-batch, but never more
+/// groups than adapters.
+pub fn suggest_num_groups(num_adapters: usize, stages: usize) -> usize {
+    if num_adapters <= 1 {
+        return num_adapters;
+    }
+    // Two groups already stagger batches; more stages favor more groups.
+    stages.saturating_sub(2).clamp(2, num_adapters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean: f64) -> LengthStats {
+        LengthStats {
+            count: 100,
+            mean,
+            std_dev: mean * 0.3,
+            min: 1,
+            p25: mean as usize / 2,
+            p50: mean as usize,
+            p75: mean as usize * 2,
+            p95: mean as usize * 3,
+            max: mean as usize * 4,
+        }
+    }
+
+    #[test]
+    fn pairs_short_with_long() {
+        let s = [stats(100.0), stats(900.0), stats(200.0), stats(800.0)];
+        let groups = group_adapters(&s, 2);
+        assert_eq!(groups.len(), 2);
+        // Each group's mean sum should be ~1000 (short+long pairing).
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+            let sum: f64 = g.iter().map(|&i| s[i].mean).sum();
+            assert!((sum - 1000.0).abs() <= 200.0, "group sum {sum}");
+        }
+    }
+
+    #[test]
+    fn covers_every_adapter_exactly_once() {
+        let s: Vec<LengthStats> = (1..=7).map(|i| stats(i as f64 * 100.0)).collect();
+        let groups = group_adapters(&s, 3);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn clamps_group_count() {
+        let s = [stats(100.0), stats(200.0)];
+        assert_eq!(group_adapters(&s, 10).len(), 2);
+        assert_eq!(group_adapters(&s, 0).len(), 1);
+        assert!(group_adapters(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn suggestion_is_sane() {
+        assert_eq!(suggest_num_groups(0, 4), 0);
+        assert_eq!(suggest_num_groups(1, 4), 1);
+        assert_eq!(suggest_num_groups(4, 4), 2);
+        assert_eq!(suggest_num_groups(8, 8), 6);
+        assert_eq!(suggest_num_groups(2, 8), 2);
+    }
+}

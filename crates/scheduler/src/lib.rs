@@ -1,0 +1,36 @@
+//! Multi-LoRA scheduler (Section 5.2, Algorithm 1).
+//!
+//! Given several LoRA fine-tuning jobs sharing one base model, the
+//! scheduler builds balanced, dependency-safe microbatches:
+//!
+//! 1. [`grouping`] — adapters are grouped by sequence-length statistics
+//!    with head-tail pairing, so that consecutive global batches of the
+//!    same adapter are spaced apart in the schedule (the *bubble lemma*);
+//! 2. [`binpack`] — within each group and global batch, samples are packed
+//!    into token-capacity bins by a two-stage MILP (minimize bin count,
+//!    then minimize the smallest bin) with a greedy first-fit-decreasing
+//!    fallback under timeout;
+//! 3. [`merge`] — a final pass shifts samples from the next global batch
+//!    into the current batch's underfilled tail microbatch when capacity
+//!    and the bubble lemma allow;
+//! 4. [`bubble`] — verification, inserting no-op microbatches wherever a
+//!    dependency would otherwise be violated.
+//!
+//! [`schedule::schedule_jobs`] runs the whole pipeline (in parallel across
+//! global batches, mirroring the paper's multiprocessing) and returns the
+//! microbatch sequence plus solver statistics; [`profiler`] proposes the
+//! token capacity from a throughput model.
+
+pub mod binpack;
+pub mod bubble;
+pub mod grouping;
+pub mod merge;
+pub mod profiler;
+pub mod schedule;
+pub mod types;
+
+pub use binpack::{greedy_packing, two_stage_milp_packing, PackOutcome};
+pub use bubble::{fix_with_noops, verify_bubble_lemma, BubbleViolation};
+pub use grouping::group_adapters;
+pub use schedule::{schedule_jobs, Schedule, ScheduleStats};
+pub use types::{AdapterJob, Microbatch, MicrobatchEntry, SchedulerConfig, SchedulerError};

@@ -1,0 +1,82 @@
+//! Parallelism profiler: token-capacity proposal (Section 5.2).
+//!
+//! The scheduler needs a microbatch token capacity, which depends on the
+//! parallelism strategy and the memory budget. The paper benchmarks
+//! candidate configurations with fixed-length inputs and picks the best
+//! throughput; here the "benchmark" is any callable throughput model (the
+//! distributed simulator implements it), keeping this crate free of a
+//! dependency cycle.
+
+/// Generates candidate token capacities: powers of two from `min` up to
+/// and including the first one at or above `max_needed`.
+///
+/// `max_needed` is the longest (padded) sample that must fit.
+pub fn capacity_candidates(min: usize, max_needed: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut c = min.next_power_of_two().max(1024);
+    loop {
+        out.push(c);
+        if c >= max_needed {
+            break;
+        }
+        c *= 2;
+    }
+    out
+}
+
+/// Picks the capacity with the best modeled throughput.
+///
+/// `throughput` maps a candidate capacity to tokens/sec (or any score to
+/// maximize); candidates scoring `<= 0` (e.g. out-of-memory) are skipped.
+/// Returns `None` when every candidate is infeasible.
+pub fn propose_capacity<F: FnMut(usize) -> f64>(
+    candidates: &[usize],
+    mut throughput: F,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &c in candidates {
+        let score = throughput(c);
+        if score <= 0.0 || !score.is_finite() {
+            continue;
+        }
+        if best.map_or(true, |(_, s)| score > s) {
+            best = Some((c, score));
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_cover_longest_sample() {
+        let c = capacity_candidates(1024, 9000);
+        assert_eq!(c.first(), Some(&1024));
+        assert!(*c.last().unwrap() >= 9000);
+        // Strictly doubling.
+        for w in c.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn proposal_maximizes_throughput() {
+        let candidates = [1024, 2048, 4096, 8192];
+        // Throughput peaks at 4096 then drops (OOM at 8192 => 0).
+        let pick = propose_capacity(&candidates, |c| match c {
+            1024 => 10.0,
+            2048 => 14.0,
+            4096 => 17.0,
+            _ => 0.0,
+        });
+        assert_eq!(pick, Some(4096));
+    }
+
+    #[test]
+    fn all_infeasible_returns_none() {
+        assert_eq!(propose_capacity(&[1024, 2048], |_| 0.0), None);
+        assert_eq!(propose_capacity(&[], |_| 1.0), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! Scheduler data types.
+
+use core::fmt;
+
+use lorafusion_data::Sample;
+
+/// One fine-tuning job from the scheduler's perspective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdapterJob {
+    /// Adapter identifier (index into the shared base model's adapters).
+    pub adapter: usize,
+    /// Samples in training order.
+    pub samples: Vec<Sample>,
+    /// User-specified global batch size (samples per optimizer step).
+    pub global_batch_size: usize,
+}
+
+impl AdapterJob {
+    /// Number of global batches this job contributes.
+    pub fn num_global_batches(&self) -> usize {
+        self.samples.len().div_ceil(self.global_batch_size)
+    }
+
+    /// Samples of global batch `j`.
+    pub fn global_batch(&self, j: usize) -> &[Sample] {
+        let start = j * self.global_batch_size;
+        let end = ((j + 1) * self.global_batch_size).min(self.samples.len());
+        &self.samples[start..end]
+    }
+}
+
+/// One sample placed in a microbatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicrobatchEntry {
+    /// Owning adapter.
+    pub adapter: usize,
+    /// Global batch index within that adapter's job.
+    pub global_batch: usize,
+    /// The sample.
+    pub sample: Sample,
+}
+
+/// One microbatch: the unit of pipeline execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Microbatch {
+    /// Samples in this microbatch (may span adapters of one group).
+    pub entries: Vec<MicrobatchEntry>,
+    /// True for no-op filler microbatches inserted to satisfy the bubble
+    /// lemma.
+    pub noop: bool,
+}
+
+impl Microbatch {
+    /// A no-op microbatch.
+    pub fn noop() -> Self {
+        Self {
+            entries: Vec::new(),
+            noop: true,
+        }
+    }
+
+    /// Real tokens in the microbatch.
+    pub fn real_tokens(&self) -> usize {
+        self.entries.iter().map(|e| e.sample.len).sum()
+    }
+
+    /// Tokens after padding each adapter's segment to a multiple of
+    /// `padding_multiple` (the physical tokens the kernels process; the
+    /// paper's `P`).
+    pub fn padded_tokens(&self, padding_multiple: usize) -> usize {
+        let p = padding_multiple.max(1);
+        let mut adapters: Vec<usize> = self.entries.iter().map(|e| e.adapter).collect();
+        adapters.sort_unstable();
+        adapters.dedup();
+        adapters
+            .into_iter()
+            .map(|a| {
+                let tokens: usize = self
+                    .entries
+                    .iter()
+                    .filter(|e| e.adapter == a)
+                    .map(|e| e.sample.len)
+                    .sum();
+                tokens.div_ceil(p) * p
+            })
+            .sum()
+    }
+
+    /// Distinct adapters present.
+    pub fn adapters(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.entries.iter().map(|e| e.adapter).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerConfig {
+    /// Token capacity per microbatch (from the parallelism profiler).
+    pub capacity: usize,
+    /// Pipeline stages `S`; the bubble lemma separates consecutive global
+    /// batches of an adapter by `S - 1` microbatches.
+    pub pipeline_stages: usize,
+    /// Padding multiple `P` applied per adapter segment.
+    pub padding_multiple: usize,
+    /// MILP timeout per stage per global batch.
+    pub milp_timeout: std::time::Duration,
+    /// Worker threads for per-global-batch packing (the paper's
+    /// multiprocessing). `1` disables parallelism.
+    pub threads: usize,
+    /// Whether to run the MILP at all (`false` = pure greedy, used by the
+    /// ablation).
+    pub use_milp: bool,
+    /// Whether to run the cross-batch merge pass (ablation knob).
+    pub use_merge: bool,
+    /// Override for the number of adapter groups (None = heuristic from
+    /// the pipeline depth; used by the grouping ablation).
+    pub num_groups: Option<usize>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 16384,
+            pipeline_stages: 4,
+            padding_multiple: 64,
+            milp_timeout: std::time::Duration::from_millis(200),
+            threads: 4,
+            use_milp: true,
+            use_merge: true,
+            num_groups: None,
+        }
+    }
+}
+
+/// Scheduler errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// No jobs were provided.
+    NoJobs,
+    /// A sample is longer than the microbatch token capacity.
+    SampleExceedsCapacity {
+        /// Offending adapter.
+        adapter: usize,
+        /// Offending sample id.
+        sample: u64,
+        /// Sample length.
+        len: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Configuration is invalid (zero capacity, stages, or batch size).
+    InvalidConfig(&'static str),
+    /// The underlying MILP solver rejected a model (internal bug).
+    Solver(lorafusion_solver::SolverError),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::NoJobs => write!(f, "no fine-tuning jobs provided"),
+            SchedulerError::SampleExceedsCapacity {
+                adapter,
+                sample,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "sample {sample} of adapter {adapter} has {len} tokens, above capacity {capacity}"
+            ),
+            SchedulerError::InvalidConfig(why) => write!(f, "invalid scheduler config: {why}"),
+            SchedulerError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+impl From<lorafusion_solver::SolverError> for SchedulerError {
+    fn from(e: lorafusion_solver::SolverError) -> Self {
+        SchedulerError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64, len: usize) -> Sample {
+        Sample { id, len }
+    }
+
+    #[test]
+    fn job_global_batches() {
+        let job = AdapterJob {
+            adapter: 0,
+            samples: (0..10).map(|i| sample(i, 100)).collect(),
+            global_batch_size: 4,
+        };
+        assert_eq!(job.num_global_batches(), 3);
+        assert_eq!(job.global_batch(0).len(), 4);
+        assert_eq!(job.global_batch(2).len(), 2);
+    }
+
+    #[test]
+    fn padded_tokens_rounds_per_adapter() {
+        let mb = Microbatch {
+            entries: vec![
+                MicrobatchEntry {
+                    adapter: 0,
+                    global_batch: 0,
+                    sample: sample(0, 100),
+                },
+                MicrobatchEntry {
+                    adapter: 0,
+                    global_batch: 0,
+                    sample: sample(1, 30),
+                },
+                MicrobatchEntry {
+                    adapter: 1,
+                    global_batch: 0,
+                    sample: sample(2, 65),
+                },
+            ],
+            noop: false,
+        };
+        // Adapter 0: 130 -> 192; adapter 1: 65 -> 128. Total 320.
+        assert_eq!(mb.padded_tokens(64), 320);
+        assert_eq!(mb.real_tokens(), 195);
+        assert_eq!(mb.adapters(), vec![0, 1]);
+    }
+
+    #[test]
+    fn noop_microbatch_is_empty() {
+        let mb = Microbatch::noop();
+        assert!(mb.noop);
+        assert_eq!(mb.real_tokens(), 0);
+        assert_eq!(mb.padded_tokens(64), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the multi-LoRA scheduler: on arbitrary
+//! workloads, every schedule must preserve the sample multiset, respect
+//! capacity, keep per-adapter global-batch order, and satisfy the bubble
+//! lemma.
+
+use std::time::Duration;
+
+use lorafusion_data::Sample;
+use lorafusion_sched::{
+    greedy_packing, schedule_jobs, two_stage_milp_packing, verify_bubble_lemma, AdapterJob,
+    Microbatch, MicrobatchEntry, SchedulerConfig,
+};
+use proptest::prelude::*;
+
+const CAPACITY: usize = 2048;
+const PADDING: usize = 64;
+const STAGES: usize = 4;
+
+fn arb_jobs() -> impl Strategy<Value = Vec<AdapterJob>> {
+    // 1-4 adapters, each with 2-24 samples of 1-1900 tokens and a global
+    // batch size of 2-8.
+    prop::collection::vec(
+        (prop::collection::vec(1usize..1900, 2..24), 2usize..8),
+        1..5,
+    )
+    .prop_map(|jobs| {
+        jobs.into_iter()
+            .enumerate()
+            .map(|(adapter, (lens, gbs))| AdapterJob {
+                adapter,
+                samples: lens
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, len)| Sample { id: i as u64, len })
+                    .collect(),
+                global_batch_size: gbs,
+            })
+            .collect()
+    })
+}
+
+fn config(use_milp: bool, use_merge: bool) -> SchedulerConfig {
+    SchedulerConfig {
+        capacity: CAPACITY,
+        pipeline_stages: STAGES,
+        padding_multiple: PADDING,
+        milp_timeout: Duration::from_millis(10),
+        threads: 2,
+        use_milp,
+        use_merge,
+        num_groups: None,
+    }
+}
+
+fn sample_multiset(mbs: &[Microbatch]) -> Vec<(usize, u64)> {
+    let mut v: Vec<(usize, u64)> = mbs
+        .iter()
+        .flat_map(|m| m.entries.iter().map(|e| (e.adapter, e.sample.id)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sample is scheduled exactly once, no capacity violation, and
+    /// the bubble lemma holds — for all four MILP/merge combinations.
+    #[test]
+    fn schedule_invariants(jobs in arb_jobs(), use_milp in any::<bool>(), use_merge in any::<bool>()) {
+        let schedule = schedule_jobs(&jobs, &config(use_milp, use_merge)).unwrap();
+
+        // Sample preservation.
+        let mut expect: Vec<(usize, u64)> = jobs
+            .iter()
+            .flat_map(|j| j.samples.iter().map(|s| (j.adapter, s.id)))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(sample_multiset(&schedule.microbatches), expect);
+
+        // Capacity.
+        for mb in &schedule.microbatches {
+            prop_assert!(mb.padded_tokens(PADDING) <= CAPACITY);
+        }
+
+        // Dependency safety.
+        prop_assert!(verify_bubble_lemma(&schedule.microbatches, STAGES).is_empty());
+    }
+
+    /// Per adapter, global batch j finishes strictly before j+1 starts.
+    #[test]
+    fn global_batch_order_is_never_violated(jobs in arb_jobs()) {
+        let schedule = schedule_jobs(&jobs, &config(true, true)).unwrap();
+        for job in &jobs {
+            let mut last_end: Option<(usize, usize)> = None; // (batch, mb idx)
+            for (k, mb) in schedule.microbatches.iter().enumerate() {
+                for e in mb.entries.iter().filter(|e| e.adapter == job.adapter) {
+                    if let Some((prev_batch, prev_k)) = last_end {
+                        if e.global_batch > prev_batch {
+                            prop_assert!(k > prev_k, "batch {} started at or before batch {} ended", e.global_batch, prev_batch);
+                        }
+                    }
+                    let entry = (e.global_batch, k);
+                    if last_end.is_none_or(|le| entry.0 > le.0 || (entry.0 == le.0 && entry.1 > le.1)) {
+                        last_end = Some(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Greedy packing never violates capacity and never loses samples.
+    #[test]
+    fn greedy_packing_invariants(lens in prop::collection::vec(1usize..2000, 1..40)) {
+        let entries: Vec<MicrobatchEntry> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| MicrobatchEntry {
+                adapter: i % 3,
+                global_batch: 0,
+                sample: Sample { id: i as u64, len },
+            })
+            .collect();
+        let bins = greedy_packing(&entries, 2048, 64);
+        let total: usize = bins.iter().map(|b| b.entries.len()).sum();
+        prop_assert_eq!(total, entries.len());
+        for bin in &bins {
+            prop_assert!(bin.padded_tokens(64) <= 2048);
+        }
+    }
+
+    /// The two-stage MILP (with matheuristic fallbacks) never does worse
+    /// than greedy on either objective.
+    #[test]
+    fn milp_never_worse_than_greedy(lens in prop::collection::vec(1usize..2000, 2..28)) {
+        let entries: Vec<MicrobatchEntry> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| MicrobatchEntry {
+                adapter: i % 2,
+                global_batch: 0,
+                sample: Sample { id: i as u64, len },
+            })
+            .collect();
+        let greedy = greedy_packing(&entries, 2048, 64);
+        let outcome = two_stage_milp_packing(&entries, 2048, 64, Duration::from_millis(50)).unwrap();
+        prop_assert!(outcome.microbatches.len() <= greedy.len());
+        let total: usize = outcome.microbatches.iter().map(|b| b.entries.len()).sum();
+        prop_assert_eq!(total, entries.len());
+        if outcome.used_milp && outcome.microbatches.len() == greedy.len() {
+            let min_of = |bins: &[Microbatch]| {
+                bins.iter().map(|m| m.padded_tokens(64)).min().unwrap_or(0)
+            };
+            prop_assert!(min_of(&outcome.microbatches) < min_of(&greedy));
+        }
+    }
+
+    /// Scheduling is deterministic for a fixed configuration when the MILP
+    /// is disabled (no timeout-dependent branches).
+    #[test]
+    fn greedy_scheduling_is_deterministic(jobs in arb_jobs()) {
+        let a = schedule_jobs(&jobs, &config(false, true)).unwrap();
+        let b = schedule_jobs(&jobs, &config(false, true)).unwrap();
+        prop_assert_eq!(a.microbatches, b.microbatches);
+    }
+}

@@ -1,0 +1,354 @@
+//! Depth-first branch-and-bound MILP solver.
+
+use std::time::{Duration, Instant};
+
+use crate::model::{Problem, Solution, SolverError, Status, VarId};
+use crate::simplex::solve_lp;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Options controlling a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Wall-clock budget; on expiry the best incumbent is returned with
+    /// [`Status::TimedOut`] (Algorithm 1's greedy fallback then kicks in at
+    /// the scheduler level).
+    pub timeout: Duration,
+    /// Hard cap on explored nodes (second safety valve).
+    pub max_nodes: usize,
+    /// Optional warm-start assignment; if feasible it seeds the incumbent,
+    /// letting the tree prune immediately.
+    pub warm_start: Option<Vec<f64>>,
+    /// Stop as soon as an incumbent is at least this close to the LP
+    /// bound (absolute gap); `0.0` demands proven optimality.
+    pub absolute_gap: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(10),
+            max_nodes: 200_000,
+            warm_start: None,
+            absolute_gap: 1e-6,
+        }
+    }
+}
+
+/// Solves a mixed-integer linear program by branch-and-bound.
+///
+/// Returns the best integer-feasible solution found. `status` is
+/// [`Status::Optimal`] when the tree was exhausted (or the gap target met),
+/// [`Status::TimedOut`] when a feasible incumbent exists but the deadline or
+/// node cap expired first, and [`Status::Infeasible`] when no feasible
+/// point was found.
+pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, SolverError> {
+    problem.validate()?;
+    let deadline = Instant::now() + options.timeout;
+
+    let mut incumbent: Option<Solution> = None;
+    if let Some(ws) = &options.warm_start {
+        if problem.is_feasible(ws, 1e-6) {
+            incumbent = Some(Solution {
+                status: Status::TimedOut,
+                objective: problem.objective_value(ws),
+                values: ws.clone(),
+            });
+        }
+    }
+
+    // Root relaxation.
+    let root = solve_lp(problem)?;
+    match root.status {
+        Status::Infeasible => {
+            return Ok(incumbent.unwrap_or(Solution {
+                status: Status::Infeasible,
+                objective: 0.0,
+                values: vec![],
+            }))
+        }
+        Status::Unbounded => {
+            // With a feasible incumbent the MILP itself may still be
+            // bounded, but for scheduler models (all bounded) this is a
+            // modeling error; surface it as unbounded.
+            return Ok(Solution {
+                status: Status::Unbounded,
+                objective: f64::NEG_INFINITY,
+                values: vec![],
+            });
+        }
+        _ => {}
+    }
+
+    // DFS over bound adjustments. Each node stores the modified bounds.
+    struct Node {
+        bounds: Vec<(usize, f64, f64)>,
+        lp_bound: f64,
+    }
+    let mut stack = vec![Node {
+        bounds: Vec::new(),
+        lp_bound: root.objective,
+    }];
+    let mut explored = 0usize;
+    let mut timed_out = false;
+
+    while let Some(node) = stack.pop() {
+        if Instant::now() >= deadline || explored >= options.max_nodes {
+            timed_out = true;
+            break;
+        }
+        explored += 1;
+
+        // Prune by bound.
+        if let Some(inc) = &incumbent {
+            if node.lp_bound >= inc.objective - options.absolute_gap {
+                continue;
+            }
+        }
+
+        // Apply bound changes and solve the relaxation.
+        let mut local = problem.clone();
+        for &(var, lo, hi) in &node.bounds {
+            let v = local.variable(VarId(var));
+            local.set_bounds(VarId(var), v.lower.max(lo), v.upper.min(hi));
+            let v = local.variable(VarId(var));
+            if v.lower > v.upper {
+                // Empty domain: prune.
+                continue;
+            }
+        }
+        if local.variables().iter().any(|v| v.lower > v.upper) {
+            continue;
+        }
+        let relax = solve_lp(&local)?;
+        if relax.status != Status::Optimal {
+            continue;
+        }
+        if let Some(inc) = &incumbent {
+            if relax.objective >= inc.objective - options.absolute_gap {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = INT_TOL;
+        for (j, v) in problem.variables().iter().enumerate() {
+            if v.integer {
+                let x = relax.values[j];
+                let frac = (x - x.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some((j, x));
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: round off numerical fuzz and accept.
+                let mut values = relax.values.clone();
+                for (j, v) in problem.variables().iter().enumerate() {
+                    if v.integer {
+                        values[j] = values[j].round();
+                    }
+                }
+                let objective = problem.objective_value(&values);
+                let better = incumbent
+                    .as_ref()
+                    .is_none_or(|inc| objective < inc.objective);
+                if better && problem.is_feasible(&values, 1e-5) {
+                    incumbent = Some(Solution {
+                        status: Status::Optimal,
+                        objective,
+                        values,
+                    });
+                }
+            }
+            Some((j, x)) => {
+                // Branch: explore the side closer to the LP value first
+                // (pushed last so it pops first).
+                let floor = x.floor();
+                let mut down = node.bounds.clone();
+                down.push((j, f64::NEG_INFINITY, floor));
+                let mut up = node.bounds.clone();
+                up.push((j, floor + 1.0, f64::INFINITY));
+                let down_node = Node {
+                    bounds: down,
+                    lp_bound: relax.objective,
+                };
+                let up_node = Node {
+                    bounds: up,
+                    lp_bound: relax.objective,
+                };
+                if x - floor > 0.5 {
+                    stack.push(down_node);
+                    stack.push(up_node);
+                } else {
+                    stack.push(up_node);
+                    stack.push(down_node);
+                }
+            }
+        }
+    }
+
+    Ok(match incumbent {
+        Some(mut sol) => {
+            sol.status = if timed_out {
+                Status::TimedOut
+            } else {
+                Status::Optimal
+            };
+            sol
+        }
+        None => {
+            if timed_out {
+                Solution {
+                    status: Status::TimedOut,
+                    objective: f64::INFINITY,
+                    values: vec![],
+                }
+            } else {
+                Solution {
+                    status: Status::Infeasible,
+                    objective: 0.0,
+                    values: vec![],
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn solves_knapsack_exactly() {
+        // max 10a + 13b + 7c with weights 3,4,2 and capacity 6.
+        // Optimal: b + c = 20 (weight 6).
+        let mut p = Problem::new();
+        let a = p.add_bin_var(-10.0);
+        let b = p.add_bin_var(-13.0);
+        let c = p.add_bin_var(-7.0);
+        p.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0);
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(
+            (sol.objective + 20.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
+        assert_eq!(sol.values[0].round() as i64, 0);
+        assert_eq!(sol.values[1].round() as i64, 1);
+        assert_eq!(sol.values[2].round() as i64, 1);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // LP relaxation gives x = 1.5; MILP must give x = 1.
+        let mut p = Problem::new();
+        let x = p.add_int_var(-1.0, 0.0, 10.0);
+        p.add_constraint(vec![(x, 2.0)], Sense::Le, 3.0);
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.values[0].round() as i64, 1);
+    }
+
+    #[test]
+    fn mixed_integer_keeps_continuous_fractional() {
+        // min -(x + y), x integer <= 2.5 per constraint, y continuous <= 0.5.
+        let mut p = Problem::new();
+        let x = p.add_int_var(-1.0, 0.0, 10.0);
+        let _y = p.add_var(-1.0, 0.0, 0.5);
+        p.add_constraint(vec![(x, 1.0)], Sense::Le, 2.5);
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.values[0].round() as i64, 2);
+        assert!((sol.values[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp_is_reported() {
+        let mut p = Problem::new();
+        let x = p.add_bin_var(1.0);
+        let y = p.add_bin_var(1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_survives_timeout() {
+        // A zero-time budget returns the warm start unchanged.
+        let mut p = Problem::new();
+        let x = p.add_bin_var(-1.0);
+        let y = p.add_bin_var(-1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.0);
+        let options = MilpOptions {
+            timeout: Duration::from_millis(0),
+            warm_start: Some(vec![1.0, 0.0]),
+            ..MilpOptions::default()
+        };
+        let sol = solve_milp(&p, &options).unwrap();
+        assert_eq!(sol.status, Status::TimedOut);
+        assert!((sol.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bin_packing_matches_brute_force() {
+        // Pack items into bins of capacity 10, minimizing used bins.
+        let items = [6.0f64, 5.0, 4.0, 3.0, 2.0];
+        let bins = 3usize;
+        let mut p = Problem::new();
+        // x[i][b] = item i in bin b; z[b] = bin b used.
+        let x: Vec<Vec<_>> = items
+            .iter()
+            .map(|_| (0..bins).map(|_| p.add_bin_var(0.0)).collect())
+            .collect();
+        let z: Vec<_> = (0..bins).map(|_| p.add_bin_var(1.0)).collect();
+        for xi in &x {
+            p.add_constraint(xi.iter().map(|&v| (v, 1.0)).collect(), Sense::Eq, 1.0);
+        }
+        for b in 0..bins {
+            let mut terms: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (x[i][b], w))
+                .collect();
+            terms.push((z[b], -10.0));
+            p.add_constraint(terms, Sense::Le, 0.0);
+        }
+        // Symmetry break: used bins are contiguous.
+        for b in 0..bins - 1 {
+            p.add_constraint(vec![(z[b], 1.0), (z[b + 1], -1.0)], Sense::Ge, 0.0);
+        }
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        // Total weight 20, capacity 10: 2 bins are necessary and achievable
+        // (6+4, 5+3+2).
+        assert_eq!(sol.objective.round() as i64, 2);
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // Assign 2 jobs to 2 machines, each machine exactly one job,
+        // minimize cost matrix [[4, 2], [3, 5]] => 2 + 3 = 5.
+        let mut p = Problem::new();
+        let costs = [[4.0, 2.0], [3.0, 5.0]];
+        let mut vars = [[VarId(0); 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                vars[i][j] = p.add_bin_var(costs[i][j]);
+            }
+        }
+        for i in 0..2 {
+            p.add_constraint(vec![(vars[i][0], 1.0), (vars[i][1], 1.0)], Sense::Eq, 1.0);
+            p.add_constraint(vec![(vars[0][i], 1.0), (vars[1][i], 1.0)], Sense::Eq, 1.0);
+        }
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+}

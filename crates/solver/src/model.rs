@@ -1,0 +1,271 @@
+//! Problem model: variables, constraints, solutions.
+
+use core::fmt;
+
+/// Index of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub usize);
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `sum(terms) <= rhs`.
+    Le,
+    /// `sum(terms) >= rhs`.
+    Ge,
+    /// `sum(terms) == rhs`.
+    Eq,
+}
+
+/// One linear constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Sense of the constraint.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A variable's metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variable {
+    /// Lower bound (must be finite; bin-packing models use 0).
+    pub lower: f64,
+    /// Upper bound (`f64::INFINITY` for unbounded).
+    pub upper: f64,
+    /// Whether the variable must take an integer value.
+    pub integer: bool,
+}
+
+/// A minimization problem: `min cᵀx` subject to linear constraints and
+/// variable bounds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Problem {
+    variables: Vec<Variable>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with objective coefficient `cost` and
+    /// bounds `[lower, upper]`.
+    pub fn add_var(&mut self, cost: f64, lower: f64, upper: f64) -> VarId {
+        self.variables.push(Variable {
+            lower,
+            upper,
+            integer: false,
+        });
+        self.objective.push(cost);
+        VarId(self.variables.len() - 1)
+    }
+
+    /// Adds an integer variable with bounds `[lower, upper]`.
+    pub fn add_int_var(&mut self, cost: f64, lower: f64, upper: f64) -> VarId {
+        let id = self.add_var(cost, lower, upper);
+        self.variables[id.0].integer = true;
+        id
+    }
+
+    /// Adds a binary variable.
+    pub fn add_bin_var(&mut self, cost: f64) -> VarId {
+        self.add_int_var(cost, 0.0, 1.0)
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, sense: Sense, rhs: f64) {
+        self.constraints.push(Constraint { terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    pub fn variable(&self, id: VarId) -> &Variable {
+        &self.variables[id.0]
+    }
+
+    /// All variables.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Tightens a variable's bounds (used by branch-and-bound).
+    pub fn set_bounds(&mut self, id: VarId, lower: f64, upper: f64) {
+        self.variables[id.0].lower = lower;
+        self.variables[id.0].upper = upper;
+    }
+
+    /// Evaluates the objective at `values`.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective.iter().zip(values).map(|(c, x)| c * x).sum()
+    }
+
+    /// Checks whether `values` satisfies every constraint and bound within
+    /// tolerance `tol`, including integrality.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.variables.len() {
+            return false;
+        }
+        for (v, &x) in self.variables.iter().zip(values) {
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+            if v.integer && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(id, coef)| coef * values[id.0]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Outcome status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Proven optimal.
+    Optimal,
+    /// A feasible incumbent was found but optimality was not proven before
+    /// the deadline.
+    TimedOut,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// A solve result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Status of the solve.
+    pub status: Status,
+    /// Objective value at `values` (meaningless for
+    /// infeasible/unbounded).
+    pub objective: f64,
+    /// Variable assignment.
+    pub values: Vec<f64>,
+}
+
+/// Errors from malformed models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// A constraint referenced a variable that does not exist.
+    UnknownVariable(usize),
+    /// A variable has inconsistent bounds (`lower > upper`).
+    EmptyDomain(usize),
+    /// The model has no variables.
+    EmptyModel,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::UnknownVariable(i) => {
+                write!(f, "constraint references unknown variable {i}")
+            }
+            SolverError::EmptyDomain(i) => {
+                write!(f, "variable {i} has lower bound above upper bound")
+            }
+            SolverError::EmptyModel => write!(f, "model has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl Problem {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), SolverError> {
+        if self.variables.is_empty() {
+            return Err(SolverError::EmptyModel);
+        }
+        for (i, v) in self.variables.iter().enumerate() {
+            if v.lower > v.upper {
+                return Err(SolverError::EmptyDomain(i));
+            }
+        }
+        for c in &self.constraints {
+            for (id, _) in &c.terms {
+                if id.0 >= self.variables.len() {
+                    return Err(SolverError::UnknownVariable(id.0));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut p = Problem::new();
+        let a = p.add_var(1.0, 0.0, 10.0);
+        let b = p.add_bin_var(2.0);
+        assert_eq!(a, VarId(0));
+        assert_eq!(b, VarId(1));
+        assert!(p.variable(b).integer);
+        assert_eq!(p.num_vars(), 2);
+    }
+
+    #[test]
+    fn feasibility_checks_constraints_and_integrality() {
+        let mut p = Problem::new();
+        let x = p.add_int_var(1.0, 0.0, 5.0);
+        p.add_constraint(vec![(x, 1.0)], Sense::Le, 3.0);
+        assert!(p.is_feasible(&[3.0], 1e-9));
+        assert!(!p.is_feasible(&[3.5], 1e-9)); // Fractional and > rhs.
+        assert!(!p.is_feasible(&[4.0], 1e-9)); // Violates constraint.
+        assert!(!p.is_feasible(&[-1.0], 1e-9)); // Below lower bound.
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let p = Problem::new();
+        assert_eq!(p.validate(), Err(SolverError::EmptyModel));
+
+        let mut p = Problem::new();
+        p.add_var(0.0, 2.0, 1.0);
+        assert_eq!(p.validate(), Err(SolverError::EmptyDomain(0)));
+
+        let mut p = Problem::new();
+        let x = p.add_var(0.0, 0.0, 1.0);
+        p.add_constraint(vec![(x, 1.0), (VarId(7), 1.0)], Sense::Le, 1.0);
+        assert_eq!(p.validate(), Err(SolverError::UnknownVariable(7)));
+    }
+}

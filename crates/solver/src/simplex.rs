@@ -1,0 +1,401 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves the LP relaxation of a [`Problem`] (integrality marks ignored).
+//! Variables are shifted to zero lower bounds; finite upper bounds become
+//! explicit rows. Phase 1 minimizes artificial infeasibility; phase 2 the
+//! real objective. Pivoting uses Dantzig's rule with a Bland fallback after
+//! a fixed iteration budget to guarantee termination on degenerate models.
+
+use crate::model::{Problem, Sense, Solution, SolverError, Status};
+
+const EPS: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+/// Solves the LP relaxation of `problem`.
+///
+/// Returns [`Status::Optimal`], [`Status::Infeasible`] or
+/// [`Status::Unbounded`]; the values vector is in the original (unshifted)
+/// variable space.
+pub fn solve_lp(problem: &Problem) -> Result<Solution, SolverError> {
+    problem.validate()?;
+    let n = problem.num_vars();
+    let lowers: Vec<f64> = problem.variables().iter().map(|v| v.lower).collect();
+
+    // Build rows over the shifted variables y = x - l >= 0.
+    struct Row {
+        coefs: Vec<f64>,
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in problem.constraints() {
+        let mut coefs = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(id, coef) in &c.terms {
+            coefs[id.0] += coef;
+            shift += coef * lowers[id.0];
+        }
+        rows.push(Row {
+            coefs,
+            sense: c.sense,
+            rhs: c.rhs - shift,
+        });
+    }
+    // Finite upper bounds become explicit rows y_j <= u_j - l_j.
+    for (j, v) in problem.variables().iter().enumerate() {
+        if v.upper.is_finite() {
+            let mut coefs = vec![0.0; n];
+            coefs[j] = 1.0;
+            rows.push(Row {
+                coefs,
+                sense: Sense::Le,
+                rhs: v.upper - v.lower,
+            });
+        }
+    }
+
+    // Normalize rhs >= 0.
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            for c in &mut row.coefs {
+                *c = -*c;
+            }
+            row.rhs = -row.rhs;
+            row.sense = match row.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus][artificial][rhs].
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    for row in &rows {
+        match row.sense {
+            Sense::Le => num_slack += 1,
+            Sense::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Sense::Eq => num_art += 1,
+        }
+    }
+    let total = n + num_slack + num_art;
+    let mut a = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let art_start = n + num_slack;
+
+    let mut slack_idx = n;
+    let mut art_idx = art_start;
+    for (i, row) in rows.iter().enumerate() {
+        a[i][..n].copy_from_slice(&row.coefs);
+        a[i][total] = row.rhs;
+        match row.sense {
+            Sense::Le => {
+                a[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Sense::Ge => {
+                a[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                a[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                art_idx += 1;
+            }
+            Sense::Eq => {
+                a[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificial variables.
+    if num_art > 0 {
+        let mut cost = vec![0.0f64; total];
+        for c in cost.iter_mut().take(total).skip(art_start) {
+            *c = 1.0;
+        }
+        let status = run_simplex(&mut a, &mut basis, &cost, total, Some(art_start));
+        if status == InnerStatus::Unbounded {
+            // Phase 1 is bounded below by 0; this cannot happen on a sound
+            // tableau, treat as infeasible defensively.
+            return Ok(Solution {
+                status: Status::Infeasible,
+                objective: 0.0,
+                values: vec![],
+            });
+        }
+        let phase1_obj: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &bj)| bj >= art_start)
+            .map(|(i, _)| a[i][total])
+            .sum();
+        if phase1_obj > FEAS_TOL {
+            return Ok(Solution {
+                status: Status::Infeasible,
+                objective: 0.0,
+                values: vec![],
+            });
+        }
+        // Drive remaining (degenerate) artificials out of the basis.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                if let Some(col) = (0..art_start).find(|&j| a[i][j].abs() > EPS) {
+                    pivot(&mut a, &mut basis, i, col, total);
+                }
+                // If no pivot column exists the row is all-zero: harmless.
+            }
+        }
+    }
+
+    // Phase 2: original objective over shifted variables (constant term
+    // from the shift is re-added at the end via objective_value).
+    let mut cost = vec![0.0f64; total];
+    cost[..n].copy_from_slice(problem.objective());
+    let status = run_simplex(&mut a, &mut basis, &cost, total, Some(art_start));
+    if status == InnerStatus::Unbounded {
+        return Ok(Solution {
+            status: Status::Unbounded,
+            objective: f64::NEG_INFINITY,
+            values: vec![],
+        });
+    }
+
+    let mut values = lowers;
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj < n {
+            values[bj] += a[i][total];
+        }
+    }
+    let objective = problem.objective_value(&values);
+    Ok(Solution {
+        status: Status::Optimal,
+        objective,
+        values,
+    })
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum InnerStatus {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs primal simplex on the tableau; `forbid_from` columns (artificials
+/// in phase 2) are never allowed to enter.
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    total: usize,
+    forbid_from: Option<usize>,
+) -> InnerStatus {
+    let m = a.len();
+    let forbid = forbid_from.unwrap_or(total);
+    let max_dantzig = 20 * (m + total) + 200;
+    let max_iters = 200 * (m + total) + 2000;
+
+    for iter in 0..max_iters {
+        // Reduced costs: r_j = c_j - c_B B^-1 A_j, computed directly from
+        // the maintained tableau.
+        let mut entering: Option<usize> = None;
+        let mut best = -EPS;
+        for j in 0..total {
+            // Artificial columns never (re-)enter: they start basic in
+            // phase 1 and are forbidden in phase 2.
+            if j >= forbid || basis.contains(&j) {
+                continue;
+            }
+            let mut rj = cost[j];
+            for (i, &bi) in basis.iter().enumerate() {
+                let cb = cost[bi];
+                if cb != 0.0 {
+                    rj -= cb * a[i][j];
+                }
+            }
+            if iter < max_dantzig {
+                if rj < best {
+                    best = rj;
+                    entering = Some(j);
+                }
+            } else if rj < -EPS {
+                // Bland: first improving column.
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(e) = entering else {
+            return InnerStatus::Optimal;
+        };
+
+        // Ratio test (Bland ties by smallest basis index).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if a[i][e] > EPS {
+                let ratio = a[i][total] / a[i][e];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return InnerStatus::Unbounded;
+        };
+        pivot(a, basis, l, e, total);
+    }
+    // Iteration budget exhausted: report the current (feasible) point as
+    // optimal-so-far; on these problem sizes this path is unreachable.
+    InnerStatus::Optimal
+}
+
+fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let m = a.len();
+    let p = a[row][col];
+    for j in 0..=total {
+        a[row][j] /= p;
+    }
+    for i in 0..m {
+        if i != row {
+            let f = a[i][col];
+            if f.abs() > 0.0 {
+                for j in 0..=total {
+                    a[i][j] -= f * a[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Sense};
+
+    #[test]
+    fn solves_textbook_lp() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6), 36.
+        let mut p = Problem::new();
+        let x = p.add_var(-3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(-5.0, 0.0, f64::INFINITY);
+        p.add_constraint(vec![(x, 1.0)], Sense::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Sense::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective + 36.0).abs() < 1e-6);
+        assert!((sol.values[0] - 2.0).abs() < 1e-6);
+        assert!((sol.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_ge_and_eq_constraints() {
+        // min x + y  s.t. x + y >= 3, x - y == 1 => (2, 1), 3.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(
+            (sol.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
+        assert!((sol.values[0] - 2.0).abs() < 1e-6);
+        assert!((sol.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 0.0, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Sense::Ge, 5.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, 0.0, f64::INFINITY);
+        p.add_constraint(vec![(x, -1.0)], Sense::Le, 0.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn respects_variable_bounds() {
+        // min -x with x in [0, 7].
+        let mut p = Problem::new();
+        let _x = p.add_var(-1.0, 0.0, 7.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.values[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn respects_nonzero_lower_bounds() {
+        // min x + y with x >= 2, y in [3, 10], x + y >= 6 => (3, 3) or (2, 4): obj 6.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, 2.0, f64::INFINITY);
+        let y = p.add_var(1.0, 3.0, 10.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 6.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 6.0).abs() < 1e-6);
+        assert!(sol.values[0] >= 2.0 - 1e-9);
+        assert!(sol.values[1] >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problems_terminate() {
+        // Classic degenerate LP; Bland fallback must prevent cycling.
+        let mut p = Problem::new();
+        let x1 = p.add_var(-0.75, 0.0, f64::INFINITY);
+        let x2 = p.add_var(150.0, 0.0, f64::INFINITY);
+        let x3 = p.add_var(-0.02, 0.0, f64::INFINITY);
+        let x4 = p.add_var(6.0, 0.0, f64::INFINITY);
+        p.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(x3, 1.0)], Sense::Le, 1.0);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!(
+            (sol.objective + 0.05).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn lp_relaxation_of_binary_problem() {
+        // min -(x + y) with x, y binary and x + y <= 1.5 relaxes to 1.5.
+        let mut p = Problem::new();
+        let x = p.add_bin_var(-1.0);
+        let y = p.add_bin_var(-1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Le, 1.5);
+        let sol = solve_lp(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective + 1.5).abs() < 1e-6);
+    }
+}

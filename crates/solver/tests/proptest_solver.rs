@@ -1,0 +1,133 @@
+//! Property-based tests for the LP/MILP solver: on random models the
+//! returned points must actually be feasible, LP relaxations must bound
+//! MILP optima, and branch-and-bound must match brute force on small
+//! binary programs.
+
+use std::time::Duration;
+
+use lorafusion_solver::{solve_lp, solve_milp, MilpOptions, Problem, Sense, Status};
+use proptest::prelude::*;
+
+/// A random bounded minimization problem with `n` variables in [0, 10]
+/// and `m` <=-constraints with nonnegative coefficients (always feasible:
+/// the origin satisfies every constraint).
+#[derive(Debug, Clone)]
+struct RandomModel {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    integer: Vec<bool>,
+}
+
+fn arb_model() -> impl Strategy<Value = RandomModel> {
+    (2usize..6, 1usize..5)
+        .prop_flat_map(|(n, m)| {
+            (
+                prop::collection::vec(-5.0f64..5.0, n),
+                prop::collection::vec(
+                    (prop::collection::vec(0.0f64..3.0, n), 1.0f64..20.0),
+                    m,
+                ),
+                prop::collection::vec(any::<bool>(), n),
+            )
+        })
+        .prop_map(|(costs, rows, integer)| RandomModel { costs, rows, integer })
+}
+
+fn build(model: &RandomModel, relax: bool) -> Problem {
+    let mut p = Problem::new();
+    let vars: Vec<_> = model
+        .costs
+        .iter()
+        .zip(&model.integer)
+        .map(|(&c, &int)| {
+            if int && !relax {
+                p.add_int_var(c, 0.0, 10.0)
+            } else {
+                p.add_var(c, 0.0, 10.0)
+            }
+        })
+        .collect();
+    for (coefs, rhs) in &model.rows {
+        let terms: Vec<_> = vars.iter().zip(coefs).map(|(&v, &c)| (v, c)).collect();
+        p.add_constraint(terms, Sense::Le, *rhs);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LP solutions are feasible and optimal points of feasible models.
+    #[test]
+    fn lp_solutions_are_feasible(model in arb_model()) {
+        let p = build(&model, true);
+        let sol = solve_lp(&p).unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+        prop_assert!(p.is_feasible(&sol.values, 1e-5), "infeasible LP point");
+        // The origin is feasible, so the optimum is at most the origin's
+        // objective (zero).
+        prop_assert!(sol.objective <= 1e-7, "objective {}", sol.objective);
+    }
+
+    /// MILP solutions are integer-feasible, and the LP relaxation bounds
+    /// them from below.
+    #[test]
+    fn milp_respects_relaxation_bound(model in arb_model()) {
+        let p_int = build(&model, false);
+        let p_rel = build(&model, true);
+        let milp = solve_milp(&p_int, &MilpOptions {
+            timeout: Duration::from_millis(500),
+            ..MilpOptions::default()
+        }).unwrap();
+        let lp = solve_lp(&p_rel).unwrap();
+        prop_assert!(matches!(milp.status, Status::Optimal | Status::TimedOut));
+        prop_assert!(p_int.is_feasible(&milp.values, 1e-5), "infeasible MILP point");
+        prop_assert!(milp.objective >= lp.objective - 1e-6,
+            "MILP {} below LP bound {}", milp.objective, lp.objective);
+    }
+
+    /// On all-binary knapsack-style models, branch-and-bound matches brute
+    /// force exactly.
+    #[test]
+    fn milp_matches_brute_force(
+        costs in prop::collection::vec(-4.0f64..4.0, 2..7),
+        weights in prop::collection::vec(0.5f64..3.0, 2..7),
+        cap in 1.0f64..8.0,
+    ) {
+        let n = costs.len().min(weights.len());
+        let mut p = Problem::new();
+        let vars: Vec<_> = costs.iter().take(n).map(|&c| p.add_bin_var(c)).collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+        p.add_constraint(terms, Sense::Le, cap);
+
+        let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
+        prop_assert_eq!(sol.status, Status::Optimal);
+
+        // Brute force over all assignments.
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << n) {
+            let weight: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            if weight <= cap + 1e-9 {
+                let cost: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| costs[i]).sum();
+                best = best.min(cost);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "B&B {} vs brute force {}", sol.objective, best);
+    }
+
+    /// Warm starts never worsen the result.
+    #[test]
+    fn warm_start_never_hurts(model in arb_model()) {
+        let p = build(&model, false);
+        let cold = solve_milp(&p, &MilpOptions::default()).unwrap();
+        let warm = solve_milp(&p, &MilpOptions {
+            warm_start: Some(vec![0.0; model.costs.len()]),
+            ..MilpOptions::default()
+        }).unwrap();
+        if cold.status == Status::Optimal && warm.status == Status::Optimal {
+            prop_assert!((cold.objective - warm.objective).abs() < 1e-6);
+        }
+        prop_assert!(warm.objective <= 1e-7, "warm start at origin bounds objective");
+    }
+}

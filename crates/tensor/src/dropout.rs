@@ -1,0 +1,154 @@
+//! Counter-based dropout.
+//!
+//! GPU dropout kernels (and the paper's fused Triton kernels) use a
+//! counter-based RNG (Philox): the keep/drop decision for logical element
+//! `i` is a pure function of `(seed, i)`. This module reproduces that
+//! contract with [`crate::SplitMix64`]: whether dropout runs as a standalone
+//! kernel (Torch LoRA), fused into the down-projection (FusedLoRA), or per
+//! tile with per-adapter seeds (FusedMultiLoRA), the realized mask is
+//! identical — which is what makes the fusion strategies *lossless*.
+
+use crate::error::TensorError;
+use crate::rng::SplitMix64;
+use crate::tensor::Matrix;
+use crate::Result;
+
+/// Parameters of a dropout application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropoutSpec {
+    /// Drop probability in `[0, 1)`.
+    pub prob: f32,
+    /// RNG seed. Elements are indexed by `row_offset * cols + col`.
+    pub seed: u64,
+    /// Logical row offset of this matrix within the full batch.
+    ///
+    /// The multi-LoRA executor processes token *segments*; offsetting the
+    /// counter by the segment start keeps the segment's mask identical to
+    /// the one a whole-batch kernel would have produced.
+    pub row_offset: usize,
+}
+
+impl DropoutSpec {
+    /// Creates a spec with zero row offset.
+    pub fn new(prob: f32, seed: u64) -> Self {
+        Self {
+            prob,
+            seed,
+            row_offset: 0,
+        }
+    }
+
+    /// Returns a copy of this spec shifted to start at `row_offset`.
+    pub fn with_row_offset(self, row_offset: usize) -> Self {
+        Self { row_offset, ..self }
+    }
+
+    /// Validates the drop probability.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..1.0).contains(&self.prob) || !self.prob.is_finite() {
+            return Err(TensorError::InvalidParameter {
+                name: "prob",
+                reason: "dropout probability must lie in [0, 1)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Keep decision for the element at logical `(row, col)` given `cols`
+    /// columns per row.
+    #[inline]
+    pub fn keep(&self, row: usize, col: usize, cols: usize) -> bool {
+        if self.prob == 0.0 {
+            return true;
+        }
+        let counter = ((self.row_offset + row) * cols + col) as u64;
+        SplitMix64::uniform_at(self.seed, counter) >= self.prob as f64
+    }
+
+    /// Inverse keep-probability scale applied to surviving elements.
+    #[inline]
+    pub fn scale(&self) -> f32 {
+        1.0 / (1.0 - self.prob)
+    }
+}
+
+/// Computes the dropout mask as a matrix of `0.0` / `scale` values.
+///
+/// Multiplying elementwise by this mask applies (inverted) dropout; the same
+/// mask is reused in the backward pass to route `dX̂` into `dX`.
+pub fn dropout_mask(rows: usize, cols: usize, spec: &DropoutSpec) -> Result<Matrix> {
+    spec.validate()?;
+    let scale = spec.scale();
+    let mut mask = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            let v = if spec.keep(i, j, cols) { scale } else { 0.0 };
+            mask.set(i, j, v)?;
+        }
+    }
+    Ok(mask)
+}
+
+/// Applies dropout to `x`, returning `(x̂, mask)`.
+pub fn dropout_forward(x: &Matrix, spec: &DropoutSpec) -> Result<(Matrix, Matrix)> {
+    let mask = dropout_mask(x.rows(), x.cols(), spec)?;
+    let out = crate::ops::hadamard(x, &mask)?;
+    Ok((out, mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let x = Matrix::full(4, 4, 2.0);
+        let (out, mask) = dropout_forward(&x, &DropoutSpec::new(0.0, 1)).unwrap();
+        assert_eq!(out, x);
+        assert_eq!(mask, Matrix::full(4, 4, 1.0));
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        assert!(dropout_mask(2, 2, &DropoutSpec::new(1.0, 1)).is_err());
+        assert!(dropout_mask(2, 2, &DropoutSpec::new(-0.1, 1)).is_err());
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let spec = DropoutSpec::new(0.3, 42);
+        let mask = dropout_mask(200, 200, &spec).unwrap();
+        let dropped = mask.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let rate = dropped as f64 / mask.len() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn surviving_elements_are_scaled() {
+        let spec = DropoutSpec::new(0.5, 7);
+        let x = Matrix::full(16, 16, 1.0);
+        let (out, _) = dropout_forward(&x, &spec).unwrap();
+        for &v in out.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn segment_masks_match_whole_batch_mask() {
+        // The key losslessness property: computing dropout on row segments
+        // with the appropriate offsets reproduces the whole-batch mask.
+        let spec = DropoutSpec::new(0.25, 99);
+        let full = dropout_mask(10, 8, &spec).unwrap();
+        let top = dropout_mask(4, 8, &spec).unwrap();
+        let bottom = dropout_mask(6, 8, &spec.with_row_offset(4)).unwrap();
+        assert_eq!(full.slice_rows(0, 4).unwrap(), top);
+        assert_eq!(full.slice_rows(4, 10).unwrap(), bottom);
+    }
+
+    #[test]
+    fn mask_is_seed_dependent() {
+        let a = dropout_mask(16, 16, &DropoutSpec::new(0.5, 1)).unwrap();
+        let b = dropout_mask(16, 16, &DropoutSpec::new(0.5, 2)).unwrap();
+        assert_ne!(a, b);
+    }
+}

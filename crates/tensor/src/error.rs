@@ -1,0 +1,68 @@
+//! Error type for tensor operations.
+
+use core::fmt;
+
+/// Errors produced by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given a buffer whose length does not match the
+    /// requested shape.
+    LengthMismatch {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the matrix shape.
+    OutOfBounds {
+        /// The offending `(row, col)` index.
+        index: (usize, usize),
+        /// The matrix shape.
+        shape: (usize, usize),
+    },
+    /// A parameter was outside its valid domain (e.g. dropout probability
+    /// not in `[0, 1)`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} elements)"
+                )
+            }
+            TensorError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            TensorError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,269 @@
+//! Blocked matrix multiplication in the layouts LoRA training needs.
+//!
+//! The LoRA forward/backward graph uses three GEMM layouts:
+//!
+//! * `NN`: `C = A @ B` — forward projections (`X W`, `X̂ A`, `S B`);
+//! * `NT`: `C = A @ Bᵀ` — input gradients (`dY Wᵀ`, `dS Aᵀ`, `dY Bᵀ`);
+//! * `TN`: `C = Aᵀ @ B` — weight gradients (`X̂ᵀ dS`, `Sᵀ dY`).
+//!
+//! All three are implemented with a cache-blocked i-k-j loop order and an
+//! optional accumulate-into-output mode (`beta = 1`), which is what the
+//! fused executors use to model a GEMM epilogue that adds the LoRA branch
+//! into the frozen output without materializing a partial tensor.
+
+use crate::error::TensorError;
+use crate::tensor::Matrix;
+use crate::Result;
+
+/// Cache block size along each loop dimension.
+const BLOCK: usize = 64;
+
+/// Accumulation mode for a GEMM call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accumulate {
+    /// Overwrite the output (`beta = 0`).
+    Overwrite,
+    /// Add into the existing output (`beta = 1`).
+    Add,
+}
+
+/// Computes `C (+)= alpha * A @ B` where `A` is `m x k` and `B` is `k x n`.
+pub fn gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_nn",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (m, n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_nn_out",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    if acc == Accumulate::Overwrite {
+        c.as_mut_slice().fill(0.0);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let arow = &av[i * k..(i + 1) * k];
+                let crow = &mut cv[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = alpha * arow[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[kk * n..(kk + 1) * n];
+                    for j in 0..n {
+                        crow[j] += aik * brow[j];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes `C (+)= alpha * A @ Bᵀ` where `A` is `m x k` and `B` is `n x k`.
+pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_nt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (m, n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_nt_out",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    if acc == Accumulate::Overwrite {
+        c.as_mut_slice().fill(0.0);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc_val = 0.0f32;
+            for kk in 0..k {
+                acc_val += arow[kk] * brow[kk];
+            }
+            crow[j] += alpha * acc_val;
+        }
+    }
+    Ok(())
+}
+
+/// Computes `C (+)= alpha * Aᵀ @ B` where `A` is `k x m` and `B` is `k x n`.
+pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_tn",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.shape() != (m, n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "gemm_tn_out",
+            lhs: (m, n),
+            rhs: c.shape(),
+        });
+    }
+    if acc == Accumulate::Overwrite {
+        c.as_mut_slice().fill(0.0);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    for kk in 0..k {
+        let arow = &av[kk * m..(kk + 1) * m];
+        let brow = &bv[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aki = alpha * arow[i];
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aki * brow[j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns `A @ B` as a new matrix.
+pub fn matmul_nn(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn(1.0, a, b, &mut c, Accumulate::Overwrite)?;
+    Ok(c)
+}
+
+/// Returns `A @ Bᵀ` as a new matrix.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm_nt(1.0, a, b, &mut c, Accumulate::Overwrite)?;
+    Ok(c)
+}
+
+/// Returns `Aᵀ @ B` as a new matrix.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm_tn(1.0, a, b, &mut c, Accumulate::Overwrite)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    /// Reference triple-loop matmul for cross-checking the blocked kernels.
+    fn naive_nn(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk).unwrap() * b.get(kk, j).unwrap();
+                }
+                c.set(i, j, acc).unwrap();
+            }
+        }
+        c
+    }
+
+    fn close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn nn_matches_naive() {
+        let mut rng = Pcg32::seeded(17);
+        let a = Matrix::random_uniform(33, 65, 1.0, &mut rng);
+        let b = Matrix::random_uniform(65, 19, 1.0, &mut rng);
+        assert!(close(&matmul_nn(&a, &b).unwrap(), &naive_nn(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn nt_matches_nn_with_explicit_transpose() {
+        let mut rng = Pcg32::seeded(18);
+        let a = Matrix::random_uniform(20, 30, 1.0, &mut rng);
+        let b = Matrix::random_uniform(25, 30, 1.0, &mut rng);
+        let via_t = matmul_nn(&a, &b.transpose()).unwrap();
+        assert!(close(&matmul_nt(&a, &b).unwrap(), &via_t, 1e-4));
+    }
+
+    #[test]
+    fn tn_matches_nn_with_explicit_transpose() {
+        let mut rng = Pcg32::seeded(19);
+        let a = Matrix::random_uniform(30, 20, 1.0, &mut rng);
+        let b = Matrix::random_uniform(30, 25, 1.0, &mut rng);
+        let via_t = matmul_nn(&a.transpose(), &b).unwrap();
+        assert!(close(&matmul_tn(&a, &b).unwrap(), &via_t, 1e-4));
+    }
+
+    #[test]
+    fn accumulate_adds_into_output() {
+        let mut rng = Pcg32::seeded(20);
+        let a = Matrix::random_uniform(8, 8, 1.0, &mut rng);
+        let b = Matrix::random_uniform(8, 8, 1.0, &mut rng);
+        let base = Matrix::full(8, 8, 3.0);
+        let mut c = base.clone();
+        gemm_nn(2.0, &a, &b, &mut c, Accumulate::Add).unwrap();
+        let prod = matmul_nn(&a, &b).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                let expect = 3.0 + 2.0 * prod.get(i, j).unwrap();
+                assert!((c.get(i, j).unwrap() - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(matmul_nn(&a, &b).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Pcg32::seeded(21);
+        let a = Matrix::random_uniform(16, 16, 1.0, &mut rng);
+        let mut eye = Matrix::zeros(16, 16);
+        for i in 0..16 {
+            eye.set(i, i, 1.0).unwrap();
+        }
+        assert!(close(&matmul_nn(&a, &eye).unwrap(), &a, 1e-6));
+        assert!(close(&matmul_nn(&eye, &a).unwrap(), &a, 1e-6));
+    }
+}

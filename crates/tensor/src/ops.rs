@@ -1,0 +1,169 @@
+//! Elementwise and reduction operations.
+//!
+//! These mirror the "other element-wise operations" category in the paper's
+//! Figure 4 runtime breakdown: scaling, addition of branch outputs, masked
+//! multiplication. Each function is shape-checked and returns a
+//! [`crate::TensorError`] on mismatch.
+
+use crate::error::TensorError;
+use crate::tensor::Matrix;
+use crate::Result;
+
+/// Computes `out = a + b` elementwise.
+pub fn add(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    zip_map("add", a, b, |x, y| x + y)
+}
+
+/// Computes `out = a - b` elementwise.
+pub fn sub(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    zip_map("sub", a, b, |x, y| x - y)
+}
+
+/// Computes `out = a * b` elementwise (Hadamard product).
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    zip_map("hadamard", a, b, |x, y| x * y)
+}
+
+/// Computes `a += alpha * b` in place.
+pub fn axpy(alpha: f32, b: &Matrix, a: &mut Matrix) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "axpy",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Returns `alpha * a` as a new matrix.
+pub fn scale(alpha: f32, a: &Matrix) -> Matrix {
+    a.map(|v| alpha * v)
+}
+
+/// Sum of all elements (f64 accumulator for stability).
+pub fn sum(a: &Matrix) -> f64 {
+    a.as_slice().iter().map(|&v| v as f64).sum()
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm(a: &Matrix) -> f64 {
+    a.as_slice()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Largest absolute elementwise difference between two matrices.
+///
+/// Used pervasively by the equivalence tests that check fused kernels
+/// against the unfused reference.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> Result<f64> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_abs_diff",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max))
+}
+
+/// Returns true when every element differs by at most
+/// `tol * (1 + max(|a|, |b|))`.
+pub fn all_close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+fn zip_map<F: Fn(f32, f32) -> f32>(
+    op: &'static str,
+    a: &Matrix,
+    b: &Matrix,
+    f: F,
+) -> Result<Matrix> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut rng = Pcg32::seeded(1);
+        let a = Matrix::random_uniform(4, 5, 1.0, &mut rng);
+        let b = Matrix::random_uniform(4, 5, 1.0, &mut rng);
+        let back = sub(&add(&a, &b).unwrap(), &b).unwrap();
+        assert!(all_close(&back, &a, 1e-6));
+    }
+
+    #[test]
+    fn axpy_matches_scale_add() {
+        let mut rng = Pcg32::seeded(2);
+        let a = Matrix::random_uniform(3, 3, 1.0, &mut rng);
+        let b = Matrix::random_uniform(3, 3, 1.0, &mut rng);
+        let mut via_axpy = a.clone();
+        axpy(2.5, &b, &mut via_axpy).unwrap();
+        let via_ops = add(&a, &scale(2.5, &b)).unwrap();
+        assert!(all_close(&via_axpy, &via_ops, 1e-6));
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity() {
+        let mut rng = Pcg32::seeded(3);
+        let a = Matrix::random_uniform(4, 4, 1.0, &mut rng);
+        let ones = Matrix::full(4, 4, 1.0);
+        assert!(all_close(&hadamard(&a, &ones).unwrap(), &a, 0.0));
+    }
+
+    #[test]
+    fn norms_and_sums() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((frobenius_norm(&m) - 5.0).abs() < 1e-9);
+        assert!((sum(&m) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = Matrix::zeros(2, 2);
+        b.set(1, 1, 0.25).unwrap();
+        assert!((max_abs_diff(&a, &b).unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(add(&a, &b).is_err());
+        assert!(max_abs_diff(&a, &b).is_err());
+        let mut a2 = a.clone();
+        assert!(axpy(1.0, &b, &mut a2).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the tensor substrate.
+
+use lorafusion_tensor::ops::{add, all_close, hadamard, scale};
+use lorafusion_tensor::{
+    dropout_forward, dropout_mask, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix, Pcg32,
+};
+use proptest::prelude::*;
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = Pcg32::seeded(seed);
+        Matrix::random_uniform(r, c, 1.0, &mut rng)
+    })
+}
+
+fn arb_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(m, k, n, seed)| {
+        let mut rng = Pcg32::seeded(seed);
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A @ B)ᵀ == Bᵀ @ Aᵀ.
+    #[test]
+    fn matmul_transpose_identity((a, b) in arb_pair(24)) {
+        let lhs = matmul_nn(&a, &b).unwrap().transpose();
+        let rhs = matmul_nn(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(all_close(&lhs, &rhs, 1e-4));
+    }
+
+    /// NT and TN layouts agree with explicit transposition.
+    #[test]
+    fn layout_variants_agree((a, b) in arb_pair(20)) {
+        let nt = matmul_nt(&a, &b.transpose()).unwrap();
+        let nn = matmul_nn(&a, &b).unwrap();
+        prop_assert!(all_close(&nt, &nn, 1e-4));
+
+        let tn = matmul_tn(&a.transpose(), &b).unwrap();
+        prop_assert!(all_close(&tn, &nn, 1e-4));
+    }
+
+    /// Matmul distributes over addition: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes((a, b) in arb_pair(16), seed in any::<u64>()) {
+        let mut rng = Pcg32::seeded(seed);
+        let c = Matrix::random_uniform(b.rows(), b.cols(), 1.0, &mut rng);
+        let lhs = matmul_nn(&a, &add(&b, &c).unwrap()).unwrap();
+        let rhs = add(&matmul_nn(&a, &b).unwrap(), &matmul_nn(&a, &c).unwrap()).unwrap();
+        prop_assert!(all_close(&lhs, &rhs, 1e-3));
+    }
+
+    /// Scaling commutes with matmul.
+    #[test]
+    fn scale_commutes((a, b) in arb_pair(16), alpha in -4.0f32..4.0) {
+        let lhs = matmul_nn(&scale(alpha, &a), &b).unwrap();
+        let rhs = scale(alpha, &matmul_nn(&a, &b).unwrap());
+        prop_assert!(all_close(&lhs, &rhs, 1e-3));
+    }
+
+    /// Dropout's mask is deterministic given the spec, and applying it is
+    /// exactly an elementwise multiply by the mask.
+    #[test]
+    fn dropout_is_mask_multiplication(x in arb_matrix(24), seed in any::<u64>(), prob in 0.0f32..0.9) {
+        let spec = DropoutSpec::new(prob, seed);
+        let (out, mask) = dropout_forward(&x, &spec).unwrap();
+        let mask2 = dropout_mask(x.rows(), x.cols(), &spec).unwrap();
+        prop_assert_eq!(&mask, &mask2);
+        let expect = hadamard(&x, &mask).unwrap();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Splitting any matrix at any row and re-assembling masks per segment
+    /// reproduces the full mask (fusion-order independence).
+    #[test]
+    fn dropout_segments_compose(rows in 2usize..32, cols in 1usize..16, split in 1usize..31, seed in any::<u64>()) {
+        let split = split.min(rows - 1);
+        let spec = DropoutSpec::new(0.4, seed);
+        let full = dropout_mask(rows, cols, &spec).unwrap();
+        let head = dropout_mask(split, cols, &spec).unwrap();
+        let tail = dropout_mask(rows - split, cols, &spec.with_row_offset(split)).unwrap();
+        prop_assert_eq!(full.slice_rows(0, split).unwrap(), head);
+        prop_assert_eq!(full.slice_rows(split, rows).unwrap(), tail);
+    }
+
+    /// Row slicing then writing back is the identity.
+    #[test]
+    fn slice_write_roundtrip(x in arb_matrix(24), at in 0usize..24) {
+        let at = at.min(x.rows());
+        let head = x.slice_rows(0, at).unwrap();
+        let tail = x.slice_rows(at, x.rows()).unwrap();
+        let mut rebuilt = Matrix::zeros(x.rows(), x.cols());
+        rebuilt.write_rows(0, &head).unwrap();
+        rebuilt.write_rows(at, &tail).unwrap();
+        prop_assert_eq!(rebuilt, x);
+    }
+}

@@ -1,0 +1,58 @@
+//! Capacity planner: the parallelism-profiler workflow of Fig. 8, exposed
+//! as a what-if tool across models and clusters.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use lorafusion::prelude::*;
+use lorafusion_dist::memory::MemoryPlan;
+
+fn main() {
+    let jobs = vec![
+        FinetuneJob::synthetic("a", DatasetPreset::XSum, 64, 16, 11),
+        FinetuneJob::synthetic("b", DatasetPreset::CnnDailyMail, 64, 16, 12),
+        FinetuneJob::synthetic("c", DatasetPreset::WikiSum, 64, 16, 13),
+        FinetuneJob::synthetic("d", DatasetPreset::Mixed, 64, 16, 14),
+    ];
+
+    let configurations = [
+        (ModelPreset::Llama8b, ClusterSpec::h100(1)),
+        (ModelPreset::Qwen32b, ClusterSpec::h100(2)),
+        (ModelPreset::Llama70b, ClusterSpec::h100(4)),
+        (ModelPreset::Llama8b, ClusterSpec::l40s(1)),
+        (ModelPreset::Qwen32b, ClusterSpec::l40s(4)),
+    ];
+
+    for (model, cluster) in configurations {
+        let cfg = model.config();
+        let plan = MemoryPlan::for_gpu(&cfg, jobs.len(), 16, cluster.gpus, 1);
+        let device = cluster.device.spec();
+        println!(
+            "\n{} on {} x {} ({} GiB each)",
+            cfg.name, cluster.gpus, device.name, device.memory_gib
+        );
+        println!(
+            "  frozen {:.1} GB + adapters {:.2} GB per GPU; {:.0} KB activations per token",
+            plan.frozen_bytes as f64 / 1e9,
+            plan.adapter_bytes as f64 / 1e9,
+            plan.activation_bytes_per_token as f64 / 1e3,
+        );
+        let max_tokens = plan.max_tokens_in_flight(&device);
+        println!("  max tokens in flight: {max_tokens}");
+
+        let planner = Planner::new(model, cluster);
+        match planner.plan(&jobs) {
+            Ok(p) => {
+                println!(
+                    "  planner: capacity {} tokens, predicted {:.0} tokens/sec{}",
+                    p.capacity,
+                    p.predicted_tokens_per_second,
+                    p.predicted_bubble_ratio
+                        .map_or(String::new(), |b| format!(", bubble {:.1}%", b * 100.0)),
+                );
+            }
+            Err(e) => println!("  planner: {e}"),
+        }
+    }
+}

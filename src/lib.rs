@@ -1,0 +1,14 @@
+//! Umbrella crate for the LoRAFusion reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the top-level
+//! `examples/` and `tests/` directories can exercise the whole stack through
+//! a single dependency. All functionality lives in the `crates/*` members.
+
+pub use lorafusion as core;
+pub use lorafusion_data as data;
+pub use lorafusion_dist as dist;
+pub use lorafusion_gpu as gpu;
+pub use lorafusion_kernels as kernels;
+pub use lorafusion_sched as sched;
+pub use lorafusion_solver as solver;
+pub use lorafusion_tensor as tensor;

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full stack from jobs to plan to
+//! execution, exercised together.
+
+use lorafusion::prelude::*;
+use lorafusion_dist::baselines::{evaluate_system, SystemKind};
+use lorafusion_sched::{verify_bubble_lemma, SchedulerConfig};
+
+fn jobs() -> Vec<FinetuneJob> {
+    vec![
+        FinetuneJob::synthetic("a", DatasetPreset::XSum, 64, 16, 1),
+        FinetuneJob::synthetic("b", DatasetPreset::CnnDailyMail, 64, 16, 2),
+        FinetuneJob::synthetic("c", DatasetPreset::WikiSum, 64, 16, 3),
+        FinetuneJob::synthetic("d", DatasetPreset::Mixed, 64, 16, 4),
+    ]
+}
+
+#[test]
+fn plan_schedule_and_simulation_agree_on_token_totals() {
+    let planner = Planner::new(ModelPreset::Llama8b, ClusterSpec::h100(1));
+    let plan = planner.plan(&jobs()).unwrap();
+    let expected_tokens: usize = jobs().iter().map(FinetuneJob::total_tokens).sum();
+    assert_eq!(plan.schedule.total_tokens(), expected_tokens);
+    assert!(plan.predicted_tokens_per_second > 0.0);
+}
+
+#[test]
+fn planner_schedule_is_dependency_safe_for_the_target_pipeline() {
+    let planner = Planner::new(ModelPreset::Llama70b, ClusterSpec::h100(4));
+    let plan = planner.plan(&jobs()).unwrap();
+    assert!(verify_bubble_lemma(&plan.schedule.microbatches, 4).is_empty());
+}
+
+#[test]
+fn lorafusion_wins_end_to_end_on_the_multi_gpu_setting() {
+    let cluster = ClusterSpec::h100(4);
+    let ajobs = lorafusion::job::to_adapter_jobs(&jobs());
+    let lf = evaluate_system(
+        SystemKind::LoraFusion,
+        ModelPreset::Llama70b,
+        &cluster,
+        &ajobs,
+        16,
+        16384,
+    );
+    let ml = evaluate_system(
+        SystemKind::MLora,
+        ModelPreset::Llama70b,
+        &cluster,
+        &ajobs,
+        16,
+        16384,
+    );
+    let mp = evaluate_system(
+        SystemKind::MegatronPp,
+        ModelPreset::Llama70b,
+        &cluster,
+        &ajobs,
+        16,
+        16384,
+    );
+    assert!(!lf.oom);
+    assert!(lf.tokens_per_second > ml.tokens_per_second);
+    assert!(lf.tokens_per_second > mp.tokens_per_second);
+}
+
+#[test]
+fn scheduler_capacity_errors_propagate_to_the_planner_boundary() {
+    // A sample longer than every feasible capacity must be rejected by the
+    // scheduler, not silently truncated.
+    let mut big = jobs();
+    big[0].dataset.samples[0].len = 1 << 22;
+    let cfg = SchedulerConfig {
+        capacity: 16384,
+        ..SchedulerConfig::default()
+    };
+    let ajobs = lorafusion::job::to_adapter_jobs(&big);
+    let err = lorafusion_sched::schedule_jobs(&ajobs, &cfg).unwrap_err();
+    assert!(matches!(
+        err,
+        lorafusion_sched::SchedulerError::SampleExceedsCapacity { .. }
+    ));
+}
+
+#[test]
+fn trainer_consumes_a_real_schedule() {
+    // Execute a scheduler-produced microbatch stream through the real
+    // multi-adapter trainer: sample lengths become token segments.
+    let jobs = vec![
+        FinetuneJob::synthetic("a", DatasetPreset::XSum, 12, 6, 5),
+        FinetuneJob::synthetic("b", DatasetPreset::XSum, 12, 6, 6),
+    ];
+    let ajobs = lorafusion::job::to_adapter_jobs(&jobs);
+    let cfg = SchedulerConfig {
+        capacity: 4096,
+        pipeline_stages: 1,
+        ..SchedulerConfig::default()
+    };
+    let schedule = lorafusion_sched::schedule_jobs(&ajobs, &cfg).unwrap();
+
+    let config = TrainerConfig::small(2, ExecutorKind::FusedMulti);
+    let mut trainer = MultiAdapterTrainer::new(&config);
+    let before: f64 = (0..2).map(|a| trainer.probe_loss(a, 32, 77)).sum();
+    for _epoch in 0..12 {
+        for mb in schedule.microbatches.iter().filter(|m| !m.noop) {
+            // Map every 64 dataset tokens to one trainer token, at least 1.
+            let segments: Vec<(usize, usize)> = mb
+                .entries
+                .iter()
+                .map(|e| (e.adapter, (e.sample.len / 64).max(1)))
+                .collect();
+            let total: usize = segments.iter().map(|&(_, l)| l).sum();
+            let x = trainer.sample_input(total);
+            trainer.step_microbatch(&x, &segments).unwrap();
+        }
+        trainer.apply_adapter_step(0);
+        trainer.apply_adapter_step(1);
+    }
+    let after: f64 = (0..2).map(|a| trainer.probe_loss(a, 32, 77)).sum();
+    assert!(after < before, "loss must decrease: {before} -> {after}");
+}

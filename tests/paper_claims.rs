@@ -1,0 +1,114 @@
+//! Integration tests pinning the paper's headline claims (C1/C2 of the
+//! artifact appendix) to the reproduction, in *shape*: who wins, by
+//! roughly what factor, and where the crossovers fall.
+
+use lorafusion_bench::Workload;
+use lorafusion_dist::baselines::{evaluate_system, SystemKind};
+use lorafusion_dist::cluster::ClusterSpec;
+use lorafusion_dist::model_config::ModelPreset;
+use lorafusion_gpu::{CostModel, DeviceKind, KernelProfile};
+use lorafusion_kernels::{fused, reference, Shape, TrafficModel};
+
+/// C2 (Fig. 17): fused kernels are 1.1-1.5x faster, average near 1.27x.
+#[test]
+fn c2_fused_kernel_speedup_band() {
+    let dev = DeviceKind::H100Sxm.spec();
+    let cost = CostModel::default();
+    let t = TrafficModel::for_device(&dev);
+    let mut speedups = Vec::new();
+    for &m in &[1024usize, 4096, 8192, 16384] {
+        let shape = Shape::new(m, 4096, 4096, 16);
+        let torch = cost.sequence_seconds(&dev, &reference::forward_profiles(shape, &t))
+            + cost.sequence_seconds(&dev, &reference::backward_profiles(shape, &t));
+        let fused_t = cost.sequence_seconds(&dev, &fused::forward_profiles(shape, &t))
+            + cost.sequence_seconds(&dev, &fused::backward_profiles(shape, &t));
+        speedups.push(torch / fused_t);
+    }
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    assert!((1.15..1.55).contains(&mean), "mean kernel speedup {mean}");
+    for s in &speedups {
+        assert!((1.05..1.6).contains(s), "pointwise speedup {s}");
+    }
+}
+
+/// Section 3.1: DRAM traffic inflation of Torch LoRA is ~2.6x; Fig. 19:
+/// fusion removes a large fraction of it.
+#[test]
+fn traffic_claims_hold() {
+    let dev = DeviceKind::H100Sxm.spec();
+    let t = TrafficModel::for_device(&dev);
+    let shape = Shape::new(8192, 4096, 4096, 16);
+    let sum = |ks: Vec<KernelProfile>| ks.iter().map(KernelProfile::bytes_total).sum::<u64>();
+    let torch =
+        sum(reference::forward_profiles(shape, &t)) + sum(reference::backward_profiles(shape, &t));
+    let frozen = sum(lorafusion_kernels::frozen::forward_profiles(shape, &t))
+        + sum(lorafusion_kernels::frozen::backward_profiles(shape, &t));
+    let fused_b =
+        sum(fused::forward_profiles(shape, &t)) + sum(fused::backward_profiles(shape, &t));
+
+    let inflation = torch as f64 / frozen as f64;
+    assert!(
+        (2.3..3.0).contains(&inflation),
+        "traffic inflation {inflation} (paper 2.64)"
+    );
+    let reduction = 1.0 - fused_b as f64 / torch as f64;
+    assert!(
+        (0.30..0.55).contains(&reduction),
+        "traffic reduction {reduction} (paper 0.34-0.37)"
+    );
+}
+
+/// C1 (Fig. 14): LoRAFusion beats Megatron-LM and mLoRA end to end on the
+/// distributed setting, within the paper's band.
+#[test]
+fn c1_end_to_end_speedup_band() {
+    let cluster = ClusterSpec::h100(4);
+    let jobs = Workload::Mixed.jobs(128, 32, 77);
+    let get = |kind| {
+        evaluate_system(kind, ModelPreset::Llama70b, &cluster, &jobs, 16, 16384).tokens_per_second
+    };
+    let lf = get(SystemKind::LoraFusion);
+    let ml = get(SystemKind::MLora);
+    let mp = get(SystemKind::MegatronPp);
+    let mf = get(SystemKind::MegatronFsdp);
+    let vs_megatron = lf / mp.max(mf);
+    let vs_mlora = lf / ml;
+    assert!(
+        (1.1..2.2).contains(&vs_megatron),
+        "vs Megatron {vs_megatron} (paper <=1.96)"
+    );
+    assert!(
+        (1.05..1.6).contains(&vs_mlora),
+        "vs mLoRA {vs_mlora} (paper <=1.46)"
+    );
+}
+
+/// Fig. 20's ordering: Megatron bubbles > mLoRA bubbles > LoRAFusion
+/// bubbles, and LoRAFusion's shrink as adapters are added.
+#[test]
+fn bubble_ratio_ordering_and_trend() {
+    let cluster = ClusterSpec::h100(4);
+    let model = ModelPreset::Llama70b;
+    let bubble = |kind, n_adapters: usize| {
+        let jobs: Vec<_> = Workload::Mixed
+            .jobs(128, 32, 55)
+            .into_iter()
+            .take(n_adapters)
+            .collect();
+        evaluate_system(kind, model, &cluster, &jobs, 16, 16384)
+            .bubble_ratio
+            .expect("pipelined run")
+    };
+    let megatron = bubble(SystemKind::MegatronPp, 1);
+    let mlora = bubble(SystemKind::MLora, 4);
+    let lf1 = bubble(SystemKind::LoraFusion, 1);
+    let lf4 = bubble(SystemKind::LoraFusion, 4);
+    assert!(megatron > mlora, "megatron {megatron} vs mlora {mlora}");
+    assert!(mlora > lf4, "mlora {mlora} vs lorafusion-4 {lf4}");
+    assert!(
+        lf1 > lf4,
+        "one adapter {lf1} must bubble more than four {lf4}"
+    );
+    assert!(lf4 < 0.20, "four-adapter bubble {lf4} (paper 11.09%)");
+    assert!(megatron > 0.30, "megatron bubble {megatron} (paper 48.79%)");
+}
