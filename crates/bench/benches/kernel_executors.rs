@@ -1,10 +1,10 @@
-//! Criterion: real CPU wall-time of the functional executors.
+//! Wall-clock bench: real CPU time of the functional executors.
 //!
 //! Unlike the roofline-model figures, this bench measures the actual Rust
 //! implementations: the fused executors genuinely make fewer passes over
 //! memory, so the fusion advantage is observable on the CPU too.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorafusion_bench::Bench;
 use lorafusion_gpu::DeviceKind;
 use lorafusion_kernels::multi::MultiLoraLayer;
 use lorafusion_kernels::{fused, multi, reference, LoraConfig, LoraLayer, Segment, TrafficModel};
@@ -20,38 +20,36 @@ fn setup(m: usize, k: usize, n: usize) -> (LoraLayer, Matrix, Matrix, TrafficMod
     (layer, x, dy, t)
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lora_forward");
+fn bench_forward() {
+    let mut bench = Bench::group("lora_forward");
     for &m in &[64usize, 256] {
         let (layer, x, _, t) = setup(m, 128, 128);
-        group.bench_with_input(BenchmarkId::new("reference", m), &m, |b, _| {
-            b.iter(|| black_box(reference::forward(&layer, &x, 0, &t).unwrap()))
+        bench.case(&format!("reference/{m}"), || {
+            black_box(reference::forward(&layer, &x, 0, &t).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("fused", m), &m, |b, _| {
-            b.iter(|| black_box(fused::forward(&layer, &x, 0, &t).unwrap()))
+        bench.case(&format!("fused/{m}"), || {
+            black_box(fused::forward(&layer, &x, 0, &t).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_backward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lora_backward");
+fn bench_backward() {
+    let mut bench = Bench::group("lora_backward");
     for &m in &[64usize, 256] {
         let (layer, x, dy, t) = setup(m, 128, 128);
         let ref_fwd = reference::forward(&layer, &x, 0, &t).unwrap();
         let fused_fwd = fused::forward(&layer, &x, 0, &t).unwrap();
-        group.bench_with_input(BenchmarkId::new("reference", m), &m, |b, _| {
-            b.iter(|| black_box(reference::backward(&layer, &ref_fwd.saved, &dy, &t).unwrap()))
+        bench.case(&format!("reference/{m}"), || {
+            black_box(reference::backward(&layer, &ref_fwd.saved, &dy, &t).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("fused", m), &m, |b, _| {
-            b.iter(|| black_box(fused::backward(&layer, &fused_fwd.saved, &dy, &t).unwrap()))
+        bench.case(&format!("fused/{m}"), || {
+            black_box(fused::backward(&layer, &fused_fwd.saved, &dy, &t).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_multi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multi_lora_forward");
+fn bench_multi() {
+    let mut bench = Bench::group("multi_lora_forward");
     let mut rng = Pcg32::seeded(2);
     let k = 128;
     let n = 128;
@@ -81,12 +79,14 @@ fn bench_multi(c: &mut Criterion) {
             })
             .collect();
         let t = TrafficModel::for_device(&DeviceKind::H100Sxm.spec());
-        group.bench_with_input(BenchmarkId::new("adapters", adapters), &adapters, |b, _| {
-            b.iter(|| black_box(multi::forward(&layer, &x, &segments, &t).unwrap()))
+        bench.case(&format!("adapters/{adapters}"), || {
+            black_box(multi::forward(&layer, &x, &segments, &t).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_backward, bench_multi);
-criterion_main!(benches);
+fn main() {
+    bench_forward();
+    bench_backward();
+    bench_multi();
+}

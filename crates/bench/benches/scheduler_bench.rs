@@ -1,9 +1,9 @@
-//! Criterion: scheduler component performance — greedy vs. two-stage MILP
-//! packing, and the full Algorithm 1 pipeline.
+//! Wall-clock bench: scheduler component performance — greedy vs.
+//! two-stage MILP packing, and the full Algorithm 1 pipeline.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorafusion_bench::Bench;
 use lorafusion_data::{Dataset, DatasetPreset};
 use lorafusion_sched::{
     greedy_packing, schedule_jobs, two_stage_milp_packing, AdapterJob, MicrobatchEntry,
@@ -24,25 +24,21 @@ fn entries(n: usize, adapters: usize) -> Vec<MicrobatchEntry> {
         .collect()
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("packing");
+fn bench_packing() {
+    let mut bench = Bench::group("packing");
     for &n in &[16usize, 64] {
         let e = entries(n, 2);
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| black_box(greedy_packing(&e, 16384, 64)))
+        bench.case(&format!("greedy/{n}"), || {
+            black_box(greedy_packing(&e, 16384, 64));
         });
-        group.bench_with_input(BenchmarkId::new("two_stage_milp", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(two_stage_milp_packing(&e, 16384, 64, Duration::from_millis(20)).unwrap())
-            })
+        bench.case(&format!("two_stage_milp/{n}"), || {
+            black_box(two_stage_milp_packing(&e, 16384, 64, Duration::from_millis(20)).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule_jobs");
-    group.sample_size(10);
+fn bench_schedule() {
+    let mut bench = Bench::group("schedule_jobs");
     for &samples in &[64usize, 256] {
         let jobs: Vec<AdapterJob> = (0..4)
             .map(|i| AdapterJob {
@@ -55,12 +51,13 @@ fn bench_schedule(c: &mut Criterion) {
             milp_timeout: Duration::from_millis(10),
             ..SchedulerConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("4_jobs", samples), &samples, |b, _| {
-            b.iter(|| black_box(schedule_jobs(&jobs, &cfg).unwrap()))
+        bench.case(&format!("4_jobs/{samples}"), || {
+            black_box(schedule_jobs(&jobs, &cfg).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_packing, bench_schedule);
-criterion_main!(benches);
+fn main() {
+    bench_packing();
+    bench_schedule();
+}

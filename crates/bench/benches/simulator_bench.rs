@@ -1,7 +1,7 @@
-//! Criterion: throughput of the analytic substrates — matmul kernels,
-//! pipeline simulation, and an end-to-end system evaluation.
+//! Wall-clock bench: throughput of the analytic substrates — matmul
+//! kernels, pipeline simulation, and an end-to-end system evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorafusion_bench::Bench;
 use lorafusion_data::{Dataset, DatasetPreset};
 use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
@@ -11,21 +11,20 @@ use lorafusion_sched::AdapterJob;
 use lorafusion_tensor::{matmul_nn, Matrix, Pcg32};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul_nn");
+fn bench_matmul() {
+    let mut bench = Bench::group("matmul_nn");
     for &dim in &[64usize, 128, 256] {
         let mut rng = Pcg32::seeded(5);
         let a = Matrix::random_uniform(dim, dim, 1.0, &mut rng);
         let b = Matrix::random_uniform(dim, dim, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
-            bch.iter(|| black_box(matmul_nn(&a, &b).unwrap()))
+        bench.case(&format!("{dim}"), || {
+            black_box(matmul_nn(&a, &b).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_pipeline_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_sim");
+fn bench_pipeline_sim() {
+    let mut bench = Bench::group("pipeline_sim");
     for &mbs in &[64usize, 512] {
         let jobs: Vec<PipelineJob> = (0..mbs)
             .map(|i| PipelineJob {
@@ -40,16 +39,14 @@ fn bench_pipeline_sim(c: &mut Criterion) {
             comm_seconds: 0.001,
             optimizer_seconds: 0.0,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(mbs), &mbs, |b, _| {
-            b.iter(|| black_box(simulate_pipeline(&jobs, &[jobs.len()], &opts)))
+        bench.case(&format!("{mbs}"), || {
+            black_box(simulate_pipeline(&jobs, &[jobs.len()], &opts));
         });
     }
-    group.finish();
 }
 
-fn bench_end_to_end_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system_eval");
-    group.sample_size(10);
+fn bench_end_to_end_eval() {
+    let mut bench = Bench::group("system_eval");
     let cluster = ClusterSpec::h100(4);
     let jobs: Vec<AdapterJob> = (0..4)
         .map(|i| AdapterJob {
@@ -63,26 +60,21 @@ fn bench_end_to_end_eval(c: &mut Criterion) {
         SystemKind::MLora,
         SystemKind::LoraFusion,
     ] {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                black_box(evaluate_system(
-                    kind,
-                    ModelPreset::Llama70b,
-                    &cluster,
-                    &jobs,
-                    16,
-                    16384,
-                ))
-            })
+        bench.case(kind.name(), || {
+            black_box(evaluate_system(
+                kind,
+                ModelPreset::Llama70b,
+                &cluster,
+                &jobs,
+                16,
+                16384,
+            ));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_pipeline_sim,
-    bench_end_to_end_eval
-);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_pipeline_sim();
+    bench_end_to_end_eval();
+}

@@ -8,14 +8,17 @@ use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::memory::MemoryPlan;
 use lorafusion_dist::model_config::ModelPreset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     capacity: usize,
     tokens_per_second: f64,
     oom: bool,
 }
+lorafusion_bench::impl_to_json!(Row {
+    capacity,
+    tokens_per_second,
+    oom
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

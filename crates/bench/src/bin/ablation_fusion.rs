@@ -4,9 +4,7 @@
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_gpu::{CostModel, DeviceKind};
 use lorafusion_kernels::{full_fusion, fused, reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     tokens: usize,
     torch_ms: f64,
@@ -14,6 +12,13 @@ struct Row {
     sync_ms: f64,
     split_ms: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    tokens,
+    torch_ms,
+    recompute_ms,
+    sync_ms,
+    split_ms
+});
 
 fn main() {
     let dev = DeviceKind::H100Sxm.spec();

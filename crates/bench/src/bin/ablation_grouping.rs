@@ -8,15 +8,19 @@ use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::{fix_with_noops, schedule_jobs, SchedulerConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     groups: usize,
     microbatches: usize,
     noops: usize,
     tokens_per_second: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    groups,
+    microbatches,
+    noops,
+    tokens_per_second
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

@@ -5,14 +5,17 @@
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_gpu::{CostModel, DeviceKind, DeviceSpec};
 use lorafusion_kernels::{fused, reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     device: String,
     machine_balance: f64,
     fused_speedup: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    device,
+    machine_balance,
+    fused_speedup
+});
 
 fn module_speedup(dev: &DeviceSpec) -> f64 {
     let cost = CostModel::default();
@@ -37,7 +40,11 @@ fn main() {
             machine_balance: dev.machine_balance(),
             fused_speedup: module_speedup(&dev),
         };
-        rows.push(vec![row.device.clone(), fmt(row.machine_balance, 0), fmt(row.fused_speedup, 2)]);
+        rows.push(vec![
+            row.device.clone(),
+            fmt(row.machine_balance, 0),
+            fmt(row.fused_speedup, 2),
+        ]);
         out.push(row);
     }
 
@@ -52,7 +59,11 @@ fn main() {
             machine_balance: dev.machine_balance(),
             fused_speedup: module_speedup(&dev),
         };
-        rows.push(vec![row.device.clone(), fmt(row.machine_balance, 0), fmt(row.fused_speedup, 2)]);
+        rows.push(vec![
+            row.device.clone(),
+            fmt(row.machine_balance, 0),
+            fmt(row.fused_speedup, 2),
+        ]);
         out.push(row);
     }
 

@@ -7,14 +7,17 @@ use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::{schedule_jobs, SchedulerConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     config: String,
     tokens_per_second: f64,
     improvement_pct: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    config,
+    tokens_per_second,
+    improvement_pct
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

@@ -1,0 +1,116 @@
+//! GEMM perf trajectory: serial vs. parallel wall-time at 4096x4096.
+//!
+//! Emits `results/BENCH_gemm.json` so future PRs can track how the blocked
+//! GEMM and the worker pool evolve. The default shape is the paper's
+//! evaluation size (n = k = 4096); `BENCH_GEMM_SIZE` overrides it for
+//! quick local runs. Thread counts sweep 1, 2, 4 and the pool default.
+//! A final bitwise check asserts the determinism contract on the spot.
+
+use std::time::Instant;
+
+use lorafusion_bench::{fmt, print_table, write_json};
+use lorafusion_tensor::matmul::{gemm_nn_on, Accumulate};
+use lorafusion_tensor::pool::Pool;
+use lorafusion_tensor::{Matrix, Pcg32};
+
+struct Row {
+    threads: usize,
+    size: usize,
+    seconds: f64,
+    gflops: f64,
+    speedup_vs_serial: f64,
+    bitwise_equal_to_serial: bool,
+}
+lorafusion_bench::impl_to_json!(Row {
+    threads,
+    size,
+    seconds,
+    gflops,
+    speedup_vs_serial,
+    bitwise_equal_to_serial,
+});
+
+fn time_gemm(pool: &Pool, a: &Matrix, b: &Matrix, reps: usize) -> (f64, Matrix) {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    // Warm-up (also produces the output used for the bitwise check).
+    gemm_nn_on(pool, 1.0, a, b, &mut c, Accumulate::Overwrite).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        gemm_nn_on(pool, 1.0, a, b, &mut c, Accumulate::Overwrite).unwrap();
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, c)
+}
+
+fn main() {
+    let size: usize = std::env::var("BENCH_GEMM_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    let reps: usize = if size >= 2048 { 1 } else { 5 };
+
+    let mut rng = Pcg32::seeded(7);
+    let a = Matrix::random_uniform(size, size, 1.0, &mut rng);
+    let b = Matrix::random_uniform(size, size, 1.0, &mut rng);
+    let flops = 2.0 * (size as f64).powi(3);
+
+    // Mirror the global pool's sizing: LORAFUSION_THREADS, else the
+    // machine's available parallelism.
+    let default_threads = std::env::var("LORAFUSION_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let mut sweep = vec![1usize, 2, 4];
+    if !sweep.contains(&default_threads) {
+        sweep.push(default_threads);
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut serial_seconds = 0.0;
+    let mut serial_bits: Vec<u32> = Vec::new();
+    for &threads in &sweep {
+        let pool = Pool::new(threads);
+        let (seconds, c) = time_gemm(&pool, &a, &b, reps);
+        let bits: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+        if threads == 1 {
+            serial_seconds = seconds;
+            serial_bits = bits.clone();
+        }
+        rows.push(Row {
+            threads,
+            size,
+            seconds,
+            gflops: flops / seconds / 1e9,
+            speedup_vs_serial: serial_seconds / seconds,
+            bitwise_equal_to_serial: bits == serial_bits,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                fmt(r.seconds * 1e3, 1),
+                fmt(r.gflops, 2),
+                fmt(r.speedup_vs_serial, 2),
+                r.bitwise_equal_to_serial.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("GEMM {size}x{size}x{size} (serial vs. pool)"),
+        &["threads", "ms/iter", "GFLOP/s", "speedup", "bitwise=serial"],
+        &table,
+    );
+
+    assert!(
+        rows.iter().all(|r| r.bitwise_equal_to_serial),
+        "parallel GEMM diverged from serial output"
+    );
+    write_json("BENCH_gemm", &rows);
+}

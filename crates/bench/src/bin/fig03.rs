@@ -5,9 +5,7 @@
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_gpu::{CostModel, DeviceKind, KernelClass, KernelProfile};
 use lorafusion_kernels::{frozen, reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     tokens: usize,
     variant: String,
@@ -16,6 +14,14 @@ struct Row {
     fwd_slowdown_pct: f64,
     bwd_slowdown_pct: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    tokens,
+    variant,
+    fwd_tokens_per_s,
+    bwd_tokens_per_s,
+    fwd_slowdown_pct,
+    bwd_slowdown_pct
+});
 
 /// torch.compile fuses the trailing scale+add elementwise pair in the
 /// forward pass (and nothing load-bearing in the backward), which is why

@@ -5,9 +5,7 @@
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_gpu::{CostModel, DeviceKind, KernelProfile};
 use lorafusion_kernels::{reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Breakdown {
     pass: &'static str,
     base_gemm_pct: f64,
@@ -15,6 +13,13 @@ struct Breakdown {
     elementwise_pct: f64,
     total_ms: f64,
 }
+lorafusion_bench::impl_to_json!(Breakdown {
+    pass,
+    base_gemm_pct,
+    lora_gemm_pct,
+    elementwise_pct,
+    total_ms
+});
 
 fn classify(name: &str) -> &'static str {
     if name.contains("base_gemm") {

@@ -11,9 +11,7 @@ use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::AdapterJob;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     global_batch_size: usize,
     fsdp_tokens_per_s: f64,
@@ -21,6 +19,13 @@ struct Row {
     fsdp_norm: f64,
     pp_norm: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    global_batch_size,
+    fsdp_tokens_per_s,
+    pp_tokens_per_s,
+    fsdp_norm,
+    pp_norm
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

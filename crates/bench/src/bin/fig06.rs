@@ -3,9 +3,7 @@
 
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_data::{stats, Dataset, DatasetPreset, LengthStats};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     mean: f64,
@@ -16,6 +14,16 @@ struct Row {
     max: usize,
     cv: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    dataset,
+    mean,
+    p25,
+    p50,
+    p75,
+    p95,
+    max,
+    cv
+});
 
 fn main() {
     let mut rows = Vec::new();

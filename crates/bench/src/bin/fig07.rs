@@ -8,9 +8,7 @@ use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::AdapterJob;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     system: String,
@@ -19,6 +17,14 @@ struct Row {
     slowdown_pct: f64,
     multi_lora_potential: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    dataset,
+    system,
+    practical_tokens_per_s,
+    ideal_tokens_per_s,
+    slowdown_pct,
+    multi_lora_potential
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

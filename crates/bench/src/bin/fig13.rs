@@ -3,9 +3,7 @@
 
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_data::{stats, Dataset, DatasetPreset, LengthStats};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     mean: f64,
@@ -15,6 +13,15 @@ struct Row {
     max: usize,
     histogram: Vec<(usize, usize)>,
 }
+lorafusion_bench::impl_to_json!(Row {
+    dataset,
+    mean,
+    std_dev,
+    p50,
+    p95,
+    max,
+    histogram
+});
 
 fn main() {
     let mut rows = Vec::new();

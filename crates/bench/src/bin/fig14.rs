@@ -5,7 +5,6 @@ use lorafusion_bench::{fmt, geomean, print_table, write_json, Workload};
 use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::model_config::ModelPreset;
-use serde::Serialize;
 
 /// The parallelism profiler's capacity proposal (Fig. 8): evaluate
 /// LoRAFusion at each feasible candidate and keep the best.
@@ -44,7 +43,6 @@ fn best_lorafusion(
     })
 }
 
-#[derive(Serialize)]
 struct Cell {
     model: String,
     gpus: usize,
@@ -53,6 +51,14 @@ struct Cell {
     tokens_per_second: f64,
     oom: bool,
 }
+lorafusion_bench::impl_to_json!(Cell {
+    model,
+    gpus,
+    workload,
+    system,
+    tokens_per_second,
+    oom
+});
 
 fn main() {
     let settings = [
@@ -160,5 +166,12 @@ fn main() {
         vs_mlora.iter().cloned().fold(0.0, f64::max),
     );
     println!("Paper: up to 1.96x (avg 1.47x) vs Megatron-LM; up to 1.46x (avg 1.29x) vs mLoRA.");
+    let cache = lorafusion_dist::layer_cost::cost_cache_stats();
+    println!(
+        "Layer-cost cache: {} hits / {} misses ({:.1}% hit rate)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0
+    );
     write_json("fig14", &out);
 }

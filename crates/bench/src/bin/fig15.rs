@@ -5,7 +5,6 @@ use lorafusion_bench::{fmt, geomean, print_table, write_json, Workload};
 use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::model_config::ModelPreset;
-use serde::Serialize;
 
 /// The parallelism profiler's capacity proposal (Fig. 8): evaluate
 /// LoRAFusion at each feasible candidate and keep the best.
@@ -44,7 +43,6 @@ fn best_lorafusion(
     })
 }
 
-#[derive(Serialize)]
 struct Cell {
     model: String,
     workload: String,
@@ -52,6 +50,13 @@ struct Cell {
     tokens_per_second: f64,
     oom: bool,
 }
+lorafusion_bench::impl_to_json!(Cell {
+    model,
+    workload,
+    system,
+    tokens_per_second,
+    oom
+});
 
 fn main() {
     let settings = [(ModelPreset::Llama8b, 1usize), (ModelPreset::Qwen32b, 4)];

@@ -8,15 +8,19 @@ use lorafusion_dist::baselines::{
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::model_config::ModelPreset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     gpus: usize,
     mode: String,
     system: String,
     tokens_per_second: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    gpus,
+    mode,
+    system,
+    tokens_per_second
+});
 
 fn main() {
     let model = ModelPreset::Llama70b;

@@ -4,9 +4,7 @@
 use lorafusion_bench::{fmt, geomean, print_table, write_json};
 use lorafusion_gpu::{CostModel, DeviceKind, KernelClass, KernelProfile};
 use lorafusion_kernels::{fused, reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     tokens: usize,
     fused_fwd_speedup: f64,
@@ -14,6 +12,13 @@ struct Row {
     multi_fwd_speedup: f64,
     multi_bwd_speedup: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    tokens,
+    fused_fwd_speedup,
+    fused_bwd_speedup,
+    multi_fwd_speedup,
+    multi_bwd_speedup
+});
 
 fn retag(mut ks: Vec<KernelProfile>, adapters: u32) -> Vec<KernelProfile> {
     for k in &mut ks {

@@ -5,9 +5,7 @@ use lorafusion_bench::{fmt, geomean, print_table, write_json};
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_gpu::{CostModel, DeviceKind, KernelClass, KernelProfile};
 use lorafusion_kernels::{fused, reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     layer: String,
@@ -16,6 +14,14 @@ struct Row {
     fused_speedup: f64,
     multi_speedup: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    model,
+    layer,
+    k,
+    n,
+    fused_speedup,
+    multi_speedup
+});
 
 fn retag(mut ks: Vec<KernelProfile>, adapters: u32) -> Vec<KernelProfile> {
     for kp in &mut ks {

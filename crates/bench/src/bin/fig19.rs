@@ -4,9 +4,7 @@
 use lorafusion_bench::{fmt, print_table, write_json};
 use lorafusion_gpu::{DeviceKind, KernelProfile};
 use lorafusion_kernels::{fused, reference, Shape, TrafficModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     shape: String,
     torch_read_gb: f64,
@@ -15,6 +13,14 @@ struct Row {
     fused_write_gb: f64,
     traffic_ratio: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    shape,
+    torch_read_gb,
+    torch_write_gb,
+    fused_read_gb,
+    fused_write_gb,
+    traffic_ratio
+});
 
 fn totals(ks: &[KernelProfile]) -> (u64, u64) {
     (

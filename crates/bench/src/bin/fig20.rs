@@ -7,13 +7,15 @@ use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::AdapterJob;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     method: String,
     bubble_ratio_pct: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    method,
+    bubble_ratio_pct
+});
 
 fn jobs(n_adapters: usize) -> Vec<AdapterJob> {
     // All adapters on CNN/DailyMail (bounded lengths keep every method in

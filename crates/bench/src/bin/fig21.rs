@@ -9,15 +9,19 @@ use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::{schedule_jobs, SchedulerConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     samples_total: usize,
     scheduling_seconds: f64,
     simulated_compute_seconds: f64,
     ms_per_sample: f64,
 }
+lorafusion_bench::impl_to_json!(Row {
+    samples_total,
+    scheduling_seconds,
+    simulated_compute_seconds,
+    ms_per_sample
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

@@ -6,14 +6,17 @@ use lorafusion_dist::baselines::{evaluate_custom, Batching, CustomConfig, Pipeli
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::model_config::ModelPreset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Bar {
     config: String,
     tokens_per_second: f64,
     speedup: f64,
 }
+lorafusion_bench::impl_to_json!(Bar {
+    config,
+    tokens_per_second,
+    speedup
+});
 
 fn main() {
     let cluster = ClusterSpec::h100(4);

@@ -1,0 +1,105 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! Replaces the criterion dependency for the offline build: each bench
+//! target is a plain `main()` that calls [`Bench::case`] per measurement.
+//! The harness warms up, sizes the iteration count to a ~200 ms budget,
+//! and reports mean / best per-iteration time. Intended for trajectory
+//! tracking (is this PR faster than the last one?), not statistical rigor.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement window per case.
+const BUDGET: Duration = Duration::from_millis(200);
+/// Iteration bounds after warmup-based calibration.
+const MIN_ITERS: u32 = 5;
+const MAX_ITERS: u32 = 10_000;
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    pub group: String,
+    pub label: String,
+    /// Mean seconds per iteration over the measured window.
+    pub mean_seconds: f64,
+    /// Fastest observed iteration, seconds.
+    pub best_seconds: f64,
+    pub iters: u32,
+}
+
+/// A named group of benchmark cases that prints results as it goes.
+pub struct Bench {
+    group: String,
+    pub results: Vec<CaseResult>,
+}
+
+impl Bench {
+    pub fn group(name: &str) -> Self {
+        println!("\n== bench: {name} ==");
+        Self {
+            group: name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, printing and recording the result.
+    pub fn case(&mut self, label: &str, mut f: impl FnMut()) -> &CaseResult {
+        // Warmup and calibration: time a few iterations to size the run.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u32;
+        while calib_iters < 3 || (calib_start.elapsed() < BUDGET / 10 && calib_iters < MAX_ITERS) {
+            f();
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let iters =
+            ((BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u32).clamp(MIN_ITERS, MAX_ITERS);
+
+        let mut best = f64::INFINITY;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let mean = start.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "  {label:<32} mean {:>12}  best {:>12}  ({iters} iters)",
+            format_seconds(mean),
+            format_seconds(best),
+        );
+        self.results.push(CaseResult {
+            group: self.group.clone(),
+            label: label.to_string(),
+            mean_seconds: mean,
+            best_seconds: best,
+            iters,
+        });
+        self.results.last().expect("just pushed")
+    }
+}
+
+/// Human-friendly duration formatting (ns/µs/ms/s).
+pub fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(format_seconds(5e-9), "5.0 ns");
+        assert_eq!(format_seconds(2.5e-6), "2.50 µs");
+        assert_eq!(format_seconds(1.5e-3), "1.50 ms");
+        assert_eq!(format_seconds(2.0), "2.000 s");
+    }
+}

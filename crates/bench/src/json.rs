@@ -1,0 +1,283 @@
+//! Minimal dependency-free JSON emitter for benchmark results.
+//!
+//! The offline build cannot reach crates.io, so the result files under
+//! `results/` are produced by this ~150-line serializer instead of
+//! `serde_json`. Output follows RFC 8259: non-finite floats become `null`
+//! (matching `serde_json`'s behaviour for `f64::NAN` under
+//! `arbitrary_precision` off), strings are escaped, and objects preserve
+//! field declaration order.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite numbers only; constructors map NaN/Inf to [`Json::Null`].
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Ordered key-value pairs (declaration order, no deduplication).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a number, mapping non-finite values to `null`.
+    pub fn num(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if *v == v.trunc() && v.abs() < 1e15 {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                render_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].render(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(fields) => {
+                render_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (key, value) = &fields[i];
+                    escape_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into [`Json`]; the bench binaries derive it for their result
+/// structs with [`impl_to_json!`](crate::impl_to_json).
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! impl_num_to_json {
+    ($($ty:ty),+) => {
+        $(impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::num(*self as f64)
+            }
+        })+
+    };
+}
+
+impl_num_to_json!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+///
+/// ```ignore
+/// struct Cell { model: String, tokens_per_second: f64 }
+/// impl_to_json!(Cell { model, tokens_per_second });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((
+                        stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    )),+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(Json::Bool(true).compact(), "true");
+        assert_eq!(Json::num(3.0).compact(), "3");
+        assert_eq!(Json::num(0.5).compact(), "0.5");
+        assert_eq!(Json::num(f64::NAN).compact(), "null");
+        assert_eq!(Json::num(f64::INFINITY).compact(), "null");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).compact(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("fig14".into())),
+            (
+                "cells".into(),
+                Json::Arr(vec![Json::num(1.0), Json::num(2.5)]),
+            ),
+        ]);
+        assert_eq!(v.compact(), r#"{"name":"fig14","cells":[1,2.5]}"#);
+        let pretty = v.pretty();
+        assert!(pretty.contains("\n  \"name\": \"fig14\""));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn derive_macro_emits_declaration_order() {
+        struct Cell {
+            model: String,
+            tps: f64,
+            oom: bool,
+        }
+        impl_to_json!(Cell { model, tps, oom });
+        let cell = Cell {
+            model: "llama".into(),
+            tps: 10.0,
+            oom: false,
+        };
+        assert_eq!(
+            cell.to_json().compact(),
+            r#"{"model":"llama","tps":10,"oom":false}"#
+        );
+        let cells = vec![cell];
+        assert!(cells.to_json().compact().starts_with('['));
+    }
+}

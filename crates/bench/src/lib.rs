@@ -11,7 +11,12 @@ use std::path::PathBuf;
 
 use lorafusion_data::{Dataset, DatasetPreset};
 use lorafusion_sched::AdapterJob;
-use serde::Serialize;
+
+pub mod harness;
+pub mod json;
+
+pub use harness::{Bench, CaseResult};
+pub use json::{Json, ToJson};
 
 /// The five workload columns of Figs. 14/15: four homogeneous settings and
 /// the heterogeneous one.
@@ -102,14 +107,19 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Writes `value` as JSON under `results/<name>.json` (best effort).
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+///
+/// Serialization goes through the dependency-free [`json`] emitter; the
+/// default-on `json` feature can be disabled to skip writing result files
+/// entirely (e.g. in read-only sandboxes).
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
+    if !cfg!(feature = "json") {
+        return;
+    }
     let dir = PathBuf::from("results");
     if fs::create_dir_all(&dir).is_err() {
         return;
     }
-    if let Ok(json) = serde_json::to_string_pretty(value) {
-        let _ = fs::write(dir.join(format!("{name}.json")), json);
-    }
+    let _ = fs::write(dir.join(format!("{name}.json")), value.to_json().pretty());
 }
 
 /// Formats a float with the given precision.

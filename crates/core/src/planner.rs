@@ -15,6 +15,7 @@ use lorafusion_dist::layer_cost::KernelStrategy;
 use lorafusion_dist::memory::MemoryPlan;
 use lorafusion_dist::model_config::ModelPreset;
 use lorafusion_sched::{schedule_jobs, Schedule, SchedulerConfig};
+use lorafusion_tensor::pool;
 
 use crate::job::{to_adapter_jobs, FinetuneJob};
 
@@ -119,9 +120,12 @@ impl Planner {
         }
         let adapter_jobs = to_adapter_jobs(jobs);
 
-        let mut best: Option<Plan> = None;
-        let mut candidates = Vec::new();
-        for &capacity in &capacities {
+        // Simulate every candidate concurrently on the worker pool.
+        // `parallel_map` returns results in candidate order, and the argmax
+        // below takes the first strict maximum, so the chosen plan is
+        // identical to the serial sweep at any thread count.
+        let sims = pool::parallel_map(pool::current(), capacities.len(), |i| {
+            let capacity = capacities[i];
             let custom = CustomConfig {
                 model: self.model,
                 cluster: self.cluster.clone(),
@@ -135,35 +139,40 @@ impl Planner {
                 pipeline: PipelineMode::Continuous,
                 sequential_jobs: false,
             };
-            let sim = evaluate_custom(&custom, &adapter_jobs);
+            evaluate_custom(&custom, &adapter_jobs)
+        });
+
+        let mut best: Option<(usize, f64, Option<f64>)> = None;
+        let mut candidates = Vec::new();
+        for (&capacity, sim) in capacities.iter().zip(&sims) {
             if sim.oom {
                 candidates.push((capacity, 0.0));
                 continue;
             }
             candidates.push((capacity, sim.tokens_per_second));
-            if best
-                .as_ref()
-                .is_none_or(|b| sim.tokens_per_second > b.predicted_tokens_per_second)
-            {
-                let sched_cfg = SchedulerConfig {
-                    capacity,
-                    pipeline_stages: self.cluster.gpus.max(1),
-                    ..self.scheduler.clone()
-                };
-                let schedule = schedule_jobs(&adapter_jobs, &sched_cfg)
-                    .map_err(|_| PlannerError::SchedulingFailed)?;
-                best = Some(Plan {
-                    capacity,
-                    schedule,
-                    predicted_tokens_per_second: sim.tokens_per_second,
-                    predicted_bubble_ratio: sim.bubble_ratio,
-                    candidates: Vec::new(),
-                });
+            if best.as_ref().is_none_or(|b| sim.tokens_per_second > b.1) {
+                best = Some((capacity, sim.tokens_per_second, sim.bubble_ratio));
             }
         }
-        let mut plan = best.ok_or(PlannerError::SchedulingFailed)?;
-        plan.candidates = candidates;
-        Ok(plan)
+
+        // Only the winner needs a schedule built (the serial loop scheduled
+        // every improvement and discarded all but the last).
+        let (capacity, tokens_per_second, bubble_ratio) =
+            best.ok_or(PlannerError::SchedulingFailed)?;
+        let sched_cfg = SchedulerConfig {
+            capacity,
+            pipeline_stages: self.cluster.gpus.max(1),
+            ..self.scheduler.clone()
+        };
+        let schedule =
+            schedule_jobs(&adapter_jobs, &sched_cfg).map_err(|_| PlannerError::SchedulingFailed)?;
+        Ok(Plan {
+            capacity,
+            schedule,
+            predicted_tokens_per_second: tokens_per_second,
+            predicted_bubble_ratio: bubble_ratio,
+            candidates,
+        })
     }
 }
 

@@ -1,10 +1,10 @@
 //! Sequence-length distributions matched to the paper's datasets (Fig. 13).
 
 use lorafusion_tensor::Pcg32;
-use serde::{Deserialize, Serialize};
 
 /// A sampler of token sequence lengths.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LengthDistribution {
     /// Every sample has the same length (the "ideal" workloads of Figs. 5
     /// and 7).
@@ -85,7 +85,8 @@ impl LengthDistribution {
 }
 
 /// The datasets used in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DatasetPreset {
     /// XSum: short single-sentence summaries of BBC articles.
     XSum,

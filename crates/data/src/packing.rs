@@ -9,12 +9,11 @@
 //!   token capacity at batch time; no waste, deterministic samples per
 //!   batch. This is what LoRAFusion (and this reproduction) uses.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::Sample;
 
 /// One packed microbatch: samples plus padding accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PackedBatch {
     /// Samples in the microbatch.
     pub samples: Vec<Sample>,

@@ -1,9 +1,8 @@
 //! Length statistics and histograms for the figure generators.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a length sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LengthStats {
     /// Number of observations.
     pub count: usize,

@@ -1,4 +1,22 @@
 //! Microbatch cost lowering: decoder layers to kernel profiles to seconds.
+//!
+//! # Memoization
+//!
+//! [`microbatch_cost`] is called once per microbatch by the baseline
+//! evaluators, the pipeline/FSDP simulators and the planner's capacity
+//! sweep — thousands of times per figure run — but the expensive parts
+//! (the seven LoRA linear profiles per decoder layer and the LM-head
+//! profiles) depend only on (model config, kernel strategy, padded token
+//! count, rank, device, cost/traffic model). Those per-layer seconds are
+//! cached process-wide; only the attention/elementwise profiles, which
+//! depend on the microbatch's `sum_sq_len`, are lowered per call. The fold
+//! order of the cached and fresh terms matches the uncached code exactly,
+//! so memoized results are bitwise-identical. Hit statistics are exposed
+//! via [`cost_cache_stats`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use lorafusion_gpu::{CostModel, DeviceSpec, KernelClass, KernelProfile};
 use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
@@ -6,7 +24,7 @@ use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
 use crate::model_config::TransformerConfig;
 
 /// Which kernel implementation executes the LoRA linear layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelStrategy {
     /// No adapter (the frozen baseline of Fig. 3).
     Frozen,
@@ -167,10 +185,145 @@ fn lm_head_profiles(
     (fwd, bwd)
 }
 
+/// Key of the memoized per-layer seconds: everything [`microbatch_cost`]
+/// depends on *except* `sum_sq_len` (which only shapes the per-call
+/// attention profiles) and the stage partition (applied per stage from the
+/// cached per-layer values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CostCacheKey {
+    cfg: TransformerConfig,
+    strategy: KernelStrategy,
+    tokens: usize,
+    rank: usize,
+    device: &'static str,
+    /// Fingerprint of the device/cost/traffic model floats, so a tweaked
+    /// [`CostModel`] never aliases a cached entry for the default one.
+    env_bits: u64,
+}
+
+/// Cached expensive sub-sums of one (`cfg`, `tokens`, …) configuration.
+#[derive(Debug, Clone, Copy)]
+struct CachedSeconds {
+    /// Fold over the seven LoRA linear layers' forward profiles.
+    linear_fwd: f64,
+    /// Fold over the seven LoRA linear layers' backward profiles.
+    linear_bwd: f64,
+    /// Fold over the LM-head + cross-entropy forward profiles.
+    lm_head_fwd: f64,
+    /// Fold over the LM-head backward profiles.
+    lm_head_bwd: f64,
+}
+
+/// Hit/miss counters of the layer-cost cache (process lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CostCacheStats {
+    /// Fraction of lookups served from cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+static COST_CACHE: OnceLock<Mutex<HashMap<CostCacheKey, CachedSeconds>>> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cost_cache() -> &'static Mutex<HashMap<CostCacheKey, CachedSeconds>> {
+    COST_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Current hit/miss counters of the layer-cost cache.
+pub fn cost_cache_stats() -> CostCacheStats {
+    CostCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the hit/miss counters (the cached entries stay valid).
+pub fn reset_cost_cache_stats() {
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// FNV-1a over the bit patterns of the floats that shape kernel costs.
+fn env_fingerprint(device: &DeviceSpec, cost: &CostModel, traffic: &TrafficModel) -> u64 {
+    let values = [
+        device.peak_half_tflops.to_bits(),
+        device.mem_bandwidth_gbs.to_bits(),
+        device.l2_cache_mib.to_bits(),
+        device.launch_overhead_us.to_bits(),
+        u64::from(device.sm_count),
+        cost.gemm_base_efficiency.to_bits(),
+        cost.gemm_m_half.to_bits(),
+        cost.gemm_kn_half.to_bits(),
+        cost.gemm_mem_efficiency.to_bits(),
+        cost.elementwise_mem_efficiency.to_bits(),
+        cost.fused_epilogue_penalty.to_bits(),
+        cost.multi_adapter_overhead.to_bits(),
+        traffic.dtype as u64,
+        traffic.mask_bytes,
+        traffic.gemm_input_reread.to_bits(),
+        traffic.reread_min_n as u64,
+        traffic.l2_reuse.to_bits(),
+        traffic.l2_bytes,
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Computes the cacheable sub-sums for one key (the cache-miss path).
+fn compute_cached_seconds(
+    cfg: &TransformerConfig,
+    strategy: KernelStrategy,
+    tokens: usize,
+    rank: usize,
+    device: &DeviceSpec,
+    cost: &CostModel,
+    traffic: &TrafficModel,
+) -> CachedSeconds {
+    let mut linear_fwd_profiles: Vec<KernelProfile> = Vec::new();
+    let mut linear_bwd_profiles: Vec<KernelProfile> = Vec::new();
+    for (_, k, n) in cfg.lora_linears() {
+        let shape = Shape::new(tokens, k, n, rank.max(1));
+        let (f, b) = linear_profiles(strategy, shape, traffic);
+        linear_fwd_profiles.extend(f);
+        linear_bwd_profiles.extend(b);
+    }
+    let (hf, hb) = lm_head_profiles(cfg, tokens, traffic);
+    CachedSeconds {
+        linear_fwd: cost.sequence_seconds(device, &linear_fwd_profiles),
+        linear_bwd: cost.sequence_seconds(device, &linear_bwd_profiles),
+        lm_head_fwd: cost.sequence_seconds(device, &hf),
+        lm_head_bwd: cost.sequence_seconds(device, &hb),
+    }
+}
+
 /// Computes per-stage forward/backward seconds for one microbatch.
 ///
 /// `stages` describes the pipeline partition (length 1 = no pipeline).
 /// `rank` is the LoRA rank (ignored for [`KernelStrategy::Frozen`]).
+///
+/// The linear-layer and LM-head sub-sums are memoized (see the module
+/// docs); the result is bitwise-identical to an uncached evaluation
+/// because [`CostModel::sequence_seconds`] is a left fold in profile order
+/// and the cached prefix (linears) precedes the fresh suffix
+/// (attention/elementwise) exactly as in the profile list it replaces.
 #[allow(clippy::too_many_arguments)]
 pub fn microbatch_cost(
     cfg: &TransformerConfig,
@@ -183,25 +336,46 @@ pub fn microbatch_cost(
     cost: &CostModel,
     traffic: &TrafficModel,
 ) -> MicrobatchCost {
+    let key = CostCacheKey {
+        cfg: *cfg,
+        strategy,
+        tokens,
+        rank,
+        device: device.name,
+        env_bits: env_fingerprint(device, cost, traffic),
+    };
+    let cached = {
+        let mut cache = cost_cache().lock().unwrap();
+        match cache.get(&key) {
+            Some(entry) => {
+                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                *entry
+            }
+            None => {
+                CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                let entry =
+                    compute_cached_seconds(cfg, strategy, tokens, rank, device, cost, traffic);
+                cache.insert(key, entry);
+                entry
+            }
+        }
+    };
+
+    // Continue the per-layer fold with the microbatch-specific
+    // attention/elementwise profiles, in the same order as the uncached
+    // concatenated profile list.
+    let (misc_fwd, misc_bwd) = layer_misc_profiles(cfg, tokens, sum_sq_len, traffic);
+    let mut layer_fwd_s = cached.linear_fwd;
+    for p in &misc_fwd {
+        layer_fwd_s += cost.kernel_cost(device, p).seconds;
+    }
+    let mut layer_bwd_s = cached.linear_bwd;
+    for p in &misc_bwd {
+        layer_bwd_s += cost.kernel_cost(device, p).seconds;
+    }
+
     let mut fwd = Vec::with_capacity(stages.len());
     let mut bwd = Vec::with_capacity(stages.len());
-
-    // Per-decoder-layer profile set (shared by every layer).
-    let mut layer_fwd: Vec<KernelProfile> = Vec::new();
-    let mut layer_bwd: Vec<KernelProfile> = Vec::new();
-    for (_, k, n) in cfg.lora_linears() {
-        let shape = Shape::new(tokens, k, n, rank.max(1));
-        let (f, b) = linear_profiles(strategy, shape, traffic);
-        layer_fwd.extend(f);
-        layer_bwd.extend(b);
-    }
-    let (misc_fwd, misc_bwd) = layer_misc_profiles(cfg, tokens, sum_sq_len, traffic);
-    layer_fwd.extend(misc_fwd);
-    layer_bwd.extend(misc_bwd);
-
-    let layer_fwd_s = cost.sequence_seconds(device, &layer_fwd);
-    let layer_bwd_s = cost.sequence_seconds(device, &layer_bwd);
-
     for stage in stages {
         let mut f = layer_fwd_s * stage.layers as f64;
         let mut b = layer_bwd_s * stage.layers as f64;
@@ -211,9 +385,8 @@ pub fn microbatch_cost(
                 / (device.bandwidth_bytes() * cost.elementwise_mem_efficiency);
         }
         if stage.has_lm_head {
-            let (hf, hb) = lm_head_profiles(cfg, tokens, traffic);
-            f += cost.sequence_seconds(device, &hf);
-            b += cost.sequence_seconds(device, &hb);
+            f += cached.lm_head_fwd;
+            b += cached.lm_head_bwd;
         }
         fwd.push(f);
         bwd.push(b);
@@ -320,6 +493,121 @@ mod tests {
             &traffic,
         );
         assert!(mb.fwd[3] > mb.fwd[1] * 1.05);
+    }
+
+    /// Replicates the pre-memoization lowering: one concatenated profile
+    /// list per layer, summed in order.
+    #[allow(clippy::too_many_arguments)]
+    fn uncached_cost(
+        cfg: &TransformerConfig,
+        strategy: KernelStrategy,
+        tokens: usize,
+        sum_sq_len: u64,
+        stages: &[StageShape],
+        rank: usize,
+        device: &DeviceSpec,
+        cost: &CostModel,
+        traffic: &TrafficModel,
+    ) -> MicrobatchCost {
+        let mut layer_fwd: Vec<KernelProfile> = Vec::new();
+        let mut layer_bwd: Vec<KernelProfile> = Vec::new();
+        for (_, k, n) in cfg.lora_linears() {
+            let shape = Shape::new(tokens, k, n, rank.max(1));
+            let (f, b) = linear_profiles(strategy, shape, traffic);
+            layer_fwd.extend(f);
+            layer_bwd.extend(b);
+        }
+        let (misc_fwd, misc_bwd) = layer_misc_profiles(cfg, tokens, sum_sq_len, traffic);
+        layer_fwd.extend(misc_fwd);
+        layer_bwd.extend(misc_bwd);
+        let layer_fwd_s = cost.sequence_seconds(device, &layer_fwd);
+        let layer_bwd_s = cost.sequence_seconds(device, &layer_bwd);
+        let mut fwd = Vec::new();
+        let mut bwd = Vec::new();
+        for stage in stages {
+            let mut f = layer_fwd_s * stage.layers as f64;
+            let mut b = layer_bwd_s * stage.layers as f64;
+            if stage.has_embedding {
+                f += (tokens * cfg.hidden) as f64 * 2.0
+                    / (device.bandwidth_bytes() * cost.elementwise_mem_efficiency);
+            }
+            if stage.has_lm_head {
+                let (hf, hb) = lm_head_profiles(cfg, tokens, traffic);
+                f += cost.sequence_seconds(device, &hf);
+                b += cost.sequence_seconds(device, &hb);
+            }
+            fwd.push(f);
+            bwd.push(b);
+        }
+        MicrobatchCost { fwd, bwd, tokens }
+    }
+
+    #[test]
+    fn memoized_cost_is_bitwise_identical_to_uncached() {
+        let (cfg, dev, cost, traffic) = setup();
+        let stages = even_stages(&cfg, 4);
+        let cases = [
+            (
+                4096usize,
+                uniform_sum_sq(4096, 4),
+                KernelStrategy::FusedLora,
+            ),
+            (4096, uniform_sum_sq(4096, 16), KernelStrategy::FusedLora),
+            (8192, uniform_sum_sq(8192, 8), KernelStrategy::TorchLora),
+            (
+                2048,
+                uniform_sum_sq(2048, 2),
+                KernelStrategy::FusedMultiLora { adapters: 4 },
+            ),
+        ];
+        for &(tokens, ssq, strategy) in &cases {
+            // Twice, so the second call exercises the cache-hit path.
+            for _ in 0..2 {
+                let memo = microbatch_cost(
+                    &cfg, strategy, tokens, ssq, &stages, 16, &dev, &cost, &traffic,
+                );
+                let plain = uncached_cost(
+                    &cfg, strategy, tokens, ssq, &stages, 16, &dev, &cost, &traffic,
+                );
+                for (a, b) in memo.fwd.iter().zip(&plain.fwd) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fwd mismatch at {tokens} tokens");
+                }
+                for (a, b) in memo.bwd.iter().zip(&plain.bwd) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "bwd mismatch at {tokens} tokens");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_hit_the_cache() {
+        let (cfg, dev, cost, traffic) = setup();
+        let stages = even_stages(&cfg, 2);
+        // A token count unlikely to collide with other tests' keys.
+        let tokens = 4096 + 64;
+        let run = |ssq: u64| {
+            microbatch_cost(
+                &cfg,
+                KernelStrategy::FusedLora,
+                tokens,
+                ssq,
+                &stages,
+                16,
+                &dev,
+                &cost,
+                &traffic,
+            )
+        };
+        let first = run(uniform_sum_sq(tokens, 4));
+        let before = cost_cache_stats();
+        // Different sum_sq_len still hits: the key excludes it.
+        let second = run(uniform_sum_sq(tokens, 8));
+        let after = cost_cache_stats();
+        assert!(after.hits > before.hits, "second call must be a cache hit");
+        // Same tokens, different attention load: linears identical, totals
+        // differ.
+        assert_eq!(first.tokens, second.tokens);
+        assert_ne!(first.fwd, second.fwd);
     }
 
     #[test]

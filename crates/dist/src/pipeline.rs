@@ -12,8 +12,6 @@
 //!   spacing (including no-op microbatches) makes non-blocking in the
 //!   steady state.
 
-use serde::{Deserialize, Serialize};
-
 /// One microbatch to execute.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineJob {
@@ -42,7 +40,8 @@ impl PipelineJob {
 }
 
 /// Simulation options.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PipelineOptions {
     /// Number of stages.
     pub stages: usize,
@@ -53,7 +52,8 @@ pub struct PipelineOptions {
 }
 
 /// One executed task in the pipeline trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TraceEvent {
     /// Microbatch index in the stream.
     pub microbatch: usize,
@@ -68,7 +68,8 @@ pub struct TraceEvent {
 }
 
 /// Simulation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PipelineResult {
     /// Total wall-clock seconds.
     pub makespan: f64,

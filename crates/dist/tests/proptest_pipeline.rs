@@ -1,3 +1,9 @@
+//! Property-based suite: compile-gated because `proptest` is not
+//! vendored in the offline build. Enable with `--features proptest` after
+//! re-adding the `proptest` dev-dependency in a networked environment.
+//! Deterministic sweep fallbacks live in the regular test suites.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the pipeline simulator: on random microbatch
 //! streams the simulation must be physically consistent — no overlapping
 //! work on a stage, all dependencies respected, and makespan bounded below

@@ -1,13 +1,12 @@
 //! Device specifications for the GPUs referenced by the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// Element data types used by the performance model.
 ///
 /// The functional executors compute in `f32` for auditability, but the
 /// performance model accounts traffic at the training precision the paper
 /// uses (half precision activations/weights, full-precision optimizer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DType {
     /// 8-bit float (used only to model compact dropout-mask storage).
     F8,
@@ -35,7 +34,8 @@ impl DType {
 ///
 /// These are the devices the paper evaluates on (H100, L40S) plus the ones
 /// the artifact ships pre-tuned kernel configs for (A100 SXM/PCIe, RTX3090).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DeviceKind {
     /// NVIDIA H100 SXM 80GB (NVLink).
     H100Sxm,
@@ -117,7 +117,8 @@ impl DeviceKind {
 }
 
 /// Calibrated hardware parameters of one GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceSpec {
     /// Marketing name, matching the artifact's tuning-config keys.
     pub name: &'static str,

@@ -1,7 +1,5 @@
 //! Kernel profiles and the calibrated roofline cost model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::DeviceSpec;
 
 /// Access-pattern class of a kernel launch.
@@ -9,7 +7,8 @@ use crate::device::DeviceSpec;
 /// The class selects which efficiency curve the [`CostModel`] applies: GEMMs
 /// run on tensor cores with shape-dependent utilization, while elementwise
 /// kernels stream memory at a fraction of peak bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum KernelClass {
     /// Dense tensor-core GEMM with logical shape `m x k x n`.
     Gemm {
@@ -45,7 +44,8 @@ pub enum KernelClass {
 }
 
 /// FLOPs and DRAM traffic of one kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelProfile {
     /// Stable kernel name used by breakdowns and ledgers.
     pub name: String,
@@ -73,7 +73,8 @@ impl KernelProfile {
 }
 
 /// What limited a kernel's execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Boundedness {
     /// Tensor-core throughput bound.
     Compute,
@@ -84,7 +85,8 @@ pub enum Boundedness {
 }
 
 /// Cost estimate for one kernel launch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelCost {
     /// Wall-clock seconds including launch overhead.
     pub seconds: f64,
@@ -97,7 +99,8 @@ pub struct KernelCost {
 /// Defaults are calibrated so the reproduction matches the paper's measured
 /// shapes: ~40%/36% LoRA fwd/bwd slowdown at n=k=4096 (Fig. 3), ~2.6x DRAM
 /// traffic (Section 3.1), and 1.2-1.4x fused-kernel speedups (Fig. 17).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     /// Peak fraction a well-tiled large GEMM achieves on tensor cores.
     pub gemm_base_efficiency: f64,

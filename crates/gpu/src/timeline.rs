@@ -7,13 +7,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::DeviceSpec;
 use crate::kernel::{CostModel, KernelProfile};
 
 /// One executed kernel interval on a stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimelineEvent {
     /// Kernel name.
     pub name: String,
@@ -32,7 +31,8 @@ impl TimelineEvent {
 }
 
 /// A single-stream execution record.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Timeline {
     events: Vec<TimelineEvent>,
     cursor: f64,
@@ -107,7 +107,8 @@ impl Timeline {
 }
 
 /// Aggregated DRAM traffic per kernel name.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficLedger {
     per_kernel: BTreeMap<String, (u64, u64)>,
 }

@@ -45,8 +45,8 @@ pub mod lora;
 pub mod multi;
 pub mod qlora;
 pub mod reference;
-pub mod variants;
 pub mod traffic;
+pub mod variants;
 
 pub use lora::{AdapterWeights, LoraConfig, LoraGrads, LoraLayer, Shape};
 pub use multi::{MultiLoraLayer, Segment};

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use lorafusion_gpu::{KernelClass, KernelProfile};
 use lorafusion_tensor::ops::{add, hadamard, scale};
+use lorafusion_tensor::pool;
 use lorafusion_tensor::{dropout_mask, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix};
 
 use crate::lora::{AdapterWeights, LoraGrads, LoraLayer};
@@ -315,10 +316,14 @@ pub fn forward(
     // Shared base computation for all tokens.
     let mut y = matmul_nn(x, &layer.w)?;
 
-    let mut x_hats = Vec::with_capacity(segments.len());
-    let mut masks = Vec::with_capacity(segments.len());
-    let mut s_all = Vec::with_capacity(segments.len());
-    for seg in segments {
+    // Segment tiles are independent, so they execute concurrently on the
+    // worker pool — the functional analogue of FusedMultiLoRA dispatching
+    // per-tile adapter work across SMs. Each task only reads `x`/`y` and
+    // produces segment-local tensors; results are merged afterwards in
+    // segment order, so the output is identical at any thread count.
+    let current = pool::current();
+    let per_segment = pool::parallel_map(current, segments.len(), |idx| -> Result<_> {
+        let seg = &segments[idx];
         let adapter = &layer.adapters[seg.adapter];
         let cfg = adapter.config;
         let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(seg.dropout_row_offset);
@@ -336,8 +341,15 @@ pub fn forward(
             &mut y_seg,
             lorafusion_tensor::matmul::Accumulate::Add,
         )?;
-        y.write_rows(seg.start, &y_seg)?;
+        Ok((x_hat, mask, s, y_seg))
+    });
 
+    let mut x_hats = Vec::with_capacity(segments.len());
+    let mut masks = Vec::with_capacity(segments.len());
+    let mut s_all = Vec::with_capacity(segments.len());
+    for (seg, result) in segments.iter().zip(per_segment) {
+        let (x_hat, mask, s, y_seg) = result?;
+        y.write_rows(seg.start, &y_seg)?;
         x_hats.push(x_hat);
         masks.push(mask);
         s_all.push(s);
@@ -373,7 +385,12 @@ pub fn backward(
     let mut dx = matmul_nt(dy, &layer.w)?;
     let mut grads: BTreeMap<usize, LoraGrads> = BTreeMap::new();
 
-    for (idx, seg) in saved.segments.iter().enumerate() {
+    // Per-segment gradient tiles run concurrently; the cross-segment
+    // accumulations (dx rows, per-adapter grads) happen serially below in
+    // segment order, preserving the serial floating-point order exactly.
+    let current = pool::current();
+    let per_segment = pool::parallel_map(current, saved.segments.len(), |idx| -> Result<_> {
+        let seg = &saved.segments[idx];
         let adapter = &layer.adapters[seg.adapter];
         let cfg = adapter.config;
         let dy_seg = dy.slice_rows(seg.start, seg.end)?;
@@ -385,10 +402,15 @@ pub fn backward(
         let da = matmul_tn(&saved.x_hats[idx], &ds)?;
 
         let dx_lora = hadamard(&matmul_nt(&ds, &adapter.a)?, mask)?;
-        let mut dx_seg = dx.slice_rows(seg.start, seg.end)?;
-        dx_seg = add(&dx_seg, &dx_lora)?;
-        dx.write_rows(seg.start, &dx_seg)?;
+        let dx_seg = add(&dx.slice_rows(seg.start, seg.end)?, &dx_lora)?;
+        Ok((da, db, dx_seg))
+    });
 
+    for (idx, result) in per_segment.into_iter().enumerate() {
+        let seg = &saved.segments[idx];
+        let cfg = layer.adapters[seg.adapter].config;
+        let (da, db, dx_seg) = result?;
+        dx.write_rows(seg.start, &dx_seg)?;
         let entry = grads
             .entry(seg.adapter)
             .or_insert_with(|| LoraGrads::zeros(layer.k(), layer.n(), cfg.rank));

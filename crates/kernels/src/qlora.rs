@@ -56,7 +56,7 @@ impl QuantizedMatrix {
                 let q = (v / scale).round().clamp(-7.0, 7.0) as i8;
                 let code = (q + 8) as u8;
                 let idx = start + i;
-                if idx % 2 == 0 {
+                if idx.is_multiple_of(2) {
                     codes[idx / 2] |= code;
                 } else {
                     codes[idx / 2] |= code << 4;

@@ -110,8 +110,8 @@ impl VeraLayer {
     /// Forward pass through the split-graph core with the VeRA prologue
     /// (rank scaling) and epilogue (output scaling).
     pub fn forward(&self, x: &Matrix, dropout_row_offset: usize) -> Result<(Matrix, VeraSaved)> {
-        let spec =
-            DropoutSpec::new(self.config.dropout, self.config.seed).with_row_offset(dropout_row_offset);
+        let spec = DropoutSpec::new(self.config.dropout, self.config.seed)
+            .with_row_offset(dropout_row_offset);
         let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
         let x_hat = hadamard(x, &mask)?;
         // K1 core: S = X̂ A, with the prologue's rank scaling fused in.
@@ -127,7 +127,15 @@ impl VeraLayer {
                 y.set(i, j, y.get(i, j)? + add)?;
             }
         }
-        Ok((y, VeraSaved { mask, x_hat, s_raw, u }))
+        Ok((
+            y,
+            VeraSaved {
+                mask,
+                x_hat,
+                s_raw,
+                u,
+            },
+        ))
     }
 
     /// Backward pass: gradients of the trainable vectors `d` and `b_vec`.
@@ -140,8 +148,8 @@ impl VeraLayer {
         // db_vec.
         let mut db_vec = vec![0.0f32; n];
         for i in 0..dy.rows() {
-            for j in 0..n {
-                db_vec[j] += self.config.alpha * dy.get(i, j)? * saved.u.get(i, j)?;
+            for (j, d) in db_vec.iter_mut().enumerate() {
+                *d += self.config.alpha * dy.get(i, j)? * saved.u.get(i, j)?;
             }
         }
         // dd: route dY through the epilogue scaling and Bᵀ.
@@ -155,8 +163,8 @@ impl VeraLayer {
         let g = matmul_nn(&dy_scaled, &self.b.transpose())?; // (m, r)
         let mut dd = vec![0.0f32; r];
         for i in 0..g.rows() {
-            for rr in 0..r {
-                dd[rr] += self.config.alpha * saved.s_raw.get(i, rr)? * g.get(i, rr)?;
+            for (rr, d) in dd.iter_mut().enumerate() {
+                *d += self.config.alpha * saved.s_raw.get(i, rr)? * g.get(i, rr)?;
             }
         }
         let _ = (&saved.mask, &saved.x_hat);
@@ -166,8 +174,8 @@ impl VeraLayer {
     /// Dense reference: `Y = X W + alpha * Λ_b ((Λ_d (X̂ A)) B)` computed
     /// without the split-graph structure, for equivalence testing.
     pub fn forward_dense(&self, x: &Matrix, dropout_row_offset: usize) -> Result<Matrix> {
-        let spec =
-            DropoutSpec::new(self.config.dropout, self.config.seed).with_row_offset(dropout_row_offset);
+        let spec = DropoutSpec::new(self.config.dropout, self.config.seed)
+            .with_row_offset(dropout_row_offset);
         let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
         let x_hat = hadamard(x, &mask)?;
         let mut s = matmul_nn(&x_hat, &self.a)?;
@@ -241,8 +249,8 @@ impl DoraLayer {
         let mut y = matmul_nn(x, &v)?;
         let scales = self.epilogue_scales()?;
         for i in 0..y.rows() {
-            for j in 0..y.cols() {
-                y.set(i, j, y.get(i, j)? * scales[j])?;
+            for (j, &sc) in scales.iter().enumerate() {
+                y.set(i, j, y.get(i, j)? * sc)?;
             }
         }
         Ok(y)
@@ -272,8 +280,8 @@ impl DoraLayer {
         let scales = self.epilogue_scales()?;
         let mut v_scaled = v.clone();
         for i in 0..v_scaled.rows() {
-            for j in 0..v_scaled.cols() {
-                v_scaled.set(i, j, v_scaled.get(i, j)? * scales[j])?;
+            for (j, &sc) in scales.iter().enumerate() {
+                v_scaled.set(i, j, v_scaled.get(i, j)? * sc)?;
             }
         }
         matmul_nn(x, &v_scaled)
@@ -282,7 +290,9 @@ impl DoraLayer {
 
 fn column_norms(m: &Matrix) -> Vec<f32> {
     let g = matmul_tn(m, m).expect("square gram");
-    (0..m.cols()).map(|j| g.get(j, j).expect("diagonal").sqrt()).collect()
+    (0..m.cols())
+        .map(|j| g.get(j, j).expect("diagonal").sqrt())
+        .collect()
 }
 
 #[cfg(test)]
@@ -292,15 +302,28 @@ mod tests {
     use lorafusion_tensor::ops::all_close;
 
     fn cfg(rank: usize) -> LoraConfig {
-        LoraConfig { rank, alpha: 1.0, dropout: 0.0, seed: 7 }
+        LoraConfig {
+            rank,
+            alpha: 1.0,
+            dropout: 0.0,
+            seed: 7,
+        }
     }
 
     #[test]
     fn vera_split_graph_matches_dense() {
         let mut rng = Pcg32::seeded(60);
         let mut layer = VeraLayer::init(20, 16, cfg(4), &mut rng);
-        layer.b_vec.iter_mut().enumerate().for_each(|(j, v)| *v = 0.1 * (j as f32 + 1.0));
-        layer.d.iter_mut().enumerate().for_each(|(r, v)| *v = 0.2 + 0.1 * r as f32);
+        layer
+            .b_vec
+            .iter_mut()
+            .enumerate()
+            .for_each(|(j, v)| *v = 0.1 * (j as f32 + 1.0));
+        layer
+            .d
+            .iter_mut()
+            .enumerate()
+            .for_each(|(r, v)| *v = 0.2 + 0.1 * r as f32);
         let x = Matrix::random_uniform(10, 20, 1.0, &mut rng);
         let (y, _) = layer.forward(&x, 0).unwrap();
         let dense = layer.forward_dense(&x, 0).unwrap();
@@ -319,9 +342,8 @@ mod tests {
         let _ = y;
 
         let eps = 1e-2f32;
-        let loss = |l: &VeraLayer| -> f64 {
-            lorafusion_tensor::ops::sum(&l.forward(&x, 0).unwrap().0)
-        };
+        let loss =
+            |l: &VeraLayer| -> f64 { lorafusion_tensor::ops::sum(&l.forward(&x, 0).unwrap().0) };
         for r in 0..3 {
             let mut plus = layer.clone();
             plus.d[r] += eps;
@@ -377,9 +399,16 @@ mod tests {
         let lora = LoraLayer::init_nonzero(12, 10, cfg(3), &mut rng);
         let mut dora = DoraLayer::from_lora(lora).unwrap();
         // Perturb the magnitudes so the epilogue is non-trivial.
-        dora.magnitude.iter_mut().enumerate().for_each(|(j, m)| *m *= 1.0 + 0.05 * j as f32);
+        dora.magnitude
+            .iter_mut()
+            .enumerate()
+            .for_each(|(j, m)| *m *= 1.0 + 0.05 * j as f32);
         let x = Matrix::random_uniform(6, 12, 1.0, &mut rng);
-        assert!(all_close(&dora.forward(&x).unwrap(), &dora.forward_dense(&x).unwrap(), 1e-5));
+        assert!(all_close(
+            &dora.forward(&x).unwrap(),
+            &dora.forward_dense(&x).unwrap(),
+            1e-5
+        ));
     }
 
     #[test]
@@ -411,8 +440,7 @@ mod tests {
     #[test]
     fn dora_rejects_bad_shapes() {
         let mut rng = Pcg32::seeded(65);
-        let dora =
-            DoraLayer::from_lora(LoraLayer::init(8, 6, cfg(2), &mut rng)).unwrap();
+        let dora = DoraLayer::from_lora(LoraLayer::init(8, 6, cfg(2), &mut rng)).unwrap();
         assert!(dora.forward(&Matrix::zeros(3, 99)).is_err());
     }
 }

@@ -506,8 +506,8 @@ fn build_model(
             let last = num_b - 1;
             for b in 0..last {
                 let mut terms: Vec<(VarId, f64)> = (0..num_a).map(|ai| (k[ai][last], p)).collect();
-                for ai in 0..num_a {
-                    terms.push((k[ai][b], -p));
+                for krow in &k {
+                    terms.push((krow[b], -p));
                 }
                 problem.add_constraint(terms, Sense::Le, 0.0);
             }

@@ -41,10 +41,7 @@ pub fn merge_underfilled(
             continue;
         }
         let mut moved_any = false;
-        loop {
-            let Some(entry) = schedule[i + 1].entries.first().copied() else {
-                break;
-            };
+        while let Some(entry) = schedule[i + 1].entries.first().copied() {
             // Tentatively move the sample.
             let mut trial = schedule.clone();
             trial[i].entries.push(entry);

@@ -39,7 +39,7 @@ pub fn propose_capacity<F: FnMut(usize) -> f64>(
         if score <= 0.0 || !score.is_finite() {
             continue;
         }
-        if best.map_or(true, |(_, s)| score > s) {
+        if best.is_none_or(|(_, s)| score > s) {
             best = Some((c, score));
         }
     }

@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use lorafusion_data::LengthStats;
+use lorafusion_tensor::pool;
 
 use crate::binpack::{greedy_packing, two_stage_milp_packing};
 use crate::bubble::fix_with_noops;
@@ -147,8 +148,10 @@ pub fn schedule_jobs(
         }
     }
 
-    // 3. Pack every task, in parallel across worker threads (global
-    // batches are independent — Algorithm 1 line 1).
+    // 3. Pack every task, in parallel on the shared worker pool (global
+    // batches are independent — Algorithm 1 line 1). `parallel_map`
+    // collects results in task order, so the schedule is independent of
+    // thread timing.
     let mut packed: Vec<(Vec<Microbatch>, bool, bool)> = Vec::with_capacity(tasks.len());
     let threads = config.threads.max(1).min(tasks.len().max(1));
     if threads <= 1 || tasks.len() <= 1 {
@@ -156,33 +159,10 @@ pub fn schedule_jobs(
             packed.push(pack_task(entries, config)?);
         }
     } else {
-        let results: Vec<Option<Result<(Vec<Microbatch>, bool, bool), SchedulerError>>> =
-            crossbeam::thread::scope(|scope| {
-                let mut slots: Vec<Option<_>> = (0..tasks.len()).map(|_| None).collect();
-                let mut handles = Vec::new();
-                for (t, chunk) in tasks.chunks(tasks.len().div_ceil(threads)).enumerate() {
-                    let offset = t * tasks.len().div_ceil(threads);
-                    handles.push((
-                        offset,
-                        scope.spawn(move |_| {
-                            chunk
-                                .iter()
-                                .map(|entries| pack_task(entries, config))
-                                .collect::<Vec<_>>()
-                        }),
-                    ));
-                }
-                for (offset, handle) in handles {
-                    let chunk_results = handle.join().expect("packing worker panicked");
-                    for (i, r) in chunk_results.into_iter().enumerate() {
-                        slots[offset + i] = Some(r);
-                    }
-                }
-                slots
-            })
-            .expect("packing scope panicked");
-        for slot in results {
-            packed.push(slot.expect("missing packing result")?);
+        let task_pool = pool::Pool::new(threads);
+        let results = pool::parallel_map(&task_pool, tasks.len(), |i| pack_task(&tasks[i], config));
+        for result in results {
+            packed.push(result?);
         }
     }
 

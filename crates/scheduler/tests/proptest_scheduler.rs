@@ -1,3 +1,9 @@
+//! Property-based suite: compile-gated because `proptest` is not
+//! vendored in the offline build. Enable with `--features proptest` after
+//! re-adding the `proptest` dev-dependency in a networked environment.
+//! Deterministic sweep fallbacks live in the regular test suites.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the multi-LoRA scheduler: on arbitrary
 //! workloads, every schedule must preserve the sample multiset, respect
 //! capacity, keep per-adapter global-batch order, and satisfy the bubble

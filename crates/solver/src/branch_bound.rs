@@ -338,13 +338,13 @@ mod tests {
         let mut p = Problem::new();
         let costs = [[4.0, 2.0], [3.0, 5.0]];
         let mut vars = [[VarId(0); 2]; 2];
-        for i in 0..2 {
-            for j in 0..2 {
-                vars[i][j] = p.add_bin_var(costs[i][j]);
+        for (i, row) in vars.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = p.add_bin_var(costs[i][j]);
             }
         }
-        for i in 0..2 {
-            p.add_constraint(vec![(vars[i][0], 1.0), (vars[i][1], 1.0)], Sense::Eq, 1.0);
+        for (i, row) in vars.iter().enumerate() {
+            p.add_constraint(vec![(row[0], 1.0), (row[1], 1.0)], Sense::Eq, 1.0);
             p.add_constraint(vec![(vars[0][i], 1.0), (vars[1][i], 1.0)], Sense::Eq, 1.0);
         }
         let sol = solve_milp(&p, &MilpOptions::default()).unwrap();

@@ -259,21 +259,25 @@ fn run_simplex(
 }
 
 fn pivot(a: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
-    let m = a.len();
     let p = a[row][col];
-    for j in 0..=total {
-        a[row][j] /= p;
+    for v in &mut a[row][..=total] {
+        *v /= p;
     }
-    for i in 0..m {
-        if i != row {
-            let f = a[i][col];
-            if f.abs() > 0.0 {
-                for j in 0..=total {
-                    a[i][j] -= f * a[row][j];
-                }
+    // Temporarily take the pivot row out so the eliminations below can
+    // borrow it immutably while mutating the other rows.
+    let pivot_row = std::mem::take(&mut a[row]);
+    for (i, r) in a.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let f = r[col];
+        if f.abs() > 0.0 {
+            for (v, &pv) in r[..=total].iter_mut().zip(&pivot_row[..=total]) {
+                *v -= f * pv;
             }
         }
     }
+    a[row] = pivot_row;
     basis[row] = col;
 }
 

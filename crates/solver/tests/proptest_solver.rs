@@ -1,3 +1,9 @@
+//! Property-based suite: compile-gated because `proptest` is not
+//! vendored in the offline build. Enable with `--features proptest` after
+//! re-adding the `proptest` dev-dependency in a networked environment.
+//! Deterministic sweep fallbacks live in the regular test suites.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the LP/MILP solver: on random models the
 //! returned points must actually be feasible, LP relaxations must bound
 //! MILP optima, and branch-and-bound must match brute force on small
@@ -23,14 +29,15 @@ fn arb_model() -> impl Strategy<Value = RandomModel> {
         .prop_flat_map(|(n, m)| {
             (
                 prop::collection::vec(-5.0f64..5.0, n),
-                prop::collection::vec(
-                    (prop::collection::vec(0.0f64..3.0, n), 1.0f64..20.0),
-                    m,
-                ),
+                prop::collection::vec((prop::collection::vec(0.0f64..3.0, n), 1.0f64..20.0), m),
                 prop::collection::vec(any::<bool>(), n),
             )
         })
-        .prop_map(|(costs, rows, integer)| RandomModel { costs, rows, integer })
+        .prop_map(|(costs, rows, integer)| RandomModel {
+            costs,
+            rows,
+            integer,
+        })
 }
 
 fn build(model: &RandomModel, relax: bool) -> Problem {

@@ -9,6 +9,7 @@
 //! identical — which is what makes the fusion strategies *lossless*.
 
 use crate::error::TensorError;
+use crate::pool;
 use crate::rng::SplitMix64;
 use crate::tensor::Matrix;
 use crate::Result;
@@ -76,16 +77,31 @@ impl DropoutSpec {
 ///
 /// Multiplying elementwise by this mask applies (inverted) dropout; the same
 /// mask is reused in the backward pass to route `dX̂` into `dX`.
+///
+/// Every element is a pure function of `(seed, row, col)`, so the mask can
+/// be filled by disjoint row chunks on the worker pool without affecting a
+/// single bit of the result.
 pub fn dropout_mask(rows: usize, cols: usize, spec: &DropoutSpec) -> Result<Matrix> {
     spec.validate()?;
     let scale = spec.scale();
     let mut mask = Matrix::zeros(rows, cols);
-    for i in 0..rows {
-        for j in 0..cols {
-            let v = if spec.keep(i, j, cols) { scale } else { 0.0 };
-            mask.set(i, j, v)?;
-        }
+    if rows == 0 || cols == 0 {
+        return Ok(mask);
     }
+    let current = pool::current();
+    let rows_per_chunk = rows.div_ceil(current.threads());
+    pool::parallel_chunks_mut(
+        current,
+        mask.as_mut_slice(),
+        rows_per_chunk * cols,
+        |t, chunk| {
+            let row0 = t * rows_per_chunk;
+            for (idx, v) in chunk.iter_mut().enumerate() {
+                let (i, j) = (row0 + idx / cols, idx % cols);
+                *v = if spec.keep(i, j, cols) { scale } else { 0.0 };
+            }
+        },
+    );
     Ok(mask)
 }
 

@@ -22,12 +22,14 @@ pub mod dropout;
 pub mod error;
 pub mod matmul;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 
 pub use dropout::{dropout_forward, dropout_mask, DropoutSpec};
 pub use error::TensorError;
 pub use matmul::{matmul_nn, matmul_nt, matmul_tn};
+pub use pool::Pool;
 pub use rng::{Pcg32, SplitMix64};
 pub use tensor::Matrix;
 

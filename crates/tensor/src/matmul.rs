@@ -1,4 +1,4 @@
-//! Blocked matrix multiplication in the layouts LoRA training needs.
+//! Blocked, pool-parallel matrix multiplication in the layouts LoRA needs.
 //!
 //! The LoRA forward/backward graph uses three GEMM layouts:
 //!
@@ -6,17 +6,34 @@
 //! * `NT`: `C = A @ Bᵀ` — input gradients (`dY Wᵀ`, `dS Aᵀ`, `dY Bᵀ`);
 //! * `TN`: `C = Aᵀ @ B` — weight gradients (`X̂ᵀ dS`, `Sᵀ dY`).
 //!
-//! All three are implemented with a cache-blocked i-k-j loop order and an
-//! optional accumulate-into-output mode (`beta = 1`), which is what the
+//! All three support an accumulate-into-output mode (`beta = 1`), which the
 //! fused executors use to model a GEMM epilogue that adds the LoRA branch
 //! into the frozen output without materializing a partial tensor.
+//!
+//! # Parallelism and determinism
+//!
+//! Each GEMM partitions the output's *rows* into contiguous ranges
+//! ([`pool::split_evenly`]) and runs one range per pool task. Every output
+//! element is owned by exactly one task, and within a task the reduction
+//! over `k` runs in ascending `kk` order — the same per-element
+//! floating-point order as the serial code. Results are therefore
+//! bitwise-identical at any thread count, including 1. The `NN` kernel
+//! additionally packs `B` into column panels ([`PANEL`] wide) so the inner
+//! loops stream a small, contiguous working set; packing only copies
+//! values, so it cannot change a bit of the result either.
 
 use crate::error::TensorError;
+use crate::pool::{self, Pool};
 use crate::tensor::Matrix;
 use crate::Result;
 
-/// Cache block size along each loop dimension.
+/// Cache block size along the reduction dimension.
 const BLOCK: usize = 64;
+
+/// Column-panel width for packed `B` in the `NN` kernel. A `BLOCK x PANEL`
+/// f32 panel is 64 KiB — small enough to stay resident while a row range
+/// streams over it.
+const PANEL: usize = 256;
 
 /// Accumulation mode for a GEMM call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,79 +44,133 @@ pub enum Accumulate {
     Add,
 }
 
-/// Computes `C (+)= alpha * A @ B` where `A` is `m x k` and `B` is `k x n`.
-pub fn gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
-    let (m, k) = a.shape();
-    let (kb, n) = b.shape();
-    if k != kb {
+/// Raw base pointer for handing disjoint row ranges of `C` to pool tasks.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than a public field) so closures capture the whole
+    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+fn check_shapes(
+    op: &'static str,
+    out_op: &'static str,
+    a: &Matrix,
+    b: &Matrix,
+    c: &Matrix,
+    expect_inner: (usize, usize),
+    expect_out: (usize, usize),
+) -> Result<()> {
+    if expect_inner.0 != expect_inner.1 {
         return Err(TensorError::ShapeMismatch {
-            op: "gemm_nn",
+            op,
             lhs: a.shape(),
             rhs: b.shape(),
         });
     }
-    if c.shape() != (m, n) {
+    if c.shape() != expect_out {
         return Err(TensorError::ShapeMismatch {
-            op: "gemm_nn_out",
-            lhs: (m, n),
+            op: out_op,
+            lhs: expect_out,
             rhs: c.shape(),
         });
     }
-    if acc == Accumulate::Overwrite {
-        c.as_mut_slice().fill(0.0);
+    Ok(())
+}
+
+/// Runs `body(range, c_rows)` for each contiguous row range of `C`, in
+/// parallel on `pool`. `c_rows` is the sub-slice of `cv` holding exactly
+/// the rows in `range`, so tasks touch disjoint memory.
+fn run_row_ranges(
+    pool: &Pool,
+    cv: &mut [f32],
+    m: usize,
+    n: usize,
+    body: &(dyn Fn(std::ops::Range<usize>, &mut [f32]) + Sync),
+) {
+    if m == 0 || n == 0 {
+        return;
     }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
+    let ranges = pool::split_evenly(m, pool.threads());
+    if ranges.len() <= 1 {
+        body(0..m, cv);
+        return;
+    }
+    let base = SendPtr(cv.as_mut_ptr());
+    let base = &base;
+    pool.run(ranges.len(), &|t| {
+        let range = ranges[t].clone();
+        // SAFETY: row ranges are pairwise disjoint and in-bounds, so each
+        // task gets an exclusive slice of C.
+        let rows = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(range.start * n), range.len() * n)
+        };
+        body(range, rows);
+    });
+}
+
+/// `NN` inner kernel for one row range. `cv` holds rows `row0..row0+rows`
+/// of `C`. `panel` is scratch for the packed `B` column panel.
+///
+/// Loop order is `j0`-panel → `k0`-block → pack → `i` → `kk` → `j`; for any
+/// fixed element the reduction still visits `kk` in ascending order, which
+/// keeps the result bitwise equal to the serial kernel.
+#[allow(clippy::too_many_arguments)]
+fn nn_rows(
+    alpha: f32,
+    av: &[f32],
+    bv: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    rows: usize,
+    cv: &mut [f32],
+) {
+    let mut panel = vec![0.0f32; BLOCK * PANEL.min(n.max(1))];
+    for j0 in (0..n).step_by(PANEL) {
+        let j1 = (j0 + PANEL).min(n);
+        let jw = j1 - j0;
         for k0 in (0..k).step_by(BLOCK) {
             let k1 = (k0 + BLOCK).min(k);
-            for i in i0..i1 {
-                let arow = &av[i * k..(i + 1) * k];
-                let crow = &mut cv[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let src = &bv[kk * n + j0..kk * n + j1];
+                panel[(kk - k0) * jw..(kk - k0) * jw + jw].copy_from_slice(src);
+            }
+            for i in 0..rows {
+                let arow = &av[(row0 + i) * k..(row0 + i + 1) * k];
+                let crow = &mut cv[i * n + j0..i * n + j1];
                 for kk in k0..k1 {
                     let aik = alpha * arow[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &bv[kk * n..(kk + 1) * n];
-                    for j in 0..n {
-                        crow[j] += aik * brow[j];
+                    let prow = &panel[(kk - k0) * jw..(kk - k0) * jw + jw];
+                    for j in 0..jw {
+                        crow[j] += aik * prow[j];
                     }
                 }
             }
         }
     }
-    Ok(())
 }
 
-/// Computes `C (+)= alpha * A @ Bᵀ` where `A` is `m x k` and `B` is `n x k`.
-pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
-    let (m, k) = a.shape();
-    let (n, kb) = b.shape();
-    if k != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "gemm_nt",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
-    if c.shape() != (m, n) {
-        return Err(TensorError::ShapeMismatch {
-            op: "gemm_nt_out",
-            lhs: (m, n),
-            rhs: c.shape(),
-        });
-    }
-    if acc == Accumulate::Overwrite {
-        c.as_mut_slice().fill(0.0);
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
+/// `NT` inner kernel for one row range: independent dot products, reduction
+/// over `kk` ascending.
+#[allow(clippy::too_many_arguments)]
+fn nt_rows(
+    alpha: f32,
+    av: &[f32],
+    bv: &[f32],
+    k: usize,
+    n: usize,
+    row0: usize,
+    rows: usize,
+    cv: &mut [f32],
+) {
+    for i in 0..rows {
+        let arow = &av[(row0 + i) * k..(row0 + i + 1) * k];
         let crow = &mut cv[i * n..(i + 1) * n];
         for j in 0..n {
             let brow = &bv[j * k..(j + 1) * k];
@@ -110,48 +181,124 @@ pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumula
             crow[j] += alpha * acc_val;
         }
     }
-    Ok(())
 }
 
-/// Computes `C (+)= alpha * Aᵀ @ B` where `A` is `k x m` and `B` is `k x n`.
-pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
-    let (k, m) = a.shape();
-    let (kb, n) = b.shape();
-    if k != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "gemm_tn",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
-    if c.shape() != (m, n) {
-        return Err(TensorError::ShapeMismatch {
-            op: "gemm_tn_out",
-            lhs: (m, n),
-            rhs: c.shape(),
-        });
-    }
-    if acc == Accumulate::Overwrite {
-        c.as_mut_slice().fill(0.0);
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
+/// `TN` inner kernel for one row range of `C` (columns of `A`). `kk` stays
+/// the outer loop so `A` and `B` rows stream contiguously; per element the
+/// reduction is still `kk` ascending.
+#[allow(clippy::too_many_arguments)]
+fn tn_rows(
+    alpha: f32,
+    av: &[f32],
+    bv: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    row0: usize,
+    rows: usize,
+    cv: &mut [f32],
+) {
     for kk in 0..k {
         let arow = &av[kk * m..(kk + 1) * m];
         let brow = &bv[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aki = alpha * arow[i];
-            if aki == 0.0 {
-                continue;
-            }
+        for i in 0..rows {
+            let aki = alpha * arow[row0 + i];
             let crow = &mut cv[i * n..(i + 1) * n];
             for j in 0..n {
                 crow[j] += aki * brow[j];
             }
         }
     }
+}
+
+/// Computes `C (+)= alpha * A @ B` on `pool`, where `A` is `m x k` and `B`
+/// is `k x n`.
+pub fn gemm_nn_on(
+    pool: &Pool,
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    acc: Accumulate,
+) -> Result<()> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    check_shapes("gemm_nn", "gemm_nn_out", a, b, c, (k, kb), (m, n))?;
+    if acc == Accumulate::Overwrite {
+        c.as_mut_slice().fill(0.0);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    run_row_ranges(pool, cv, m, n, &|range, rows| {
+        nn_rows(alpha, av, bv, k, n, range.start, range.len(), rows);
+    });
     Ok(())
+}
+
+/// Computes `C (+)= alpha * A @ Bᵀ` on `pool`, where `A` is `m x k` and `B`
+/// is `n x k`.
+pub fn gemm_nt_on(
+    pool: &Pool,
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    acc: Accumulate,
+) -> Result<()> {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    check_shapes("gemm_nt", "gemm_nt_out", a, b, c, (k, kb), (m, n))?;
+    if acc == Accumulate::Overwrite {
+        c.as_mut_slice().fill(0.0);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    run_row_ranges(pool, cv, m, n, &|range, rows| {
+        nt_rows(alpha, av, bv, k, n, range.start, range.len(), rows);
+    });
+    Ok(())
+}
+
+/// Computes `C (+)= alpha * Aᵀ @ B` on `pool`, where `A` is `k x m` and `B`
+/// is `k x n`.
+pub fn gemm_tn_on(
+    pool: &Pool,
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    acc: Accumulate,
+) -> Result<()> {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    check_shapes("gemm_tn", "gemm_tn_out", a, b, c, (k, kb), (m, n))?;
+    if acc == Accumulate::Overwrite {
+        c.as_mut_slice().fill(0.0);
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = c.as_mut_slice();
+    run_row_ranges(pool, cv, m, n, &|range, rows| {
+        tn_rows(alpha, av, bv, k, m, n, range.start, range.len(), rows);
+    });
+    Ok(())
+}
+
+/// Computes `C (+)= alpha * A @ B` on the current pool.
+pub fn gemm_nn(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
+    gemm_nn_on(pool::current(), alpha, a, b, c, acc)
+}
+
+/// Computes `C (+)= alpha * A @ Bᵀ` on the current pool.
+pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
+    gemm_nt_on(pool::current(), alpha, a, b, c, acc)
+}
+
+/// Computes `C (+)= alpha * Aᵀ @ B` on the current pool.
+pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, c: &mut Matrix, acc: Accumulate) -> Result<()> {
+    gemm_tn_on(pool::current(), alpha, a, b, c, acc)
 }
 
 /// Returns `A @ B` as a new matrix.
@@ -203,6 +350,14 @@ mod tests {
                 .iter()
                 .zip(b.as_slice())
                 .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
     }
 
     #[test]
@@ -265,5 +420,64 @@ mod tests {
         }
         assert!(close(&matmul_nn(&a, &eye).unwrap(), &a, 1e-6));
         assert!(close(&matmul_nn(&eye, &a).unwrap(), &a, 1e-6));
+    }
+
+    /// Regression for the removed `if aik == 0.0 { continue; }` fast path:
+    /// `0.0 * NaN` must produce `NaN` in the output, and `0.0 * inf` must
+    /// produce `NaN` as well — the skip silently dropped both.
+    #[test]
+    fn non_finite_values_propagate_through_zero_rows() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 1, 1.0).unwrap();
+        let mut b = Matrix::zeros(3, 2);
+        b.set(0, 0, f32::NAN).unwrap();
+        b.set(2, 1, f32::INFINITY).unwrap();
+        // Row 0 of A is [0, 1, 0]: kk=0 contributes 0*NaN = NaN, kk=2
+        // contributes 0*inf = NaN.
+        let c = matmul_nn(&a, &b).unwrap();
+        assert!(c.get(0, 0).unwrap().is_nan());
+        assert!(c.get(0, 1).unwrap().is_nan());
+        // Row 1 of A is all zeros: 0*NaN is still NaN.
+        assert!(c.get(1, 0).unwrap().is_nan());
+
+        let c = matmul_tn(&a.transpose(), &b).unwrap();
+        assert!(c.get(0, 0).unwrap().is_nan());
+        assert!(c.get(0, 1).unwrap().is_nan());
+    }
+
+    /// Parallel GEMMs must be bitwise-identical to the 1-thread path for
+    /// every layout, including shapes that are not block multiples.
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        let shapes = [(65, 33, 17), (1, 40, 9), (8, 1, 8), (130, 70, 257)];
+        let serial = Pool::new(1);
+        for threads in [2usize, 4, 8] {
+            let par = Pool::new(threads);
+            for (seed, &(m, k, n)) in shapes.iter().enumerate() {
+                let mut rng = Pcg32::seeded(100 + seed as u64);
+                let a = Matrix::random_gaussian(m, k, 1.0, &mut rng);
+                let b = Matrix::random_gaussian(k, n, 1.0, &mut rng);
+                let bt = b.transpose();
+                let at = a.transpose();
+
+                let mut c_ser = Matrix::zeros(m, n);
+                let mut c_par = Matrix::zeros(m, n);
+                gemm_nn_on(&serial, 1.5, &a, &b, &mut c_ser, Accumulate::Overwrite).unwrap();
+                gemm_nn_on(&par, 1.5, &a, &b, &mut c_par, Accumulate::Overwrite).unwrap();
+                assert!(bitwise_eq(&c_ser, &c_par), "nn {m}x{k}x{n} t={threads}");
+
+                let mut c_ser = Matrix::zeros(m, n);
+                let mut c_par = Matrix::zeros(m, n);
+                gemm_nt_on(&serial, 0.7, &a, &bt, &mut c_ser, Accumulate::Overwrite).unwrap();
+                gemm_nt_on(&par, 0.7, &a, &bt, &mut c_par, Accumulate::Overwrite).unwrap();
+                assert!(bitwise_eq(&c_ser, &c_par), "nt {m}x{k}x{n} t={threads}");
+
+                let mut c_ser = Matrix::zeros(m, n);
+                let mut c_par = Matrix::zeros(m, n);
+                gemm_tn_on(&serial, -1.1, &at, &b, &mut c_ser, Accumulate::Overwrite).unwrap();
+                gemm_tn_on(&par, -1.1, &at, &b, &mut c_par, Accumulate::Overwrite).unwrap();
+                assert!(bitwise_eq(&c_ser, &c_par), "tn {m}x{k}x{n} t={threads}");
+            }
+        }
     }
 }

@@ -1,0 +1,511 @@
+//! Deterministic persistent worker pool.
+//!
+//! Every real-numerics path in the reproduction (blocked GEMMs, the LoRA
+//! executors, scheduler packing, the planner's capacity sweep) dispatches
+//! through this pool. The design constraint is the paper's losslessness
+//! claim (§4): parallel execution must be *bitwise identical* to serial
+//! execution at any thread count. The pool therefore never splits a
+//! reduction: callers partition work into tasks whose outputs are disjoint
+//! and whose per-element floating-point evaluation order is exactly the
+//! serial order. Which thread runs a task — and in what order tasks are
+//! claimed — then cannot affect a single output bit.
+//!
+//! * Workers are `std::thread` only (the build has no external deps).
+//! * The pool is persistent: threads are spawned once and parked on a
+//!   condvar between jobs, so dispatch costs a lock + notify rather than
+//!   thread creation.
+//! * The submitting thread participates in the job, so a 1-thread pool
+//!   degenerates to plain serial execution with no handoff.
+//! * Nested dispatch from inside a worker task runs inline (serially),
+//!   which makes composition (e.g. a parallel executor calling parallel
+//!   GEMMs) deadlock-free.
+//!
+//! The global pool size comes from `LORAFUSION_THREADS`, defaulting to the
+//! machine's available parallelism. Tests pin explicit sizes with
+//! [`with_pool`].
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+thread_local! {
+    /// True on pool worker threads and on submitters while they execute
+    /// tasks: any nested `run` goes inline instead of re-entering the pool.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Thread-local pool override installed by [`with_pool`].
+    static CURRENT: Cell<Option<*const Pool>> = const { Cell::new(None) };
+}
+
+/// A lifetime-erased task batch with its own claim/completion state.
+///
+/// The task dispenser (`next`) and the completion counter (`remaining`)
+/// live *inside* the job rather than in the pool: a worker that grabbed
+/// this job and was then descheduled past the job's completion can only
+/// observe its own exhausted `next` (and break without touching `f`) — it
+/// can never claim an index belonging to a later job and dereference a
+/// closure that has gone out of scope.
+struct JobState {
+    /// Borrow of the submitter's closure with the lifetime erased; valid
+    /// until `remaining` hits zero, which the submitting `run` call
+    /// guarantees by blocking.
+    f: *const (dyn Fn(usize) + Sync),
+    n: usize,
+    /// Next task index to claim.
+    next: AtomicUsize,
+    /// Tasks not yet finished.
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+// SAFETY: the pointee is `Sync`, and `f` is only dereferenced for claimed
+// indices `< n`, all of which complete before the submitter returns.
+unsafe impl Send for JobState {}
+unsafe impl Sync for JobState {}
+
+struct Slot {
+    /// Bumped once per submitted job so parked workers can tell a new job
+    /// from the one they already finished.
+    epoch: u64,
+    job: Option<Arc<JobState>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// Locks a mutex, recovering from poisoning. A task panic is re-raised on
+/// the submitter *after* the job has fully drained, so a poisoned lock
+/// never guards inconsistent state here.
+fn lock_recover<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A persistent fixed-size worker pool with deterministic semantics.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// Serializes submitters; the pool runs one job at a time.
+    submit: Mutex<()>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool that executes jobs on `threads` threads in total
+    /// (the submitting thread counts as one; `threads - 1` workers are
+    /// spawned). `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("lorafusion-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            submit: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Number of threads (including the submitter) this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `f(0), f(1), …, f(n - 1)`, potentially in parallel, and
+    /// returns once all calls have finished.
+    ///
+    /// Tasks must write only to disjoint data. Task-claim order is
+    /// unspecified, so determinism is the *caller's* contract: each task
+    /// must compute the same values regardless of which thread runs it —
+    /// which holds automatically when tasks are independent and internally
+    /// serial.
+    ///
+    /// Panics in a task are caught on the worker and re-raised here after
+    /// the whole job has drained.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.threads <= 1 || n == 1 || IN_POOL.with(Cell::get) {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let _submit = lock_recover(&self.submit);
+        // SAFETY: we erase the borrow's lifetime to park it in the shared
+        // slot; `run` does not return until `remaining == 0`, i.e. until no
+        // worker can still dereference it.
+        let job = Arc::new(JobState {
+            f: unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    f as *const _,
+                )
+            },
+            n,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut slot = lock_recover(&self.shared.slot);
+            slot.job = Some(Arc::clone(&job));
+            slot.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        // The submitter works too; nested dispatch inside tasks runs inline.
+        IN_POOL.with(|c| c.set(true));
+        execute_tasks(&self.shared, &job);
+        IN_POOL.with(|c| c.set(false));
+        let mut slot = lock_recover(&self.shared.slot);
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            slot = self
+                .shared
+                .done
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        slot.job = None;
+        drop(slot);
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("lorafusion pool task panicked");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock_recover(&self.shared.slot);
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|c| c.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock_recover(&shared.slot);
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    if let Some(job) = &slot.job {
+                        break Arc::clone(job);
+                    }
+                    // Job already drained; wait for the next epoch.
+                }
+                slot = shared
+                    .work
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        execute_tasks(shared, &job);
+    }
+}
+
+fn execute_tasks(shared: &Shared, job: &JobState) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            break;
+        }
+        // SAFETY: `i < n` was claimed, so the job is not yet complete and
+        // the submitter still keeps the closure alive.
+        let f = unsafe { &*job.f };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task: wake the submitter. Lock ordering with the wait
+            // loop prevents a lost wakeup.
+            let _slot = lock_recover(&shared.slot);
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Pool size requested via `LORAFUSION_THREADS`, falling back to the
+/// machine's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("LORAFUSION_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(256)
+}
+
+/// The process-wide pool, sized by `LORAFUSION_THREADS` (default: the
+/// available parallelism). Initialized on first use.
+pub fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// The pool the current thread should dispatch to: the innermost
+/// [`with_pool`] override, or the global pool.
+pub fn current() -> &'static Pool {
+    if let Some(ptr) = CURRENT.with(Cell::get) {
+        // SAFETY: `with_pool` keeps the override alive for the whole scope
+        // and removes it before returning.
+        return unsafe { &*ptr };
+    }
+    global()
+}
+
+/// Runs `f` with `pool` installed as the current pool for this thread.
+///
+/// Used by tests to sweep thread counts and by callers that need an
+/// explicitly sized pool without touching the global one.
+pub fn with_pool<R>(pool: &Pool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<*const Pool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(CURRENT.with(|c| c.replace(Some(pool as *const Pool))));
+    f()
+}
+
+/// Splits `0..total` into at most `parts` contiguous ranges of
+/// near-equal length (the first `total % parts` ranges get one extra
+/// element). Pure function of its inputs, so partitioning is identical
+/// across runs.
+pub fn split_evenly(total: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(total.max(1));
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Raw pointer wrapper for handing disjoint output regions to tasks.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than a public field) so closures capture the whole
+    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Evaluates `f(0..n)` on the pool and collects the results in index
+/// order. The output order (and every value, provided `f` is internally
+/// deterministic) is independent of the thread count.
+pub fn parallel_map<T, F>(pool: &Pool, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let ptr = SendPtr(out.as_mut_ptr());
+    pool.run(n, &|i| {
+        let value = f(i);
+        // SAFETY: each task writes exactly one distinct, pre-allocated slot.
+        unsafe { *ptr.get().add(i) = Some(value) };
+    });
+    out.into_iter()
+        .map(|v| v.expect("pool task result missing"))
+        .collect()
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements (the last
+/// chunk may be shorter) and calls `f(chunk_index, chunk)` for each chunk,
+/// in parallel. Chunks are disjoint, so this is safe parallel mutation.
+pub fn parallel_chunks_mut<F>(pool: &Pool, data: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
+    let n = len.div_ceil(chunk_len);
+    if n <= 1 {
+        if len > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    pool.run(n, &|t| {
+        let start = t * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunks [start, end) are pairwise disjoint and in-bounds.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(t, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(100, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = Pool::new(3);
+        let sum = AtomicU64::new(0);
+        for round in 0..50u64 {
+            pool.run(17, &|i| {
+                sum.fetch_add(round + i as u64, Ordering::Relaxed);
+            });
+        }
+        let expect: u64 = (0..50u64).map(|r| 17 * r + (0..17).sum::<u64>()).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let mut touched = vec![false; 8];
+        let cell = std::sync::Mutex::new(&mut touched);
+        pool.run(8, &|i| {
+            cell.lock().unwrap()[i] = true;
+        });
+        assert!(touched.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let pool = Pool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            // Nested jobs must not re-enter the pool.
+            current().run(8, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let pool = Pool::new(4);
+        let out = parallel_map(&pool, 33, |i| i * i);
+        assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_chunks_are_disjoint_and_complete() {
+        let pool = Pool::new(4);
+        let mut data = vec![0.0f32; 1003];
+        parallel_chunks_mut(&pool, &mut data, 64, |t, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1.0 + t as f32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1.0 + (i / 64) as f32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn split_evenly_covers_range() {
+        for total in [0usize, 1, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = split_evenly(total, parts);
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor);
+                    assert!(!r.is_empty());
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, total);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn with_pool_overrides_current() {
+        let pool = Pool::new(2);
+        let inner_threads = with_pool(&pool, || current().threads());
+        assert_eq!(inner_threads, 2);
+    }
+
+    #[test]
+    fn worker_panic_is_propagated() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a task panic.
+        let count = AtomicUsize::new(0);
+        pool.run(16, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+}

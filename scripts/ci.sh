@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test. No network access required —
+# the workspace has zero external dependencies (see the root Cargo.toml),
+# so everything below runs against the local toolchain only.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick  skip the release build (debug build + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --release
+fi
+
+step "cargo test (root package, the tier-1 gate)"
+cargo test -q
+
+step "cargo test --workspace"
+cargo test -q --workspace
+
+step "CI OK"

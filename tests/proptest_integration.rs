@@ -1,3 +1,9 @@
+//! Property-based suite: compile-gated because `proptest` is not
+//! vendored in the offline build. Enable with `--features proptest` after
+//! re-adding the `proptest` dev-dependency in a networked environment.
+//! Deterministic sweep fallbacks live in the regular test suites.
+#![cfg(feature = "proptest")]
+
 //! Workspace-level property tests: random multi-job workloads flow through
 //! scheduler → pipeline simulation → throughput without violating any
 //! cross-crate invariant.
