@@ -1,57 +1,113 @@
-//! GEMM perf trajectory: serial vs. parallel wall-time at 4096x4096.
+//! GEMM perf trajectory: layouts x shapes x thread counts.
 //!
-//! Emits `results/BENCH_gemm.json` so future PRs can track how the blocked
-//! GEMM and the worker pool evolve. The default shape is the paper's
-//! evaluation size (n = k = 4096); `BENCH_GEMM_SIZE` overrides it for
-//! quick local runs. Thread counts sweep 1, 2, 4 and the pool default.
-//! A final bitwise check asserts the determinism contract on the spot.
+//! Emits `results/BENCH_gemm.json` so future PRs can track how the
+//! register-tiled GEMM engine and the worker pool evolve. The sweep covers
+//! the three transpose layouts (`nn`, `nt`, `tn`) and the paper-relevant
+//! shapes: the square evaluation size (`s x s x s`, default `s = 4096`,
+//! override with `BENCH_GEMM_SIZE`) plus the skinny LoRA shapes — the
+//! rank-16 down-projection (`s x s x 16`) and the 16-row weight-gradient
+//! (`16 x s x s`) — so the trajectory distinguishes square GEMMs from the
+//! rank-`r` ones the schedulers actually issue.
+//!
+//! Timing takes the *median* of per-iteration wall times (not the mean),
+//! so one cold iteration cannot skew the small `BENCH_GEMM_SIZE` runs CI
+//! uses. A bitwise check asserts the determinism contract for every
+//! (layout, shape, threads) cell on the spot; `scripts/ci.sh` runs this
+//! binary at size 256 as a fast regression gate with `BENCH_GEMM_WRITE=0`
+//! to leave the committed full-size trajectory untouched.
 
 use std::time::Instant;
 
 use lorafusion_bench::{fmt, print_table, write_json};
-use lorafusion_tensor::matmul::{gemm_nn_on, Accumulate};
+use lorafusion_tensor::matmul::{gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate};
+use lorafusion_tensor::microkernel::Layout;
 use lorafusion_tensor::pool::Pool;
 use lorafusion_tensor::{Matrix, Pcg32};
 
 struct Row {
+    layout: String,
+    shape: String,
     threads: usize,
-    size: usize,
     seconds: f64,
     gflops: f64,
     speedup_vs_serial: f64,
     bitwise_equal_to_serial: bool,
 }
 lorafusion_bench::impl_to_json!(Row {
+    layout,
+    shape,
     threads,
-    size,
     seconds,
     gflops,
     speedup_vs_serial,
     bitwise_equal_to_serial,
 });
 
-fn time_gemm(pool: &Pool, a: &Matrix, b: &Matrix, reps: usize) -> (f64, Matrix) {
-    let mut c = Matrix::zeros(a.rows(), b.cols());
-    // Warm-up (also produces the output used for the bitwise check).
-    gemm_nn_on(pool, 1.0, a, b, &mut c, Accumulate::Overwrite).unwrap();
-    let start = Instant::now();
-    for _ in 0..reps {
-        gemm_nn_on(pool, 1.0, a, b, &mut c, Accumulate::Overwrite).unwrap();
+/// Builds the operands of `C = A (x) B` for `layout` with effective
+/// product shape `m x k x n`.
+fn operands(layout: Layout, m: usize, k: usize, n: usize, rng: &mut Pcg32) -> (Matrix, Matrix) {
+    let (ar, ac) = match layout {
+        Layout::Nn | Layout::Nt => (m, k),
+        Layout::Tn => (k, m),
+    };
+    let (br, bc) = match layout {
+        Layout::Nn | Layout::Tn => (k, n),
+        Layout::Nt => (n, k),
+    };
+    (
+        Matrix::random_uniform(ar, ac, 1.0, rng),
+        Matrix::random_uniform(br, bc, 1.0, rng),
+    )
+}
+
+fn run_once(layout: Layout, pool: &Pool, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    match layout {
+        Layout::Nn => gemm_nn_on(pool, 1.0, a, b, c, Accumulate::Overwrite),
+        Layout::Nt => gemm_nt_on(pool, 1.0, a, b, c, Accumulate::Overwrite),
+        Layout::Tn => gemm_tn_on(pool, 1.0, a, b, c, Accumulate::Overwrite),
     }
-    (start.elapsed().as_secs_f64() / reps as f64, c)
+    .unwrap();
+}
+
+/// One untimed warm-up (whose output feeds the bitwise check), then `reps`
+/// individually timed iterations reduced to their median.
+fn time_config(
+    layout: Layout,
+    pool: &Pool,
+    a: &Matrix,
+    b: &Matrix,
+    m: usize,
+    n: usize,
+    reps: usize,
+) -> (f64, Vec<u32>) {
+    let mut c = Matrix::zeros(m, n);
+    run_once(layout, pool, a, b, &mut c);
+    let bits: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            run_once(layout, pool, a, b, &mut c);
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    (times[reps / 2], bits)
 }
 
 fn main() {
     let size: usize = std::env::var("BENCH_GEMM_SIZE")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4096);
-    let reps: usize = if size >= 2048 { 1 } else { 5 };
-
-    let mut rng = Pcg32::seeded(7);
-    let a = Matrix::random_uniform(size, size, 1.0, &mut rng);
-    let b = Matrix::random_uniform(size, size, 1.0, &mut rng);
-    let flops = 2.0 * (size as f64).powi(3);
+        .unwrap_or(4096)
+        .max(1);
+    let skinny = 16.min(size);
+    // Effective (m, k, n) product shapes: square, rank-r down-projection,
+    // and the 16-row weight-gradient shape.
+    let shapes: Vec<(usize, usize, usize)> = vec![
+        (size, size, size),
+        (size, size, skinny),
+        (skinny, size, size),
+    ];
 
     // Mirror the global pool's sizing: LORAFUSION_THREADS, else the
     // machine's available parallelism.
@@ -68,34 +124,48 @@ fn main() {
     if !sweep.contains(&default_threads) {
         sweep.push(default_threads);
     }
+    let pools: Vec<Pool> = sweep.iter().map(|&t| Pool::new(t)).collect();
 
+    let square_flops = 2.0 * (size as f64).powi(3);
     let mut rows: Vec<Row> = Vec::new();
-    let mut serial_seconds = 0.0;
-    let mut serial_bits: Vec<u32> = Vec::new();
-    for &threads in &sweep {
-        let pool = Pool::new(threads);
-        let (seconds, c) = time_gemm(&pool, &a, &b, reps);
-        let bits: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
-        if threads == 1 {
-            serial_seconds = seconds;
-            serial_bits = bits.clone();
+    for &(m, k, n) in &shapes {
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        // Spend comparable wall time on every shape: cheap skinny shapes
+        // run more (odd, median-friendly) iterations, capped at 25.
+        let reps = (3.0 * square_flops / flops).round() as usize;
+        let reps = reps.clamp(3, 25) | 1;
+        for &layout in &[Layout::Nn, Layout::Nt, Layout::Tn] {
+            let mut rng = Pcg32::seeded(7);
+            let (a, b) = operands(layout, m, k, n, &mut rng);
+            let mut serial_seconds = 0.0;
+            let mut serial_bits: Vec<u32> = Vec::new();
+            for (pool, &threads) in pools.iter().zip(&sweep) {
+                let (seconds, bits) = time_config(layout, pool, &a, &b, m, n, reps);
+                if threads == 1 {
+                    serial_seconds = seconds;
+                    serial_bits = bits.clone();
+                }
+                rows.push(Row {
+                    layout: layout.tag().to_string(),
+                    shape: format!("{m}x{k}x{n}"),
+                    threads,
+                    seconds,
+                    gflops: flops / seconds / 1e9,
+                    speedup_vs_serial: serial_seconds / seconds,
+                    bitwise_equal_to_serial: bits == serial_bits,
+                });
+            }
         }
-        rows.push(Row {
-            threads,
-            size,
-            seconds,
-            gflops: flops / seconds / 1e9,
-            speedup_vs_serial: serial_seconds / seconds,
-            bitwise_equal_to_serial: bits == serial_bits,
-        });
     }
 
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
+                r.layout.clone(),
+                r.shape.clone(),
                 r.threads.to_string(),
-                fmt(r.seconds * 1e3, 1),
+                fmt(r.seconds * 1e3, 2),
                 fmt(r.gflops, 2),
                 fmt(r.speedup_vs_serial, 2),
                 r.bitwise_equal_to_serial.to_string(),
@@ -103,8 +173,16 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("GEMM {size}x{size}x{size} (serial vs. pool)"),
-        &["threads", "ms/iter", "GFLOP/s", "speedup", "bitwise=serial"],
+        &format!("GEMM sweep (base size {size}, median of per-iteration times)"),
+        &[
+            "layout",
+            "shape",
+            "threads",
+            "ms/iter",
+            "GFLOP/s",
+            "speedup",
+            "bitwise=serial",
+        ],
         &table,
     );
 
@@ -112,5 +190,12 @@ fn main() {
         rows.iter().all(|r| r.bitwise_equal_to_serial),
         "parallel GEMM diverged from serial output"
     );
-    write_json("BENCH_gemm", &rows);
+    let write = std::env::var("BENCH_GEMM_WRITE")
+        .map(|v| v != "0" && v.to_lowercase() != "false")
+        .unwrap_or(true);
+    if write {
+        write_json("BENCH_gemm", &rows);
+    } else {
+        println!("(BENCH_GEMM_WRITE=0: skipping results/BENCH_gemm.json)");
+    }
 }

@@ -1,0 +1,151 @@
+//! Reusable thread-local scratch buffers for the GEMM hot path.
+//!
+//! Packing a GEMM call's operands needs two large `f32` buffers whose sizes
+//! change from call to call. Allocating them with `vec![...]` on every call
+//! puts an allocator round-trip (and a page-fault storm on first touch) on
+//! the hot path of every layer executor. The arena keeps returned buffers
+//! cached per thread and hands the largest cached one back on the next
+//! request, so steady-state training loops perform zero heap allocation per
+//! GEMM.
+//!
+//! Buffers are *not* zeroed on reuse: callers receive `len` elements of
+//! arbitrary stale data and must write every element they later read. The
+//! packing routines in [`crate::microkernel`] do exactly that (explicitly
+//! writing zero padding), which also keeps reuse deterministic — results
+//! never depend on what a previous call left behind.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Cached buffers, unordered. Bounded by [`MAX_CACHED`] entries; the
+    /// smallest buffer is evicted when a larger one is returned while full.
+    static CACHE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Maximum number of buffers retained per thread. Two covers a GEMM's
+/// `A`/`B` packing pair; two more absorb nested or interleaved callers.
+const MAX_CACHED: usize = 4;
+
+/// A scratch buffer checked out of the thread-local arena. Dereferences to
+/// `[f32]` of exactly the requested length; contents are uninitialized in
+/// the sense of "stale from a previous checkout" (never actually
+/// uninitialized memory). Returned to the arena on drop.
+pub struct Scratch {
+    buf: Vec<f32>,
+    len: usize,
+}
+
+impl Scratch {
+    /// Checks out a buffer of `len` elements. Contents are arbitrary; the
+    /// caller must write every element it will read.
+    pub fn take(len: usize) -> Scratch {
+        let mut buf = CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            // Prefer the largest cached buffer so capacity accumulates
+            // toward the high-water mark instead of churning.
+            match cache
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+            {
+                Some(i) => cache.swap_remove(i),
+                None => Vec::new(),
+            }
+        });
+        if buf.capacity() < len {
+            buf.reserve_exact(len - buf.len());
+        }
+        // `resize` only writes the grown tail; reused capacity keeps its
+        // stale contents, which is the documented contract.
+        buf.resize(len, 0.0);
+        Scratch { buf, len }
+    }
+
+    /// The checked-out region.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf[..self.len]
+    }
+
+    /// The checked-out region, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.buf[..self.len]
+    }
+}
+
+impl std::ops::Deref for Scratch {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() < MAX_CACHED {
+                cache.push(buf);
+                return;
+            }
+            // Full: replace the smallest entry if this buffer is bigger.
+            if let Some((i, _)) = cache.iter().enumerate().min_by_key(|(_, b)| b.capacity()) {
+                if cache[i].capacity() < buf.capacity() {
+                    cache[i] = buf;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_has_requested_length() {
+        let s = Scratch::take(100);
+        assert_eq!(s.len(), 100);
+        let s2 = Scratch::take(0);
+        assert_eq!(s2.len(), 0);
+    }
+
+    #[test]
+    fn buffers_are_reused_across_checkouts() {
+        let ptr = {
+            let mut s = Scratch::take(1024);
+            s[0] = 1.0;
+            s.as_slice().as_ptr() as usize
+        };
+        // Same thread, same size: the arena must hand back the same
+        // allocation rather than calling the allocator again.
+        let s = Scratch::take(1024);
+        assert_eq!(s.as_slice().as_ptr() as usize, ptr);
+    }
+
+    #[test]
+    fn growing_checkout_is_well_formed() {
+        drop(Scratch::take(16));
+        let mut s = Scratch::take(4096);
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        assert_eq!(s[4095], 4095.0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_are_distinct() {
+        let a = Scratch::take(64);
+        let b = Scratch::take(64);
+        assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+}

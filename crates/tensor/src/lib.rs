@@ -5,8 +5,9 @@
 //!
 //! * [`Matrix`] — a dense, row-major `f32` matrix with shape-checked, fallible
 //!   operations;
-//! * blocked matrix multiplication in the three transpose layouts LoRA needs
-//!   (`NN`, `NT`, `TN`), see [`matmul`];
+//! * register-tiled matrix multiplication in the three transpose layouts
+//!   LoRA needs (`NN`, `NT`, `TN`), see [`matmul`] for the API and
+//!   [`microkernel`] for the pack-once / macro-tile engine underneath;
 //! * *counter-based* dropout ([`dropout`]) whose mask depends only on a seed
 //!   and the element's logical index — never on how the surrounding
 //!   computation was fused. This is the property that lets the fused and
@@ -15,12 +16,16 @@
 //! * small deterministic RNGs ([`rng`]) so every experiment in the repository
 //!   is reproducible from a seed.
 //!
-//! Everything is safe Rust; shape mismatches surface as [`TensorError`]
-//! rather than panics.
+//! The public surface is safe Rust; shape mismatches surface as
+//! [`TensorError`] rather than panics. The pool and the GEMM engine use
+//! narrowly scoped `unsafe` internally to hand disjoint output regions to
+//! worker tasks; each site documents its invariant.
 
+pub mod arena;
 pub mod dropout;
 pub mod error;
 pub mod matmul;
+pub mod microkernel;
 pub mod ops;
 pub mod pool;
 pub mod rng;

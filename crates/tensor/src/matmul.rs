@@ -1,4 +1,5 @@
-//! Blocked, pool-parallel matrix multiplication in the layouts LoRA needs.
+//! Matrix multiplication in the layouts LoRA needs, on the register-tiled
+//! microkernel engine.
 //!
 //! The LoRA forward/backward graph uses three GEMM layouts:
 //!
@@ -10,51 +11,28 @@
 //! fused executors use to model a GEMM epilogue that adds the LoRA branch
 //! into the frozen output without materializing a partial tensor.
 //!
-//! # Parallelism and determinism
-//!
-//! Each GEMM partitions the output's *rows* into contiguous ranges
-//! ([`pool::split_evenly`]) and runs one range per pool task. Every output
-//! element is owned by exactly one task, and within a task the reduction
-//! over `k` runs in ascending `kk` order — the same per-element
-//! floating-point order as the serial code. Results are therefore
-//! bitwise-identical at any thread count, including 1. The `NN` kernel
-//! additionally packs `B` into column panels ([`PANEL`] wide) so the inner
-//! loops stream a small, contiguous working set; packing only copies
-//! values, so it cannot change a bit of the result either.
+//! This module owns shape checking and the public API; the compute path —
+//! pack-once operand panels, the `MR x NR` register-tiled microkernel, and
+//! the 2D macro-tile grid that the worker pool parallelizes over — lives in
+//! [`crate::microkernel`]. See that module for the blocking scheme and the
+//! proof sketch of why results are bitwise-identical at any thread count.
 
 use crate::error::TensorError;
+use crate::microkernel::{self, Layout};
 use crate::pool::{self, Pool};
 use crate::tensor::Matrix;
 use crate::Result;
 
-/// Cache block size along the reduction dimension.
-const BLOCK: usize = 64;
-
-/// Column-panel width for packed `B` in the `NN` kernel. A `BLOCK x PANEL`
-/// f32 panel is 64 KiB — small enough to stay resident while a row range
-/// streams over it.
-const PANEL: usize = 256;
+pub use crate::microkernel::{KC, MC, MR, NC, NR};
 
 /// Accumulation mode for a GEMM call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Accumulate {
-    /// Overwrite the output (`beta = 0`).
+    /// Overwrite the output (`beta = 0`). The zeroing is folded into the
+    /// microkernel's first `k`-block store, not a separate sweep over `C`.
     Overwrite,
     /// Add into the existing output (`beta = 1`).
     Add,
-}
-
-/// Raw base pointer for handing disjoint row ranges of `C` to pool tasks.
-struct SendPtr(*mut f32);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
-
-impl SendPtr {
-    /// Accessor (rather than a public field) so closures capture the whole
-    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
-    fn get(&self) -> *mut f32 {
-        self.0
-    }
 }
 
 fn check_shapes(
@@ -83,134 +61,6 @@ fn check_shapes(
     Ok(())
 }
 
-/// Runs `body(range, c_rows)` for each contiguous row range of `C`, in
-/// parallel on `pool`. `c_rows` is the sub-slice of `cv` holding exactly
-/// the rows in `range`, so tasks touch disjoint memory.
-fn run_row_ranges(
-    pool: &Pool,
-    cv: &mut [f32],
-    m: usize,
-    n: usize,
-    body: &(dyn Fn(std::ops::Range<usize>, &mut [f32]) + Sync),
-) {
-    if m == 0 || n == 0 {
-        return;
-    }
-    let ranges = pool::split_evenly(m, pool.threads());
-    if ranges.len() <= 1 {
-        body(0..m, cv);
-        return;
-    }
-    let base = SendPtr(cv.as_mut_ptr());
-    let base = &base;
-    pool.run(ranges.len(), &|t| {
-        let range = ranges[t].clone();
-        // SAFETY: row ranges are pairwise disjoint and in-bounds, so each
-        // task gets an exclusive slice of C.
-        let rows = unsafe {
-            std::slice::from_raw_parts_mut(base.get().add(range.start * n), range.len() * n)
-        };
-        body(range, rows);
-    });
-}
-
-/// `NN` inner kernel for one row range. `cv` holds rows `row0..row0+rows`
-/// of `C`. `panel` is scratch for the packed `B` column panel.
-///
-/// Loop order is `j0`-panel → `k0`-block → pack → `i` → `kk` → `j`; for any
-/// fixed element the reduction still visits `kk` in ascending order, which
-/// keeps the result bitwise equal to the serial kernel.
-#[allow(clippy::too_many_arguments)]
-fn nn_rows(
-    alpha: f32,
-    av: &[f32],
-    bv: &[f32],
-    k: usize,
-    n: usize,
-    row0: usize,
-    rows: usize,
-    cv: &mut [f32],
-) {
-    let mut panel = vec![0.0f32; BLOCK * PANEL.min(n.max(1))];
-    for j0 in (0..n).step_by(PANEL) {
-        let j1 = (j0 + PANEL).min(n);
-        let jw = j1 - j0;
-        for k0 in (0..k).step_by(BLOCK) {
-            let k1 = (k0 + BLOCK).min(k);
-            for kk in k0..k1 {
-                let src = &bv[kk * n + j0..kk * n + j1];
-                panel[(kk - k0) * jw..(kk - k0) * jw + jw].copy_from_slice(src);
-            }
-            for i in 0..rows {
-                let arow = &av[(row0 + i) * k..(row0 + i + 1) * k];
-                let crow = &mut cv[i * n + j0..i * n + j1];
-                for kk in k0..k1 {
-                    let aik = alpha * arow[kk];
-                    let prow = &panel[(kk - k0) * jw..(kk - k0) * jw + jw];
-                    for j in 0..jw {
-                        crow[j] += aik * prow[j];
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// `NT` inner kernel for one row range: independent dot products, reduction
-/// over `kk` ascending.
-#[allow(clippy::too_many_arguments)]
-fn nt_rows(
-    alpha: f32,
-    av: &[f32],
-    bv: &[f32],
-    k: usize,
-    n: usize,
-    row0: usize,
-    rows: usize,
-    cv: &mut [f32],
-) {
-    for i in 0..rows {
-        let arow = &av[(row0 + i) * k..(row0 + i + 1) * k];
-        let crow = &mut cv[i * n..(i + 1) * n];
-        for j in 0..n {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc_val = 0.0f32;
-            for kk in 0..k {
-                acc_val += arow[kk] * brow[kk];
-            }
-            crow[j] += alpha * acc_val;
-        }
-    }
-}
-
-/// `TN` inner kernel for one row range of `C` (columns of `A`). `kk` stays
-/// the outer loop so `A` and `B` rows stream contiguously; per element the
-/// reduction is still `kk` ascending.
-#[allow(clippy::too_many_arguments)]
-fn tn_rows(
-    alpha: f32,
-    av: &[f32],
-    bv: &[f32],
-    k: usize,
-    m: usize,
-    n: usize,
-    row0: usize,
-    rows: usize,
-    cv: &mut [f32],
-) {
-    for kk in 0..k {
-        let arow = &av[kk * m..(kk + 1) * m];
-        let brow = &bv[kk * n..(kk + 1) * n];
-        for i in 0..rows {
-            let aki = alpha * arow[row0 + i];
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aki * brow[j];
-            }
-        }
-    }
-}
-
 /// Computes `C (+)= alpha * A @ B` on `pool`, where `A` is `m x k` and `B`
 /// is `k x n`.
 pub fn gemm_nn_on(
@@ -224,15 +74,18 @@ pub fn gemm_nn_on(
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     check_shapes("gemm_nn", "gemm_nn_out", a, b, c, (k, kb), (m, n))?;
-    if acc == Accumulate::Overwrite {
-        c.as_mut_slice().fill(0.0);
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    run_row_ranges(pool, cv, m, n, &|range, rows| {
-        nn_rows(alpha, av, bv, k, n, range.start, range.len(), rows);
-    });
+    microkernel::gemm(
+        pool,
+        Layout::Nn,
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+        acc == Accumulate::Overwrite,
+    );
     Ok(())
 }
 
@@ -249,15 +102,18 @@ pub fn gemm_nt_on(
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
     check_shapes("gemm_nt", "gemm_nt_out", a, b, c, (k, kb), (m, n))?;
-    if acc == Accumulate::Overwrite {
-        c.as_mut_slice().fill(0.0);
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    run_row_ranges(pool, cv, m, n, &|range, rows| {
-        nt_rows(alpha, av, bv, k, n, range.start, range.len(), rows);
-    });
+    microkernel::gemm(
+        pool,
+        Layout::Nt,
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+        acc == Accumulate::Overwrite,
+    );
     Ok(())
 }
 
@@ -274,15 +130,18 @@ pub fn gemm_tn_on(
     let (k, m) = a.shape();
     let (kb, n) = b.shape();
     check_shapes("gemm_tn", "gemm_tn_out", a, b, c, (k, kb), (m, n))?;
-    if acc == Accumulate::Overwrite {
-        c.as_mut_slice().fill(0.0);
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let cv = c.as_mut_slice();
-    run_row_ranges(pool, cv, m, n, &|range, rows| {
-        tn_rows(alpha, av, bv, k, m, n, range.start, range.len(), rows);
-    });
+    microkernel::gemm(
+        pool,
+        Layout::Tn,
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+        acc == Accumulate::Overwrite,
+    );
     Ok(())
 }
 
@@ -325,6 +184,7 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::Pool;
     use crate::rng::Pcg32;
 
     /// Reference triple-loop matmul for cross-checking the blocked kernels.
@@ -400,6 +260,23 @@ mod tests {
                 let expect = 3.0 + 2.0 * prod.get(i, j).unwrap();
                 assert!((c.get(i, j).unwrap() - expect).abs() < 1e-4);
             }
+        }
+    }
+
+    /// Regression for the folded zeroing: `Accumulate::Overwrite` must
+    /// fully replace stale output contents — including NaN, which an
+    /// accidental `+=` would smear into every element.
+    #[test]
+    fn overwrite_replaces_poisoned_output() {
+        let mut rng = Pcg32::seeded(27);
+        for &(m, k, n) in &[(5, 7, 9), (1, 0, 4), (MR + 1, KC + 1, NR + 1)] {
+            let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+            let mut fresh = Matrix::zeros(m, n);
+            gemm_nn(1.0, &a, &b, &mut fresh, Accumulate::Overwrite).unwrap();
+            let mut poisoned = Matrix::full(m, n, f32::NAN);
+            gemm_nn(1.0, &a, &b, &mut poisoned, Accumulate::Overwrite).unwrap();
+            assert!(bitwise_eq(&fresh, &poisoned), "{m}x{k}x{n}");
         }
     }
 

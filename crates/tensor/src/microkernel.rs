@@ -1,0 +1,456 @@
+//! Register-tiled GEMM engine: pack-once operands, an `MR x NR`
+//! microkernel, and 2D macro-tile parallelism.
+//!
+//! Every GEMM layout (`NN`, `NT`, `TN`) lowers onto one compute path:
+//!
+//! 1. **Pack once.** `A` (with `alpha` folded in) is packed into row strips
+//!    of [`MR`] rows and `B` into column strips of [`NR`] columns, both in
+//!    k-major order, so the microkernel's inner loop reads two contiguous
+//!    streams. Packing happens a single time per call — in parallel, one
+//!    strip range per pool task — and the packed panels are then shared
+//!    read-only by every compute task. The transpose layouts differ *only*
+//!    in their packing gather; the compute loop is layout-oblivious.
+//! 2. **Microkernel.** An `MR x NR` accumulator tile lives in a fixed-size
+//!    local array. The `NR` lane loop has constant bounds, so the compiler
+//!    auto-vectorizes it on stable Rust (no `std::arch`); the `MR` loop is
+//!    fully unrolled. One invocation owns its output tile exclusively.
+//! 3. **2D macro-tiles.** Parallelism is over an `(i-block, j-block)` grid
+//!    of [`MC`]` x `[`NC`] output tiles rather than row ranges, so skinny
+//!    LoRA shapes (`m x k x r` and `r x k x n` with rank `r` in 16..=64,
+//!    and 16-row `TN` weight-gradient GEMMs) still expose enough tasks to
+//!    occupy the pool: a shape with one usable row block still has
+//!    `ceil(n / NC)` independent column blocks, and vice versa.
+//!
+//! # Determinism
+//!
+//! Results are bitwise-identical at every thread count by construction:
+//!
+//! * every output element is owned by exactly one macro-tile task and,
+//!   inside it, by exactly one microkernel invocation per `k`-block;
+//! * the reduction order per element is `k`-blocks of [`KC`] ascending,
+//!   and ascending `kk` inside each block — a pure function of the shape,
+//!   never of the thread count or of which thread ran the tile;
+//! * packing only copies values (or multiplies by `alpha`), so it cannot
+//!   perturb a bit, and zero padding in edge strips is written explicitly
+//!   but only ever multiplies into padded accumulator lanes that are never
+//!   stored.
+//!
+//! The `Overwrite` accumulation mode is folded into the first `k`-block's
+//! store (`=` instead of `+=`), which removes the separate zeroing sweep
+//! over `C` — one full write pass saved per call.
+
+use crate::arena::Scratch;
+use crate::pool::{self, Pool};
+
+/// Microkernel tile rows: rows of `C` accumulated per invocation.
+///
+/// `MR x NR = 8 x 8` keeps the 64-float accumulator tile inside the
+/// 16-register AVX2 vector file (8 accumulator vectors plus operands);
+/// measured on the reference machine, 8x8 sustains ~12x the throughput of
+/// the register-spilling 8x16 and 12x8 variants.
+pub const MR: usize = 8;
+/// Microkernel tile columns: the auto-vectorized lane dimension.
+pub const NR: usize = 8;
+/// `k`-block length; per-element reductions fold `KC`-sized partial sums
+/// in ascending order, so `KC` is part of the numeric contract.
+pub const KC: usize = 256;
+/// Macro-tile rows (`i`-block). Must be a multiple of [`MR`] so packed row
+/// strips never straddle two macro-tiles.
+pub const MC: usize = 128;
+/// Macro-tile columns (`j`-block). Must be a multiple of [`NR`].
+pub const NC: usize = 256;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+/// Transpose layout of a GEMM call; selects the packing gathers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `C = A @ B` — `A` is `m x k`, `B` is `k x n`.
+    Nn,
+    /// `C = A @ Bᵀ` — `A` is `m x k`, `B` is `n x k`.
+    Nt,
+    /// `C = Aᵀ @ B` — `A` is `k x m`, `B` is `k x n`.
+    Tn,
+}
+
+impl Layout {
+    /// Lower-case tag used by benches and result files.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Layout::Nn => "nn",
+            Layout::Nt => "nt",
+            Layout::Tn => "tn",
+        }
+    }
+}
+
+/// Raw base pointer for handing disjoint tile regions to pool tasks.
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than a public field) so closures capture the whole
+    /// `Sync` wrapper instead of disjointly capturing the raw pointer.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+//
+// Packed `A`: strip `s` holds logical rows `s*MR .. s*MR+MR` at offset
+// `s*k*MR`, element `(kk, r)` at `kk*MR + r` within the strip. Packed `B`:
+// strip `t` holds logical columns `t*NR .. t*NR+NR` at offset `t*k*NR`,
+// element `(kk, c)` at `kk*NR + c`. Rows/columns beyond the edge are
+// explicit zeros (scratch buffers are reused, so stale bytes must never
+// survive packing).
+// ---------------------------------------------------------------------------
+
+/// Packs one `MR`-row strip of a row-major `m x k` matrix, folding `alpha`.
+fn pack_a_strip_rowmajor(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, out: &mut [f32]) {
+    for r in 0..MR {
+        let row = i0 + r;
+        if row < m {
+            let src = &av[row * k..(row + 1) * k];
+            for (kk, &v) in src.iter().enumerate() {
+                out[kk * MR + r] = alpha * v;
+            }
+        } else {
+            for kk in 0..k {
+                out[kk * MR + r] = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs one `MR`-row strip of the *transpose* of a row-major `k x m`
+/// matrix (the `TN` left operand), folding `alpha`.
+fn pack_a_strip_transposed(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, out: &mut [f32]) {
+    let avail = m.saturating_sub(i0).min(MR);
+    for kk in 0..k {
+        let src = &av[kk * m..(kk + 1) * m];
+        let dst = &mut out[kk * MR..(kk + 1) * MR];
+        for r in 0..avail {
+            dst[r] = alpha * src[i0 + r];
+        }
+        for d in dst.iter_mut().skip(avail) {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Packs one `NR`-column strip of a row-major `k x n` matrix.
+fn pack_b_strip_rowmajor(bv: &[f32], k: usize, n: usize, j0: usize, out: &mut [f32]) {
+    let avail = n.saturating_sub(j0).min(NR);
+    for kk in 0..k {
+        let src = &bv[kk * n..(kk + 1) * n];
+        let dst = &mut out[kk * NR..(kk + 1) * NR];
+        dst[..avail].copy_from_slice(&src[j0..j0 + avail]);
+        for d in dst.iter_mut().skip(avail) {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Packs one `NR`-column strip of the *transpose* of a row-major `n x k`
+/// matrix (the `NT` right operand).
+fn pack_b_strip_transposed(bv: &[f32], k: usize, n: usize, j0: usize, out: &mut [f32]) {
+    let avail = n.saturating_sub(j0).min(NR);
+    for c in 0..avail {
+        let src = &bv[(j0 + c) * k..(j0 + c + 1) * k];
+        for (kk, &v) in src.iter().enumerate() {
+            out[kk * NR + c] = v;
+        }
+    }
+    if avail < NR {
+        for kk in 0..k {
+            for d in out[kk * NR + avail..(kk + 1) * NR].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs all strips of one operand in parallel. `strip_len` is `k*MR` (for
+/// `A`) or `k*NR` (for `B`); strips are disjoint, so tasks write disjoint
+/// regions of `out`. Content is a pure copy per strip — identical at any
+/// thread count.
+fn pack_parallel(
+    pool: &Pool,
+    out: &mut [f32],
+    strips: usize,
+    strip_len: usize,
+    pack_strip: &(dyn Fn(usize, &mut [f32]) + Sync),
+) {
+    let ranges = pool::split_evenly(strips, pool.threads());
+    if ranges.len() <= 1 {
+        for s in 0..strips {
+            pack_strip(s, &mut out[s * strip_len..(s + 1) * strip_len]);
+        }
+        return;
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    let base = &base;
+    pool.run(ranges.len(), &|t| {
+        for s in ranges[t].clone() {
+            // SAFETY: strip regions are pairwise disjoint and in-bounds.
+            let strip =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(s * strip_len), strip_len) };
+            pack_strip(s, strip);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel and macro-tile driver
+// ---------------------------------------------------------------------------
+
+/// Accumulates `kc` outer products into the register tile. `apanel` is a
+/// `kc x MR` packed strip block, `bpanel` a `kc x NR` one. The `NR` lane
+/// loop has constant bounds and independent lanes, so the compiler
+/// vectorizes it; the per-element reduction order over `kk` is strictly
+/// ascending.
+#[inline]
+fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// Writes the live `rows x cols` corner of an accumulator tile into `C` at
+/// `(i0, j0)`. `overwrite` selects `=` (first `k`-block under
+/// `Accumulate::Overwrite`) versus `+=`.
+///
+/// # Safety
+///
+/// The caller must guarantee the `rows x cols` region at `(i0, j0)` of the
+/// `.. x n` matrix at `cbase` is in-bounds and not concurrently accessed.
+#[allow(clippy::too_many_arguments)]
+unsafe fn store_tile(
+    acc: &[[f32; NR]; MR],
+    cbase: *mut f32,
+    n: usize,
+    i0: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+    overwrite: bool,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let dst = unsafe { std::slice::from_raw_parts_mut(cbase.add((i0 + r) * n + j0), cols) };
+        if overwrite {
+            dst.copy_from_slice(&acc_row[..cols]);
+        } else {
+            for (d, v) in dst.iter_mut().zip(acc_row) {
+                *d += v;
+            }
+        }
+    }
+}
+
+/// Computes one `MC x NC` macro-tile of `C` from the shared packed panels.
+///
+/// Loop order is `k`-block → `j`-strip → `i`-strip, so the `NR`-wide `B`
+/// panel block (`KC*NR` floats, 16 KiB) stays L1-resident while the `i`
+/// loop streams `A` strips over it.
+#[allow(clippy::too_many_arguments)]
+fn macro_tile(
+    apack: &[f32],
+    bpack: &[f32],
+    cbase: *mut f32,
+    k: usize,
+    n: usize,
+    i_range: std::ops::Range<usize>,
+    j_range: std::ops::Range<usize>,
+    overwrite: bool,
+) {
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let ow = overwrite && pc == 0;
+        let mut j0 = j_range.start;
+        while j0 < j_range.end {
+            let cols = NR.min(j_range.end - j0);
+            let bpanel = &bpack[(j0 / NR) * k * NR + pc * NR..][..kc * NR];
+            let mut i0 = i_range.start;
+            while i0 < i_range.end {
+                let rows = MR.min(i_range.end - i0);
+                let apanel = &apack[(i0 / MR) * k * MR + pc * MR..][..kc * MR];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(apanel, bpanel, &mut acc);
+                // SAFETY: this macro-tile exclusively owns the
+                // `i_range x j_range` region of `C`, and `(i0, j0)` plus
+                // `rows x cols` stays inside it.
+                unsafe { store_tile(&acc, cbase, n, i0, j0, rows, cols, ow) };
+                i0 += MR;
+            }
+            j0 += NR;
+        }
+        pc += KC;
+    }
+}
+
+/// Packs both operands once and runs the macro-tile grid on `pool`.
+///
+/// `av`/`bv` are interpreted per `layout`; `cv` is the row-major `m x n`
+/// output. `overwrite` selects `C = alpha*A@B` versus `C += alpha*A@B`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm(
+    pool: &Pool,
+    layout: Layout,
+    alpha: f32,
+    av: &[f32],
+    bv: &[f32],
+    cv: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    overwrite: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // No k-blocks run, so the overwrite-on-first-store path never
+        // triggers; an empty product is all zeros.
+        if overwrite {
+            cv.fill(0.0);
+        }
+        return;
+    }
+
+    let a_strips = m.div_ceil(MR);
+    let b_strips = n.div_ceil(NR);
+    let mut apack = Scratch::take(a_strips * MR * k);
+    let mut bpack = Scratch::take(b_strips * NR * k);
+
+    match layout {
+        Layout::Nn | Layout::Nt => pack_parallel(pool, &mut apack, a_strips, k * MR, &|s, out| {
+            pack_a_strip_rowmajor(av, m, k, alpha, s * MR, out);
+        }),
+        Layout::Tn => pack_parallel(pool, &mut apack, a_strips, k * MR, &|s, out| {
+            pack_a_strip_transposed(av, m, k, alpha, s * MR, out);
+        }),
+    }
+    match layout {
+        Layout::Nn | Layout::Tn => pack_parallel(pool, &mut bpack, b_strips, k * NR, &|t, out| {
+            pack_b_strip_rowmajor(bv, k, n, t * NR, out);
+        }),
+        Layout::Nt => pack_parallel(pool, &mut bpack, b_strips, k * NR, &|t, out| {
+            pack_b_strip_transposed(bv, k, n, t * NR, out);
+        }),
+    }
+
+    let i_blocks = m.div_ceil(MC);
+    let j_blocks = n.div_ceil(NC);
+    let apack = apack.as_slice();
+    let bpack = bpack.as_slice();
+    let cbase = SendPtr(cv.as_mut_ptr());
+    let cbase = &cbase;
+    pool.run(i_blocks * j_blocks, &|t| {
+        let bi = t / j_blocks;
+        let bj = t % j_blocks;
+        let i_lo = bi * MC;
+        let j_lo = bj * NC;
+        macro_tile(
+            apack,
+            bpack,
+            cbase.get(),
+            k,
+            n,
+            i_lo..(i_lo + MC).min(m),
+            j_lo..(j_lo + NC).min(n),
+            overwrite,
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Pool;
+
+    /// The packed strip of an edge row/column must zero its padding even
+    /// when the scratch buffer held stale data.
+    #[test]
+    fn packing_zeroes_edge_padding() {
+        let k = 3;
+        let av: Vec<f32> = (0..k).map(|v| v as f32 + 1.0).collect(); // 1 x 3
+        let mut out = vec![7.0f32; k * MR];
+        pack_a_strip_rowmajor(&av, 1, k, 2.0, 0, &mut out);
+        for kk in 0..k {
+            assert_eq!(out[kk * MR], 2.0 * (kk as f32 + 1.0));
+            for r in 1..MR {
+                assert_eq!(out[kk * MR + r], 0.0, "pad row {r} kk {kk}");
+            }
+        }
+
+        let bv: Vec<f32> = (0..k).map(|v| v as f32 + 1.0).collect(); // 3 x 1
+        let mut out = vec![7.0f32; k * NR];
+        pack_b_strip_rowmajor(&bv, k, 1, 0, &mut out);
+        for kk in 0..k {
+            assert_eq!(out[kk * NR], kk as f32 + 1.0);
+            for c in 1..NR {
+                assert_eq!(out[kk * NR + c], 0.0, "pad col {c} kk {kk}");
+            }
+        }
+    }
+
+    /// Transposed packing must agree with row-major packing of the
+    /// explicitly transposed operand.
+    #[test]
+    fn transposed_packing_matches_rowmajor_of_transpose() {
+        let (m, k) = (MR + 3, 2 * KC + 5);
+        let mut rng = crate::rng::Pcg32::seeded(42);
+        let a = crate::tensor::Matrix::random_uniform(k, m, 1.0, &mut rng);
+        let at = a.transpose(); // m x k
+        let strips = m.div_ceil(MR);
+        for s in 0..strips {
+            let mut via_t = vec![0.0f32; k * MR];
+            let mut direct = vec![1.0f32; k * MR];
+            pack_a_strip_rowmajor(at.as_slice(), m, k, 1.5, s * MR, &mut via_t);
+            pack_a_strip_transposed(a.as_slice(), m, k, 1.5, s * MR, &mut direct);
+            assert_eq!(via_t, direct, "strip {s}");
+        }
+
+        let (n, k) = (NR + 1, KC + 3);
+        let b = crate::tensor::Matrix::random_uniform(n, k, 1.0, &mut rng);
+        let bt = b.transpose(); // k x n
+        for t in 0..n.div_ceil(NR) {
+            let mut via_t = vec![0.0f32; k * NR];
+            let mut direct = vec![1.0f32; k * NR];
+            pack_b_strip_rowmajor(bt.as_slice(), k, n, t * NR, &mut via_t);
+            pack_b_strip_transposed(b.as_slice(), k, n, t * NR, &mut direct);
+            assert_eq!(via_t, direct, "strip {t}");
+        }
+    }
+
+    /// A skinny LoRA shape (one row block) must still produce a multi-task
+    /// grid via its column blocks.
+    #[test]
+    fn skinny_shapes_expose_column_parallelism() {
+        let (m, n): (usize, usize) = (16, 8 * NC);
+        assert_eq!(m.div_ceil(MC), 1);
+        assert!(n.div_ceil(NC) >= 8, "j-blocks must carry the parallelism");
+    }
+
+    /// `k = 0` with overwrite must still clear the output.
+    #[test]
+    fn zero_k_overwrite_clears_output() {
+        let pool = Pool::new(2);
+        let mut c = vec![5.0f32; 6];
+        gemm(&pool, Layout::Nn, 1.0, &[], &[], &mut c, 2, 0, 3, true);
+        assert!(c.iter().all(|&v| v == 0.0));
+        let mut c = vec![5.0f32; 6];
+        gemm(&pool, Layout::Nn, 1.0, &[], &[], &mut c, 2, 0, 3, false);
+        assert!(c.iter().all(|&v| v == 5.0));
+    }
+}

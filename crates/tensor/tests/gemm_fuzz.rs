@@ -1,0 +1,208 @@
+//! Deterministic shape-fuzz suite for the register-tiled GEMM engine.
+//!
+//! Cross-checks the microkernel path against a naive triple loop for all
+//! three layouts over (a) seeded-random shapes and (b) hand-picked edge
+//! shapes that straddle every tile boundary the engine has (`MR`, `NR`,
+//! `KC`, `MC`, `NC`, and the degenerate 1-row/1-column cases). A second
+//! pass sweeps pool sizes {1, 2, 4, 8} over the same edge shapes and
+//! asserts bitwise equality with the single-threaded run.
+//!
+//! The naive reference accumulates each element in ascending `kk` order
+//! with `alpha` folded into `A` — exactly the microkernel's per-element
+//! order when `k <= KC` (a single `k`-block). For those shapes the
+//! comparison is *bitwise*; beyond one block the engine folds `KC`-sized
+//! partial sums, so the comparison falls back to a relative tolerance.
+
+use lorafusion_tensor::matmul::{
+    gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate, KC, MC, MR, NC, NR,
+};
+use lorafusion_tensor::pool::Pool;
+use lorafusion_tensor::{Matrix, Pcg32};
+
+/// Naive `C (+)= alpha * A' @ B'` with per-element ascending-`kk` order and
+/// alpha folded into `A`, matching the engine's single-`k`-block order.
+fn naive(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    trans_a: bool,
+    trans_b: bool,
+    overwrite: bool,
+) {
+    let (m, n) = c.shape();
+    let k = if trans_a { a.rows() } else { a.cols() };
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                let av = if trans_a {
+                    a.get(kk, i).unwrap()
+                } else {
+                    a.get(i, kk).unwrap()
+                };
+                let bv = if trans_b {
+                    b.get(j, kk).unwrap()
+                } else {
+                    b.get(kk, j).unwrap()
+                };
+                acc += (alpha * av) * bv;
+            }
+            // The engine folds the register tile into `C` with one add per
+            // element (`C += tile`), so the `Add` reference must do the
+            // same rather than seeding the running sum with `C`.
+            let val = if overwrite {
+                acc
+            } else {
+                c.get(i, j).unwrap() + acc
+            };
+            c.set(i, j, val).unwrap();
+        }
+    }
+}
+
+fn rel_close(x: f32, y: f32, tol: f32) -> bool {
+    (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()))
+}
+
+fn assert_matches(label: &str, got: &Matrix, want: &Matrix, bitwise: bool) {
+    assert_eq!(got.shape(), want.shape(), "{label}: shape");
+    for (idx, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        if bitwise {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{label}: element {idx}: {g} vs {w}"
+            );
+        } else {
+            assert!(
+                rel_close(*g, *w, 1e-4),
+                "{label}: element {idx}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+/// Runs one (shape, layout, accumulate) case on `pool` and checks it
+/// against the naive reference.
+fn check_case(pool: &Pool, m: usize, k: usize, n: usize, alpha: f32, seed: u64) {
+    let mut rng = Pcg32::seeded(seed);
+    let a = Matrix::random_gaussian(m, k, 1.0, &mut rng);
+    let b = Matrix::random_gaussian(k, n, 1.0, &mut rng);
+    let at = a.transpose();
+    let bt = b.transpose();
+    let base = Matrix::random_gaussian(m, n, 1.0, &mut rng);
+    // A single k-block reproduces the naive per-element order exactly.
+    let bitwise = k <= KC;
+    let label = format!("{m}x{k}x{n} alpha={alpha}");
+
+    for overwrite in [true, false] {
+        let acc = if overwrite {
+            Accumulate::Overwrite
+        } else {
+            Accumulate::Add
+        };
+        let mut want = base.clone();
+        naive(alpha, &a, &b, &mut want, false, false, overwrite);
+
+        let mut c = base.clone();
+        gemm_nn_on(pool, alpha, &a, &b, &mut c, acc).unwrap();
+        assert_matches(&format!("nn {label} ow={overwrite}"), &c, &want, bitwise);
+
+        let mut c = base.clone();
+        gemm_nt_on(pool, alpha, &a, &bt, &mut c, acc).unwrap();
+        assert_matches(&format!("nt {label} ow={overwrite}"), &c, &want, bitwise);
+
+        let mut c = base.clone();
+        gemm_tn_on(pool, alpha, &at, &b, &mut c, acc).unwrap();
+        assert_matches(&format!("tn {label} ow={overwrite}"), &c, &want, bitwise);
+    }
+}
+
+/// Shapes that straddle every blocking boundary of the engine.
+fn edge_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, 40, NR - 1),
+        (MR - 1, KC + 1, 1),
+        (MR + 1, 3, NR + 1),
+        (MR, KC, NR),
+        (2 * MR + 3, 2 * KC + 5, 2 * NR + 7),
+        (MC, 7, NC),
+        (MC + 1, KC - 1, NC + 1),
+        (MC - 1, 2 * KC, NC - 1),
+        (16, 70, 257), // 16-row weight-gradient-like shape
+        (33, KC + KC / 2, 16),
+    ]
+}
+
+#[test]
+fn edge_shapes_match_naive_reference() {
+    let pool = Pool::new(2);
+    for (i, &(m, k, n)) in edge_shapes().iter().enumerate() {
+        for &alpha in &[1.0f32, -0.75] {
+            check_case(&pool, m, k, n, alpha, 900 + i as u64);
+        }
+    }
+}
+
+#[test]
+fn random_shape_fuzz_matches_naive_reference() {
+    let pool = Pool::new(3);
+    let mut shape_rng = Pcg32::seeded(0xF00D);
+    // Seeded-random shapes biased toward tile-boundary straddles: raw
+    // draws in 1..=96 plus draws snapped to a multiple-of-tile +/- 1.
+    let mut dim = |snap: usize| -> usize {
+        let raw = 1 + (shape_rng.next_u32() as usize % 96);
+        if shape_rng.next_u32().is_multiple_of(2) {
+            raw
+        } else {
+            let mult = 1 + (shape_rng.next_u32() as usize % 3);
+            (snap * mult + (shape_rng.next_u32() as usize % 3)).saturating_sub(1)
+        }
+        .max(1)
+    };
+    for case in 0..40 {
+        let m = dim(MR);
+        let k = dim(KC.min(64));
+        let n = dim(NR);
+        let alpha = if case % 3 == 0 {
+            1.0
+        } else {
+            0.5 + case as f32 * 0.125
+        };
+        check_case(&pool, m, k, n, alpha, 3000 + case);
+    }
+}
+
+#[test]
+fn thread_sweep_is_bitwise_identical_on_edge_shapes() {
+    let serial = Pool::new(1);
+    for (i, &(m, k, n)) in edge_shapes().iter().enumerate() {
+        let mut rng = Pcg32::seeded(7000 + i as u64);
+        let a = Matrix::random_gaussian(m, k, 1.0, &mut rng);
+        let b = Matrix::random_gaussian(k, n, 1.0, &mut rng);
+        let at = a.transpose();
+        let bt = b.transpose();
+
+        let mut nn_ser = Matrix::zeros(m, n);
+        let mut nt_ser = Matrix::zeros(m, n);
+        let mut tn_ser = Matrix::zeros(m, n);
+        gemm_nn_on(&serial, 1.25, &a, &b, &mut nn_ser, Accumulate::Overwrite).unwrap();
+        gemm_nt_on(&serial, 1.25, &a, &bt, &mut nt_ser, Accumulate::Overwrite).unwrap();
+        gemm_tn_on(&serial, 1.25, &at, &b, &mut tn_ser, Accumulate::Overwrite).unwrap();
+
+        for threads in [2usize, 4, 8] {
+            let pool = Pool::new(threads);
+            let mut c = Matrix::zeros(m, n);
+            gemm_nn_on(&pool, 1.25, &a, &b, &mut c, Accumulate::Overwrite).unwrap();
+            assert_matches(&format!("nn {m}x{k}x{n} t={threads}"), &c, &nn_ser, true);
+            let mut c = Matrix::zeros(m, n);
+            gemm_nt_on(&pool, 1.25, &a, &bt, &mut c, Accumulate::Overwrite).unwrap();
+            assert_matches(&format!("nt {m}x{k}x{n} t={threads}"), &c, &nt_ser, true);
+            let mut c = Matrix::zeros(m, n);
+            gemm_tn_on(&pool, 1.25, &at, &b, &mut c, Accumulate::Overwrite).unwrap();
+            assert_matches(&format!("tn {m}x{k}x{n} t={threads}"), &c, &tn_ser, true);
+        }
+    }
+}

@@ -33,4 +33,16 @@ cargo test -q
 step "cargo test --workspace"
 cargo test -q --workspace
 
+# Fast determinism-and-sanity gate: bench_gemm asserts in-binary that every
+# (layout, shape, threads) cell is bitwise-equal to its serial run, so a
+# packing or tiling regression fails CI here rather than only in the
+# nightly-style full-size (4096) run. BENCH_GEMM_WRITE=0 keeps the
+# committed full-size results/BENCH_gemm.json untouched.
+step "bench_gemm determinism gate (size 256)"
+if [[ "$QUICK" -eq 0 ]]; then
+  BENCH_GEMM_SIZE=256 BENCH_GEMM_WRITE=0 cargo run --release -q -p lorafusion-bench --bin bench_gemm
+else
+  BENCH_GEMM_SIZE=256 BENCH_GEMM_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_gemm
+fi
+
 step "CI OK"
