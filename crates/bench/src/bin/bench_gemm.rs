@@ -4,9 +4,10 @@
 //! register-tiled GEMM engine and the worker pool evolve. The sweep covers
 //! the three transpose layouts (`nn`, `nt`, `tn`) and the paper-relevant
 //! shapes: the square evaluation size (`s x s x s`, default `s = 4096`,
-//! override with `BENCH_GEMM_SIZE`) plus the skinny LoRA shapes — the
-//! rank-16 down-projection (`s x s x 16`) and the 16-row weight-gradient
-//! (`16 x s x s`) — so the trajectory distinguishes square GEMMs from the
+//! override with `BENCH_GEMM_SIZE`) plus the skinny LoRA shapes at the
+//! ranks the paper's configs use (`r` in {8, 16, 64}) — the rank-`r`
+//! down-projection (`s x s x r`) and the `r`-row weight-gradient
+//! (`r x s x s`) — so the trajectory distinguishes square GEMMs from the
 //! rank-`r` ones the schedulers actually issue.
 //!
 //! Timing takes the *median* of per-iteration wall times (not the mean),
@@ -100,14 +101,17 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4096)
         .max(1);
-    let skinny = 16.min(size);
-    // Effective (m, k, n) product shapes: square, rank-r down-projection,
-    // and the 16-row weight-gradient shape.
-    let shapes: Vec<(usize, usize, usize)> = vec![
-        (size, size, size),
-        (size, size, skinny),
-        (skinny, size, size),
-    ];
+    // Effective (m, k, n) product shapes: the square evaluation size plus
+    // the skinny LoRA shapes at every rank the paper's configs use — the
+    // rank-r down-projection (`s x s x r`) and the r-row weight-gradient
+    // (`r x s x s`).
+    let mut shapes: Vec<(usize, usize, usize)> = vec![(size, size, size)];
+    for r in [8usize, 16, 64] {
+        let r = r.min(size);
+        shapes.push((size, size, r));
+        shapes.push((r, size, size));
+    }
+    shapes.dedup();
 
     // Mirror the global pool's sizing: LORAFUSION_THREADS, else the
     // machine's available parallelism.

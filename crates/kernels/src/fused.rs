@@ -2,43 +2,59 @@
 //!
 //! The graph is split exactly at the rank-`r` intermediate `S = X̂ A`,
 //! which is cheap to materialize. Around that split point every
-//! memory-bound operation is fused with the GEMM that already streams the
-//! same full-size activation:
+//! memory-bound operation is fused into the GEMM that already streams the
+//! same full-size activation, using the prologue/epilogue hooks of
+//! [`lorafusion_tensor::matmul::gemm_fused`]:
 //!
-//! * **K1** (`fused_lora_fwd_dropout_down`) — dropout fused into the
-//!   down-projection: `X` is read *once* and both `X̂` (kept for the
-//!   backward `dA`, Fig. 10's op 4 operating on "the small masked input")
-//!   and the tiny `S` are produced in the same pass, eliminating the
-//!   standalone dropout kernel's extra full-tensor round trip.
+//! * **K1** (`fused_lora_fwd_dropout_down`) — dropout runs inside the
+//!   down-projection's `A`-panel packing: `X` is read *once* and both `X̂`
+//!   (streamed out of the pack via `Prologue::emit`, kept for the backward
+//!   `dA`, Fig. 10's op 4) and the tiny `S` are produced by the same GEMM.
+//!   There is no standalone dropout kernel and no mask tensor — the mask is
+//!   counter-based and regenerated analytically wherever it is needed.
 //! * **K2** (`fused_lora_fwd_base_epilogue`) — the compute-bound base GEMM
-//!   `X W` with an epilogue that accumulates `alpha * S B` into the output
-//!   tile while it is still in registers, eliminating the partial-output
-//!   write/read and the separate scale and add kernels.
+//!   `X W`, then the LoRA term `alpha * S B` accumulated by the
+//!   [`Epilogue::AddScaled`] tile store while each output tile is still in
+//!   registers. No separate scale kernel, no separate add kernel.
 //! * **K3** (`fused_lora_bwd_ds_db`) — `dS = alpha * dY Bᵀ` and
-//!   `dB = alpha * Sᵀ dY` computed in one kernel so `dY` is loaded once.
-//! * **K4** (`fused_lora_bwd_da`) — `dA = X̂ᵀ dS`, with `X̂` regenerated on
-//!   the fly from `X` and the stored mask (kept separate, Fig. 10's op 4:
-//!   it reads only the small `dS` plus one pass over `X`).
-//! * **K5** (`fused_lora_bwd_dx_epilogue`) — the compute-bound `dY Wᵀ`
-//!   with an epilogue adding the mask-routed `dS Aᵀ` contribution,
-//!   eliminating the partial `dX` write/read and the separate dropout-
-//!   backward and accumulation kernels.
+//!   `dB = alpha * Sᵀ dY` with `alpha` folded into the
+//!   [`Epilogue::Scaled`] store of each GEMM.
+//! * **K4** (`fused_lora_bwd_da`) — `dA = X̂ᵀ dS`, reading the stored `X̂`
+//!   (Fig. 10's op 4: only the small `dS` plus one pass over `X̂`).
+//! * **K5** (`fused_lora_bwd_dx_epilogue`) — the compute-bound `dY Wᵀ`,
+//!   then the mask-routed `dS Aᵀ` contribution accumulated by
+//!   [`Epilogue::AddMasked`], which regenerates the dropout mask from the
+//!   counter-based spec inside the tile store. No dropout-backward kernel,
+//!   no accumulation kernel, no materialized mask.
+//!
+//! A steady-state training step through [`Workspace::forward_into`] /
+//! [`Workspace::backward_into`] therefore performs **no full-size
+//! elementwise passes** and **no per-step heap allocation** outside the
+//! GEMM engine's thread-local pack arena (`lorafusion_tensor::arena`),
+//! which itself stops allocating once warmed up. The zero-allocation test
+//! in `crates/kernels/tests/zero_alloc.rs` asserts both properties with a
+//! counting global allocator.
 
 use lorafusion_gpu::{KernelClass, KernelProfile};
-use lorafusion_tensor::ops::{add, hadamard, scale};
-use lorafusion_tensor::{dropout_mask, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix};
+use lorafusion_tensor::matmul::{gemm_fused, Epilogue, Layout, Prologue};
+use lorafusion_tensor::{DropoutSpec, Matrix};
 
 use crate::lora::{LoraGrads, LoraLayer, Shape};
 use crate::traffic::TrafficModel;
 use crate::Result;
 
 /// Activations saved by the fused forward pass.
+///
+/// There is no mask tensor: the dropout mask is a pure function of
+/// [`DropoutSpec`] and the element index, so the backward pass regenerates
+/// it inside the K5 epilogue instead of streaming a saved full-size mask.
 #[derive(Debug, Clone)]
 pub struct Saved {
-    /// The masked input `X̂`, produced by K1 in the same pass as `S`.
+    /// The masked input `X̂`, emitted by K1 in the same pass as `S`.
     pub x_hat: Matrix,
-    /// Dropout mask (needed by K5 to route the `dX` epilogue).
-    pub mask: Matrix,
+    /// The counter-based dropout spec (replaces the materialized mask;
+    /// K5 regenerates mask values analytically from it).
+    pub spec: DropoutSpec,
     /// Low-rank intermediate `S`.
     pub s: Matrix,
 }
@@ -149,12 +165,237 @@ pub fn backward_profiles(shape: Shape, t: &TrafficModel) -> Vec<KernelProfile> {
     ]
 }
 
+/// Reusable buffers for the zero-allocation fused training step.
+///
+/// All seven tensors a forward+backward step touches live here and are
+/// `resize`d (capacity-reusing, contents-unspecified) at the start of each
+/// pass. After one warm-up step at a given shape, further steps perform no
+/// heap allocation: the workspace reuses its buffers and the GEMM engine
+/// reuses its thread-local pack arena.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Layer output `Y` (`m x n`).
+    pub y: Matrix,
+    /// Masked input `X̂` (`m x k`), emitted by K1's pack prologue.
+    pub x_hat: Matrix,
+    /// Low-rank intermediate `S` (`m x r`).
+    pub s: Matrix,
+    /// Low-rank gradient `dS` (`m x r`).
+    pub ds: Matrix,
+    /// Input gradient `dX` (`m x k`).
+    pub dx: Matrix,
+    /// Adapter gradient `dA` (`k x r`).
+    pub da: Matrix,
+    /// Adapter gradient `dB` (`r x n`).
+    pub db: Matrix,
+    /// Dropout spec captured by the last `forward_into` (consumed by the
+    /// backward K5 epilogue).
+    spec: DropoutSpec,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            y: Matrix::zeros(0, 0),
+            x_hat: Matrix::zeros(0, 0),
+            s: Matrix::zeros(0, 0),
+            ds: Matrix::zeros(0, 0),
+            dx: Matrix::zeros(0, 0),
+            da: Matrix::zeros(0, 0),
+            db: Matrix::zeros(0, 0),
+            spec: DropoutSpec::new(0.0, 0),
+        }
+    }
+
+    /// The dropout spec captured by the last [`Workspace::forward_into`].
+    pub fn spec(&self) -> DropoutSpec {
+        self.spec
+    }
+
+    /// Zero-temporary fused forward step into the workspace buffers.
+    ///
+    /// K1 computes `S = X̂ A` with dropout applied while `X` is packed and
+    /// `X̂` emitted from the same pass; K2 computes `Y = X W` and then
+    /// accumulates `alpha * S B` through the `AddScaled` tile store. No
+    /// full-size elementwise pass runs and, once warmed up at a shape,
+    /// nothing is allocated.
+    pub fn forward_into(
+        &mut self,
+        layer: &LoraLayer,
+        x: &Matrix,
+        dropout_row_offset: usize,
+    ) -> Result<()> {
+        let cfg = layer.adapter.config;
+        let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(dropout_row_offset);
+        self.spec = spec;
+        let (m, k) = x.shape();
+        self.x_hat.resize(m, k);
+        self.s.resize(m, layer.rank());
+        self.y.resize(m, layer.n());
+
+        // K1: dropout fused into the down-projection's pack; X̂ emitted from
+        // the same single read of X. With dropout disabled the prologue is
+        // skipped entirely and the emit path degenerates to a copy, so the
+        // saved-activation contract (X̂ always present) still holds.
+        gemm_fused(
+            Layout::Nn,
+            1.0,
+            x,
+            &layer.adapter.a,
+            &mut self.s,
+            Prologue {
+                dropout: (!spec.is_identity()).then_some(spec),
+                emit: Some(self.x_hat.as_mut_slice()),
+            },
+            Epilogue::Overwrite,
+        )?;
+
+        // K2: base GEMM, then the LoRA term accumulated in the tile store.
+        // `C += alpha * P` is the same expression `add(Y1, scale(alpha, S B))`
+        // evaluates per element, so Y is bitwise-equal to the reference
+        // executor's multi-pass composition.
+        gemm_fused(
+            Layout::Nn,
+            1.0,
+            x,
+            &layer.w,
+            &mut self.y,
+            Prologue::none(),
+            Epilogue::Overwrite,
+        )?;
+        gemm_fused(
+            Layout::Nn,
+            1.0,
+            &self.s,
+            &layer.adapter.b,
+            &mut self.y,
+            Prologue::none(),
+            Epilogue::AddScaled(cfg.alpha),
+        )
+    }
+
+    /// Zero-temporary fused backward step into the workspace buffers.
+    ///
+    /// Requires a preceding [`Workspace::forward_into`] (it consumes the
+    /// saved `x_hat`, `s` and dropout spec).
+    pub fn backward_into(&mut self, layer: &LoraLayer, dy: &Matrix) -> Result<()> {
+        let (m, n) = dy.shape();
+        self.ds.resize(m, layer.rank());
+        self.dx.resize(m, layer.k());
+        self.da.resize(layer.k(), layer.rank());
+        self.db.resize(layer.rank(), n);
+        backward_core(
+            layer,
+            &self.x_hat,
+            &self.s,
+            self.spec,
+            dy,
+            &mut self.ds,
+            &mut self.dx,
+            &mut self.da,
+            &mut self.db,
+        )
+    }
+}
+
+/// The shared zero-temporary backward graph (K3..K5). Output buffers must
+/// already have the right shapes.
+#[allow(clippy::too_many_arguments)]
+fn backward_core(
+    layer: &LoraLayer,
+    x_hat: &Matrix,
+    s: &Matrix,
+    spec: DropoutSpec,
+    dy: &Matrix,
+    ds: &mut Matrix,
+    dx: &mut Matrix,
+    da: &mut Matrix,
+    db: &mut Matrix,
+) -> Result<()> {
+    let cfg = layer.adapter.config;
+
+    // K3: dS and dB with alpha folded into the `Scaled` tile store — the
+    // same `alpha * p` expression the old standalone scale kernel computed,
+    // so both are bitwise-unchanged.
+    gemm_fused(
+        Layout::Nt,
+        1.0,
+        dy,
+        &layer.adapter.b,
+        ds,
+        Prologue::none(),
+        Epilogue::Scaled(cfg.alpha),
+    )?;
+    gemm_fused(
+        Layout::Tn,
+        1.0,
+        s,
+        dy,
+        db,
+        Prologue::none(),
+        Epilogue::Scaled(cfg.alpha),
+    )?;
+
+    // K4: dA from the stored masked input.
+    gemm_fused(
+        Layout::Tn,
+        1.0,
+        x_hat,
+        ds,
+        da,
+        Prologue::none(),
+        Epilogue::Overwrite,
+    )?;
+
+    // K5: base input gradient, then the LoRA contribution routed through
+    // the regenerated dropout mask inside the tile store. `AddMasked`
+    // computes `dx += p * mask(i, j)` — the exact per-element expression of
+    // the old hadamard+add pair — without materializing the mask or the
+    // `dS Aᵀ` product.
+    gemm_fused(
+        Layout::Nt,
+        1.0,
+        dy,
+        &layer.w,
+        dx,
+        Prologue::none(),
+        Epilogue::Overwrite,
+    )?;
+    let epilogue = if spec.is_identity() {
+        Epilogue::Add
+    } else {
+        Epilogue::AddMasked(spec)
+    };
+    gemm_fused(
+        Layout::Nt,
+        1.0,
+        ds,
+        &layer.adapter.a,
+        dx,
+        Prologue::none(),
+        epilogue,
+    )
+}
+
 /// Functional + profiled fused forward pass.
 ///
-/// Numerically this performs the same mathematics as
-/// [`crate::reference::forward`] with a different association of the scalar
-/// `alpha` (folded into the epilogue GEMM rather than applied as a separate
-/// elementwise kernel), so outputs agree to floating-point rounding — the
+/// Convenience wrapper over [`Workspace::forward_into`] that allocates a
+/// fresh workspace and attaches the kernel lowering; training loops that
+/// care about steady-state allocation behaviour should hold a [`Workspace`]
+/// and call `forward_into` directly.
+///
+/// The output `Y` is **bitwise identical** to [`crate::reference::forward`]:
+/// the fused epilogues evaluate exactly the per-element expressions of the
+/// reference's standalone kernels, in the same order. The backward `dS`
+/// association differs (`alpha` folds into the store rather than
+/// pre-scaling `dY`), so gradients agree to floating-point rounding — the
 /// "functionally identical within numerical precision" guarantee of
 /// Section 6.
 pub fn forward(
@@ -163,55 +404,43 @@ pub fn forward(
     dropout_row_offset: usize,
     t: &TrafficModel,
 ) -> Result<ForwardOutput> {
-    let cfg = layer.adapter.config;
-    let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(dropout_row_offset);
-
-    // K1: dropout fused into the down-projection, producing X̂ and S in one
-    // pass over X. The mask is identical to the unfused one because dropout
-    // is counter-based.
-    let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
-    let x_hat = hadamard(x, &mask)?;
-    let s = matmul_nn(&x_hat, &layer.adapter.a)?;
-
-    // K2: base GEMM with the LoRA epilogue accumulated in-place.
-    let mut y = matmul_nn(x, &layer.w)?;
-    lorafusion_tensor::matmul::gemm_nn(
-        cfg.alpha,
-        &s,
-        &layer.adapter.b,
-        &mut y,
-        lorafusion_tensor::matmul::Accumulate::Add,
-    )?;
-
+    let mut ws = Workspace::new();
+    ws.forward_into(layer, x, dropout_row_offset)?;
     let shape = Shape::new(x.rows(), layer.k(), layer.n(), layer.rank());
+    let Workspace {
+        y, x_hat, s, spec, ..
+    } = ws;
     Ok(ForwardOutput {
         y,
-        saved: Saved { x_hat, mask, s },
+        saved: Saved { x_hat, spec, s },
         kernels: forward_profiles(shape, t),
     })
 }
 
-/// Functional + profiled fused backward pass.
+/// Functional + profiled fused backward pass (wrapper over the
+/// zero-temporary core; see [`Workspace::backward_into`]).
 pub fn backward(
     layer: &LoraLayer,
     saved: &Saved,
     dy: &Matrix,
     t: &TrafficModel,
 ) -> Result<BackwardOutput> {
-    let cfg = layer.adapter.config;
-
-    // K3: dS and dB share one load of dY; alpha is folded into the GEMM.
-    let ds = scale(cfg.alpha, &matmul_nt(dy, &layer.adapter.b)?);
-    let db = scale(cfg.alpha, &matmul_tn(&saved.s, dy)?);
-
-    // K4: dA from the stored masked input.
-    let da = matmul_tn(&saved.x_hat, &ds)?;
-
-    // K5: base input gradient with the mask-routed LoRA epilogue.
-    let dx_base = matmul_nt(dy, &layer.w)?;
-    let dx_lora = hadamard(&matmul_nt(&ds, &layer.adapter.a)?, &saved.mask)?;
-    let dx = add(&dx_base, &dx_lora)?;
-
+    let (m, n) = dy.shape();
+    let mut ds = Matrix::zeros(m, layer.rank());
+    let mut dx = Matrix::zeros(m, layer.k());
+    let mut da = Matrix::zeros(layer.k(), layer.rank());
+    let mut db = Matrix::zeros(layer.rank(), n);
+    backward_core(
+        layer,
+        &saved.x_hat,
+        &saved.s,
+        saved.spec,
+        dy,
+        &mut ds,
+        &mut dx,
+        &mut da,
+        &mut db,
+    )?;
     let shape = Shape::new(dy.rows(), layer.k(), layer.n(), layer.rank());
     Ok(BackwardOutput {
         dx,
@@ -224,8 +453,9 @@ pub fn backward(
 mod tests {
     use super::*;
     use lorafusion_gpu::{CostModel, DeviceKind, KernelProfile};
-    use lorafusion_tensor::ops::all_close;
-    use lorafusion_tensor::Pcg32;
+    use lorafusion_tensor::matmul::{matmul_nn, matmul_nt, matmul_tn};
+    use lorafusion_tensor::ops::{add, all_close, hadamard, scale};
+    use lorafusion_tensor::{dropout_mask, Pcg32};
 
     use crate::lora::LoraConfig;
     use crate::reference;
@@ -234,18 +464,30 @@ mod tests {
         TrafficModel::for_device(&DeviceKind::H100Sxm.spec())
     }
 
+    fn bitwise(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
     #[test]
-    fn fused_forward_matches_reference() {
+    fn fused_forward_matches_reference_bitwise() {
         let mut rng = Pcg32::seeded(30);
         let layer = LoraLayer::init_nonzero(32, 28, LoraConfig::with_rank(4), &mut rng);
         let x = Matrix::random_uniform(20, 32, 1.0, &mut rng);
         let t = traffic();
         let fused = forward(&layer, &x, 0, &t).unwrap();
         let unfused = reference::forward(&layer, &x, 0, &t).unwrap();
-        assert!(all_close(&fused.y, &unfused.y, 1e-5));
-        // The dropout mask is bit-identical (counter-based RNG).
-        assert_eq!(fused.saved.mask, unfused.saved.mask);
-        assert_eq!(fused.saved.s, unfused.saved.s);
+        // The fused epilogues evaluate the reference's per-element
+        // expressions exactly, so Y is bit-identical, not just close.
+        assert!(
+            bitwise(&fused.y, &unfused.y),
+            "fused Y diverged from reference"
+        );
+        assert!(bitwise(&fused.saved.x_hat, &unfused.saved.x_hat));
+        assert!(bitwise(&fused.saved.s, &unfused.saved.s));
     }
 
     #[test]
@@ -262,6 +504,113 @@ mod tests {
         assert!(all_close(&fused_bwd.dx, &ref_bwd.dx, 1e-5));
         assert!(all_close(&fused_bwd.grads.da, &ref_bwd.grads.da, 1e-5));
         assert!(all_close(&fused_bwd.grads.db, &ref_bwd.grads.db, 1e-5));
+    }
+
+    /// Every fused kernel must be bitwise-equal to the explicit multi-pass
+    /// composition it replaced (the same GEMMs plus standalone mask /
+    /// hadamard / scale / add kernels, associated the fused way).
+    #[test]
+    fn fused_step_is_bitwise_equal_to_its_multipass_composition() {
+        let mut rng = Pcg32::seeded(32);
+        let cfg = LoraConfig {
+            dropout: 0.3,
+            ..LoraConfig::with_rank(4)
+        };
+        let layer = LoraLayer::init_nonzero(33, 21, cfg, &mut rng);
+        let x = Matrix::random_uniform(18, 33, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(18, 21, 1.0, &mut rng);
+        let t = traffic();
+        let alpha = layer.adapter.config.alpha;
+        let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(3);
+
+        let fwd = forward(&layer, &x, 3, &t).unwrap();
+        let bwd = backward(&layer, &fwd.saved, &dy, &t).unwrap();
+
+        // Multi-pass composition with the fused association of alpha.
+        let mask = dropout_mask(x.rows(), x.cols(), &spec).unwrap();
+        let x_hat = hadamard(&x, &mask).unwrap();
+        let s = matmul_nn(&x_hat, &layer.adapter.a).unwrap();
+        let y = add(
+            &matmul_nn(&x, &layer.w).unwrap(),
+            &scale(alpha, &matmul_nn(&s, &layer.adapter.b).unwrap()),
+        )
+        .unwrap();
+        let ds = scale(alpha, &matmul_nt(&dy, &layer.adapter.b).unwrap());
+        let db = scale(alpha, &matmul_tn(&s, &dy).unwrap());
+        let da = matmul_tn(&x_hat, &ds).unwrap();
+        let dx = add(
+            &matmul_nt(&dy, &layer.w).unwrap(),
+            &hadamard(&matmul_nt(&ds, &layer.adapter.a).unwrap(), &mask).unwrap(),
+        )
+        .unwrap();
+
+        for (label, got, want) in [
+            ("x_hat", &fwd.saved.x_hat, &x_hat),
+            ("s", &fwd.saved.s, &s),
+            ("y", &fwd.y, &y),
+            ("dx", &bwd.dx, &dx),
+            ("da", &bwd.grads.da, &da),
+            ("db", &bwd.grads.db, &db),
+        ] {
+            assert!(
+                bitwise(got, want),
+                "{label} diverged from multi-pass composition"
+            );
+        }
+    }
+
+    /// With dropout disabled the identity short-circuit must still emit X̂
+    /// (the saved-activation contract round-trips) and produce the same
+    /// results as the unfused reference.
+    #[test]
+    fn zero_dropout_short_circuit_round_trips() {
+        let mut rng = Pcg32::seeded(33);
+        let cfg = LoraConfig {
+            dropout: 0.0,
+            ..LoraConfig::with_rank(4)
+        };
+        let layer = LoraLayer::init_nonzero(24, 20, cfg, &mut rng);
+        let x = Matrix::random_uniform(12, 24, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(12, 20, 1.0, &mut rng);
+        let t = traffic();
+        let fwd = forward(&layer, &x, 0, &t).unwrap();
+        // X̂ must be a bitwise copy of X (emit with no dropout applied).
+        assert!(bitwise(&fwd.saved.x_hat, &x));
+        assert!(fwd.saved.spec.is_identity());
+        // The saved state must round-trip into the backward pass and match
+        // the unfused reference.
+        let bwd = backward(&layer, &fwd.saved, &dy, &t).unwrap();
+        let ref_fwd = reference::forward(&layer, &x, 0, &t).unwrap();
+        let ref_bwd = reference::backward(&layer, &ref_fwd.saved, &dy, &t).unwrap();
+        assert!(bitwise(&fwd.y, &ref_fwd.y));
+        assert!(all_close(&bwd.dx, &ref_bwd.dx, 1e-5));
+        assert!(all_close(&bwd.grads.da, &ref_bwd.grads.da, 1e-5));
+        assert!(all_close(&bwd.grads.db, &ref_bwd.grads.db, 1e-5));
+    }
+
+    /// The workspace entry points must agree exactly with the allocating
+    /// wrappers (they share the same core).
+    #[test]
+    fn workspace_step_matches_wrappers_bitwise() {
+        let mut rng = Pcg32::seeded(34);
+        let layer = LoraLayer::init_nonzero(40, 26, LoraConfig::with_rank(8), &mut rng);
+        let x = Matrix::random_uniform(17, 40, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(17, 26, 1.0, &mut rng);
+        let t = traffic();
+        let fwd = forward(&layer, &x, 5, &t).unwrap();
+        let bwd = backward(&layer, &fwd.saved, &dy, &t).unwrap();
+        let mut ws = Workspace::new();
+        // Two rounds: the second exercises shape-stable buffer reuse.
+        for _ in 0..2 {
+            ws.forward_into(&layer, &x, 5).unwrap();
+            ws.backward_into(&layer, &dy).unwrap();
+        }
+        assert!(bitwise(&ws.y, &fwd.y));
+        assert!(bitwise(&ws.x_hat, &fwd.saved.x_hat));
+        assert!(bitwise(&ws.s, &fwd.saved.s));
+        assert!(bitwise(&ws.dx, &bwd.dx));
+        assert!(bitwise(&ws.da, &bwd.grads.da));
+        assert!(bitwise(&ws.db, &bwd.grads.db));
     }
 
     #[test]

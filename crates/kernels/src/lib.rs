@@ -10,8 +10,11 @@
 //!
 //! 1. **Functionally** — real `f32` arithmetic over `lorafusion-tensor`,
 //!    used by the equivalence tests to prove the fusion is *lossless*
-//!    (fused and unfused executors agree to floating-point rounding, and
-//!    dropout masks are bit-identical thanks to counter-based RNG);
+//!    (the fused forward is bitwise-equal to the unfused reference, and
+//!    dropout masks are bit-identical thanks to counter-based RNG). The
+//!    fused executors attach real prologue/epilogue hooks to the GEMM
+//!    microkernel, so fusion is an execution property here, not just a
+//!    lowering annotation;
 //! 2. **As a kernel lowering** — a sequence of
 //!    [`lorafusion_gpu::KernelProfile`]s with explicit FLOP and DRAM-byte
 //!    accounting, timed by the roofline [`lorafusion_gpu::CostModel`].
@@ -28,8 +31,9 @@
 //! * [`multi`] — FusedMultiLoRA: tile-level routing of heterogeneous
 //!   adapters in a single launch (Fig. 11);
 //! * [`full_fusion`] — the two *rejected* designs of Fig. 9 (full fusion
-//!   with recomputation, full fusion with cross-tile synchronization),
-//!   modeled for the ablation benches;
+//!   with recomputation, full fusion with cross-tile synchronization);
+//!   functionally identical to [`fused`] (they restructure launches, not
+//!   math), with their own lowerings for the ablation benches;
 //! * [`autotune`] — tile-configuration tuning mirroring the artifact's
 //!   `tools/tune_kernels.py`;
 //! * [`qlora`] — the Section 7 quantization extension: block-wise 4-bit

@@ -13,9 +13,9 @@
 use std::collections::BTreeMap;
 
 use lorafusion_gpu::{KernelClass, KernelProfile};
-use lorafusion_tensor::ops::{add, hadamard, scale};
+use lorafusion_tensor::matmul::{gemm_windows_on, Epilogue, Layout, Prologue};
 use lorafusion_tensor::pool;
-use lorafusion_tensor::{dropout_mask, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix};
+use lorafusion_tensor::{matmul_nn, matmul_nt, DropoutSpec, Matrix};
 
 use crate::lora::{AdapterWeights, LoraGrads, LoraLayer};
 use crate::traffic::TrafficModel;
@@ -137,14 +137,16 @@ pub fn validate_segments(segments: &[Segment], m: usize, adapters: usize) -> Res
 }
 
 /// Per-segment activations saved by the multi-adapter forward pass.
+///
+/// No masks are stored: each segment's dropout mask is a pure function of
+/// its adapter's [`DropoutSpec`] and `dropout_row_offset`, so the backward
+/// `dX` epilogue regenerates it analytically per tile.
 #[derive(Debug, Clone)]
 pub struct Saved {
     /// Segment layout of the microbatch.
     pub segments: Vec<Segment>,
-    /// Masked input `X̂` per segment (produced by K1 alongside `S`).
+    /// Masked input `X̂` per segment (emitted by K1 alongside `S`).
     pub x_hats: Vec<Matrix>,
-    /// Dropout mask per segment.
-    pub masks: Vec<Matrix>,
     /// Low-rank intermediate per segment.
     pub s: Vec<Matrix>,
 }
@@ -304,6 +306,20 @@ pub fn backward_profiles(
     ]
 }
 
+/// Shareable raw pointer into a batch tensor whose *disjoint row windows*
+/// are handed to per-segment tasks. Safety rests on
+/// [`validate_segments`]: segments are contiguous, ordered and
+/// non-overlapping, so no two tasks ever touch the same element.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+impl SendPtr {
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
 /// Functional + profiled multi-adapter forward pass.
 pub fn forward(
     layer: &MultiLoraLayer,
@@ -312,46 +328,81 @@ pub fn forward(
     t: &TrafficModel,
 ) -> Result<ForwardOutput> {
     validate_segments(segments, x.rows(), layer.adapters.len())?;
+    let (k, n) = (layer.k(), layer.n());
 
     // Shared base computation for all tokens.
     let mut y = matmul_nn(x, &layer.w)?;
 
     // Segment tiles are independent, so they execute concurrently on the
     // worker pool — the functional analogue of FusedMultiLoRA dispatching
-    // per-tile adapter work across SMs. Each task only reads `x`/`y` and
-    // produces segment-local tensors; results are merged afterwards in
-    // segment order, so the output is identical at any thread count.
+    // per-tile adapter work across SMs. Each task runs fused GEMMs directly
+    // on its *row windows* of `x` and `y` (a row window of a row-major
+    // matrix is contiguous, so no copies): dropout happens in the K1 pack
+    // with `X̂` emitted from the same read, and the up-projection lands in
+    // `y` through the `AddScaled` tile store. The per-segment
+    // `dropout_row_offset` positions the counter stream so each tile's mask
+    // is bit-identical to the adapter's whole-batch mask. Window GEMMs run
+    // inline on the worker (nested dispatch), so outputs are identical at
+    // any thread count.
+    let xs = x.as_slice();
+    let y_ptr = SendPtr(y.as_mut_slice().as_mut_ptr());
     let current = pool::current();
     let per_segment = pool::parallel_map(current, segments.len(), |idx| -> Result<_> {
         let seg = &segments[idx];
         let adapter = &layer.adapters[seg.adapter];
         let cfg = adapter.config;
         let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(seg.dropout_row_offset);
-        let x_seg = x.slice_rows(seg.start, seg.end)?;
-        let mask = dropout_mask(x_seg.rows(), x_seg.cols(), &spec)?;
-        let x_hat = hadamard(&x_seg, &mask)?;
-        let s = matmul_nn(&x_hat, &adapter.a)?;
+        let rows = seg.len();
+        let x_win = &xs[seg.start * k..seg.end * k];
 
-        // Epilogue: accumulate alpha * S B into the segment's output rows.
-        let mut y_seg = y.slice_rows(seg.start, seg.end)?;
-        lorafusion_tensor::matmul::gemm_nn(
-            cfg.alpha,
-            &s,
-            &adapter.b,
-            &mut y_seg,
-            lorafusion_tensor::matmul::Accumulate::Add,
+        // K1 on the window: S = X̂ A with dropout applied in the pack and
+        // X̂ emitted — one read of the segment's input, no mask tensor.
+        let mut x_hat = Matrix::zeros(rows, k);
+        let mut s = Matrix::zeros(rows, cfg.rank);
+        gemm_windows_on(
+            current,
+            Layout::Nn,
+            1.0,
+            x_win,
+            adapter.a.as_slice(),
+            s.as_mut_slice(),
+            rows,
+            k,
+            cfg.rank,
+            Prologue {
+                dropout: (!spec.is_identity()).then_some(spec),
+                emit: Some(x_hat.as_mut_slice()),
+            },
+            Epilogue::Overwrite,
         )?;
-        Ok((x_hat, mask, s, y_seg))
+
+        // K2 epilogue: the segment's output rows gain alpha * S B in the
+        // tile store, written straight through the disjoint row window.
+        // SAFETY: `validate_segments` guarantees the windows are disjoint
+        // and in-bounds, and `y` outlives the parallel map.
+        let y_win =
+            unsafe { std::slice::from_raw_parts_mut(y_ptr.get().add(seg.start * n), rows * n) };
+        gemm_windows_on(
+            current,
+            Layout::Nn,
+            1.0,
+            s.as_slice(),
+            adapter.b.as_slice(),
+            y_win,
+            rows,
+            cfg.rank,
+            n,
+            Prologue::none(),
+            Epilogue::AddScaled(cfg.alpha),
+        )?;
+        Ok((x_hat, s))
     });
 
     let mut x_hats = Vec::with_capacity(segments.len());
-    let mut masks = Vec::with_capacity(segments.len());
     let mut s_all = Vec::with_capacity(segments.len());
-    for (seg, result) in segments.iter().zip(per_segment) {
-        let (x_hat, mask, s, y_seg) = result?;
-        y.write_rows(seg.start, &y_seg)?;
+    for result in per_segment {
+        let (x_hat, s) = result?;
         x_hats.push(x_hat);
-        masks.push(mask);
         s_all.push(s);
     }
 
@@ -361,7 +412,6 @@ pub fn forward(
         saved: Saved {
             segments: segments.to_vec(),
             x_hats,
-            masks,
             s: s_all,
         },
         kernels,
@@ -380,37 +430,110 @@ pub fn backward(
     t: &TrafficModel,
 ) -> Result<BackwardOutput> {
     validate_segments(&saved.segments, dy.rows(), layer.adapters.len())?;
+    let (k, n) = (layer.k(), layer.n());
 
     // Shared base input gradient.
     let mut dx = matmul_nt(dy, &layer.w)?;
     let mut grads: BTreeMap<usize, LoraGrads> = BTreeMap::new();
 
-    // Per-segment gradient tiles run concurrently; the cross-segment
-    // accumulations (dx rows, per-adapter grads) happen serially below in
-    // segment order, preserving the serial floating-point order exactly.
+    // Per-segment gradient tiles run concurrently on disjoint row windows
+    // of `dy`/`dx`: alpha folds into the `Scaled` tile store of ds/db, and
+    // the dx adapter term re-applies the segment's dropout mask analytically
+    // in the `AddMasked` store — no mask tensors, no extra elementwise
+    // passes. The cross-segment accumulation (per-adapter grads) happens
+    // serially below in segment order, preserving the serial
+    // floating-point order exactly.
+    let dys = dy.as_slice();
+    let dx_ptr = SendPtr(dx.as_mut_slice().as_mut_ptr());
     let current = pool::current();
     let per_segment = pool::parallel_map(current, saved.segments.len(), |idx| -> Result<_> {
         let seg = &saved.segments[idx];
         let adapter = &layer.adapters[seg.adapter];
         let cfg = adapter.config;
-        let dy_seg = dy.slice_rows(seg.start, seg.end)?;
-        let mask = &saved.masks[idx];
+        let r = cfg.rank;
+        let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(seg.dropout_row_offset);
+        let rows = seg.len();
+        let dy_win = &dys[seg.start * n..seg.end * n];
         let s = &saved.s[idx];
+        let x_hat = &saved.x_hats[idx];
 
-        let ds = scale(cfg.alpha, &matmul_nt(&dy_seg, &adapter.b)?);
-        let db = scale(cfg.alpha, &matmul_tn(s, &dy_seg)?);
-        let da = matmul_tn(&saved.x_hats[idx], &ds)?;
+        // K3: ds = alpha * dY Bᵀ and db = alpha * Sᵀ dY, alpha applied in
+        // the tile store.
+        let mut ds = Matrix::zeros(rows, r);
+        gemm_windows_on(
+            current,
+            Layout::Nt,
+            1.0,
+            dy_win,
+            adapter.b.as_slice(),
+            ds.as_mut_slice(),
+            rows,
+            n,
+            r,
+            Prologue::none(),
+            Epilogue::Scaled(cfg.alpha),
+        )?;
+        let mut db = Matrix::zeros(r, n);
+        gemm_windows_on(
+            current,
+            Layout::Tn,
+            1.0,
+            s.as_slice(),
+            dy_win,
+            db.as_mut_slice(),
+            r,
+            rows,
+            n,
+            Prologue::none(),
+            Epilogue::Scaled(cfg.alpha),
+        )?;
 
-        let dx_lora = hadamard(&matmul_nt(&ds, &adapter.a)?, mask)?;
-        let dx_seg = add(&dx.slice_rows(seg.start, seg.end)?, &dx_lora)?;
-        Ok((da, db, dx_seg))
+        // K4: da = X̂ᵀ ds.
+        let mut da = Matrix::zeros(k, r);
+        gemm_windows_on(
+            current,
+            Layout::Tn,
+            1.0,
+            x_hat.as_slice(),
+            ds.as_slice(),
+            da.as_mut_slice(),
+            k,
+            rows,
+            r,
+            Prologue::none(),
+            Epilogue::Overwrite,
+        )?;
+
+        // K5 epilogue: the segment's dx rows gain (ds Aᵀ) ⊙ mask via the
+        // masked tile store, written straight through the disjoint window.
+        // SAFETY: `validate_segments` guarantees the windows are disjoint
+        // and in-bounds, and `dx` outlives the parallel map.
+        let dx_win =
+            unsafe { std::slice::from_raw_parts_mut(dx_ptr.get().add(seg.start * k), rows * k) };
+        gemm_windows_on(
+            current,
+            Layout::Nt,
+            1.0,
+            ds.as_slice(),
+            adapter.a.as_slice(),
+            dx_win,
+            rows,
+            r,
+            k,
+            Prologue::none(),
+            if spec.is_identity() {
+                Epilogue::Add
+            } else {
+                Epilogue::AddMasked(spec)
+            },
+        )?;
+        Ok((da, db))
     });
 
     for (idx, result) in per_segment.into_iter().enumerate() {
         let seg = &saved.segments[idx];
         let cfg = layer.adapters[seg.adapter].config;
-        let (da, db, dx_seg) = result?;
-        dx.write_rows(seg.start, &dx_seg)?;
+        let (da, db) = result?;
         let entry = grads
             .entry(seg.adapter)
             .or_insert_with(|| LoraGrads::zeros(layer.k(), layer.n(), cfg.rank));
@@ -569,6 +692,55 @@ mod tests {
         assert!(all_close(&bwd.dx, &bwd_whole.dx, 1e-5));
         assert!(all_close(&bwd.grads[&0].da, &bwd_whole.grads[&0].da, 1e-4));
         assert!(all_close(&bwd.grads[&0].db, &bwd_whole.grads[&0].db, 1e-4));
+    }
+
+    #[test]
+    fn segment_offsets_reproduce_whole_batch_masks_bitwise() {
+        // The counter-based dropout stream is positioned per segment via
+        // `dropout_row_offset`, so a split batch must regenerate exactly the
+        // masks the whole batch would have drawn. Row-local quantities
+        // (x_hat, s, y, dx) are bitwise identical — each output row's GEMM
+        // reduction touches only its own segment's rows. Cross-row grad
+        // reductions (da, db) differ in association when split, so those
+        // are only close.
+        let layer = make_layer(12, 10, &[4], 110);
+        let mut rng = Pcg32::seeded(111);
+        let x = Matrix::random_uniform(11, 12, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(11, 10, 1.0, &mut rng);
+        let t = traffic();
+        let seg = |start, end, off| Segment {
+            adapter: 0,
+            start,
+            end,
+            dropout_row_offset: off,
+        };
+        let split = [seg(0, 3, 0), seg(3, 7, 3), seg(7, 11, 7)];
+        let whole = [seg(0, 11, 0)];
+
+        let fwd_split = forward(&layer, &x, &split, &t).unwrap();
+        let fwd_whole = forward(&layer, &x, &whole, &t).unwrap();
+        assert_eq!(fwd_split.y.as_slice(), fwd_whole.y.as_slice());
+        let concat: Vec<f32> = fwd_split
+            .saved
+            .x_hats
+            .iter()
+            .flat_map(|m| m.as_slice().iter().copied())
+            .collect();
+        assert_eq!(concat, fwd_whole.saved.x_hats[0].as_slice());
+
+        let bwd_split = backward(&layer, &fwd_split.saved, &dy, &t).unwrap();
+        let bwd_whole = backward(&layer, &fwd_whole.saved, &dy, &t).unwrap();
+        assert_eq!(bwd_split.dx.as_slice(), bwd_whole.dx.as_slice());
+        assert!(all_close(
+            &bwd_split.grads[&0].da,
+            &bwd_whole.grads[&0].da,
+            1e-4
+        ));
+        assert!(all_close(
+            &bwd_split.grads[&0].db,
+            &bwd_whole.grads[&0].db,
+            1e-4
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use lorafusion_gpu::{KernelClass, KernelProfile};
 use lorafusion_tensor::ops::{add, hadamard, scale};
-use lorafusion_tensor::{dropout_forward, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix};
+use lorafusion_tensor::{dropout_mask, matmul_nn, matmul_nt, matmul_tn, DropoutSpec, Matrix};
 
 use crate::lora::{LoraGrads, LoraLayer, Shape};
 use crate::traffic::TrafficModel;
@@ -20,8 +20,10 @@ use crate::Result;
 pub struct Saved {
     /// Dropout output `X̂` (PEFT saves the dropped input for `dA`).
     pub x_hat: Matrix,
-    /// Dropout mask (zero / inverse-keep-probability scale).
-    pub mask: Matrix,
+    /// Dropout mask (zero / inverse-keep-probability scale). `None` when
+    /// the layer's dropout probability is zero: like PEFT's `nn.Identity`
+    /// fast path, no mask is created and the backward multiply is skipped.
+    pub mask: Option<Matrix>,
     /// Low-rank intermediate `S = X̂ A`.
     pub s: Matrix,
 }
@@ -206,7 +208,15 @@ pub fn forward(
     let cfg = layer.adapter.config;
     let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(dropout_row_offset);
     let y1 = matmul_nn(x, &layer.w)?;
-    let (x_hat, mask) = dropout_forward(x, &spec)?;
+    // Identity short-circuit: zero dropout skips both the mask kernel and
+    // the elementwise multiply (PEFT swaps in `nn.Identity`), but X̂ is
+    // still saved so the backward contract is unchanged.
+    let (x_hat, mask) = if spec.is_identity() {
+        (x.clone(), None)
+    } else {
+        let mask = dropout_mask(x.rows(), x.cols(), &spec)?;
+        (hadamard(x, &mask)?, Some(mask))
+    };
     let s = matmul_nn(&x_hat, &layer.adapter.a)?;
     let y2 = matmul_nn(&s, &layer.adapter.b)?;
     let y2s = scale(cfg.alpha, &y2);
@@ -233,7 +243,10 @@ pub fn backward(
     // `A` is `(k, r)` and `dS` is `(m, r)`, so `dS Aᵀ` is the NT layout.
     let dx_hat = matmul_nt(&ds, &layer.adapter.a)?;
     let da = matmul_tn(&saved.x_hat, &ds)?;
-    let dx_lora = hadamard(&dx_hat, &saved.mask)?;
+    let dx_lora = match &saved.mask {
+        Some(mask) => hadamard(&dx_hat, mask)?,
+        None => dx_hat,
+    };
     let dx_base = matmul_nt(dy, &layer.w)?;
     let dx = add(&dx_base, &dx_lora)?;
     let shape = Shape::new(dy.rows(), layer.k(), layer.n(), layer.rank());

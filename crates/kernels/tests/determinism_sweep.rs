@@ -86,12 +86,14 @@ fn reference_executor_is_bitwise_deterministic_across_threads() {
             with_pool(&pool, || {
                 let f = reference::forward(&layer, &x, 0, &t).unwrap();
                 assert_same_bits("reference.y", threads, &base_fwd.y, &f.y);
-                assert_same_bits(
-                    "reference.mask",
-                    threads,
-                    &base_fwd.saved.mask,
-                    &f.saved.mask,
+                assert_eq!(
+                    base_fwd.saved.mask.is_some(),
+                    f.saved.mask.is_some(),
+                    "reference.mask presence diverged at {threads} threads"
                 );
+                if let (Some(base_mask), Some(mask)) = (&base_fwd.saved.mask, &f.saved.mask) {
+                    assert_same_bits("reference.mask", threads, base_mask, mask);
+                }
                 let b = reference::backward(&layer, &f.saved, &dy, &t).unwrap();
                 assert_same_bits("reference.dx", threads, &base_bwd.dx, &b.dx);
                 assert_same_bits("reference.da", threads, &base_bwd.grads.da, &b.grads.da);

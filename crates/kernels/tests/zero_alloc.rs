@@ -1,0 +1,99 @@
+//! Steady-state allocation gate for the fused executor (ISSUE 3).
+//!
+//! A fused forward+backward step through [`fused::Workspace`] must not
+//! touch the heap once warmed up: workspace tensors are `resize`d in
+//! place, GEMM packing buffers come from the thread-local arena, and the
+//! serial pool path dispatches inline. This test installs a counting
+//! global allocator and asserts *zero* allocations and *zero* arena
+//! growth events for a warmed step.
+//!
+//! It lives in its own test binary so the global allocator cannot count
+//! unrelated tests running on sibling threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lorafusion_gpu::DeviceKind;
+use lorafusion_kernels::fused;
+use lorafusion_kernels::{LoraConfig, LoraLayer, TrafficModel};
+use lorafusion_tensor::ops::all_close;
+use lorafusion_tensor::pool::with_pool;
+use lorafusion_tensor::{Matrix, Pcg32, Pool};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_performs_no_heap_allocation() {
+    let t = TrafficModel::for_device(&DeviceKind::H100Sxm.spec());
+    let mut rng = Pcg32::seeded(42);
+    let cfg = LoraConfig {
+        rank: 8,
+        alpha: 1.5,
+        dropout: 0.25,
+        seed: 42,
+    };
+    let layer = LoraLayer::init_nonzero(96, 80, cfg, &mut rng);
+    let x = Matrix::random_uniform(64, 96, 1.0, &mut rng);
+    let dy = Matrix::random_uniform(64, 80, 1.0, &mut rng);
+
+    // The serial pool dispatches inline; multi-threaded dispatch allocates
+    // job state inside the pool (outside the per-layer numeric path this
+    // gate covers).
+    let pool = Pool::new(1);
+    with_pool(&pool, || {
+        let mut ws = fused::Workspace::new();
+
+        // Warm up: first steps size the workspace tensors and the packing
+        // arena; a second round proves sizing is stable.
+        for _ in 0..2 {
+            ws.forward_into(&layer, &x, 0).unwrap();
+            ws.backward_into(&layer, &dy).unwrap();
+        }
+
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let growth_before = lorafusion_tensor::arena::growth_events();
+
+        ws.forward_into(&layer, &x, 0).unwrap();
+        ws.backward_into(&layer, &dy).unwrap();
+
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+        let growth = lorafusion_tensor::arena::growth_events() - growth_before;
+        assert_eq!(
+            allocs, 0,
+            "warmed fused step touched the global allocator {allocs} times"
+        );
+        assert_eq!(growth, 0, "warmed fused step grew the arena {growth} times");
+
+        // The warmed step still computes the right thing.
+        let reference = fused::forward(&layer, &x, 0, &t).unwrap();
+        assert_eq!(ws.y.as_slice(), reference.y.as_slice());
+        let ref_bwd = fused::backward(&layer, &reference.saved, &dy, &t).unwrap();
+        assert!(all_close(&ws.dx, &ref_bwd.dx, 1e-6));
+    });
+}

@@ -14,12 +14,23 @@
 //! writing zero padding), which also keeps reuse deterministic — results
 //! never depend on what a previous call left behind.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 thread_local! {
     /// Cached buffers, unordered. Bounded by [`MAX_CACHED`] entries; the
     /// smallest buffer is evicted when a larger one is returned while full.
     static CACHE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    /// Number of times a checkout had to grow its buffer (a real heap
+    /// allocation) on this thread.
+    static GROWTH_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of `Scratch::take` calls on this thread that hit the allocator
+/// (no cached buffer was large enough). Steady-state training loops must
+/// not advance this counter once warmed up; the zero-allocation tests in
+/// `lorafusion-kernels` assert exactly that.
+pub fn growth_events() -> u64 {
+    GROWTH_EVENTS.with(Cell::get)
 }
 
 /// Maximum number of buffers retained per thread. Two covers a GEMM's
@@ -54,6 +65,7 @@ impl Scratch {
             }
         });
         if buf.capacity() < len {
+            GROWTH_EVENTS.with(|c| c.set(c.get() + 1));
             buf.reserve_exact(len - buf.len());
         }
         // `resize` only writes the grown tail; reused capacity keeps its

@@ -71,6 +71,28 @@ impl DropoutSpec {
     pub fn scale(&self) -> f32 {
         1.0 / (1.0 - self.prob)
     }
+
+    /// True when this spec is the identity transform (`prob == 0.0`):
+    /// every element is kept with scale `1.0`, so executors can skip mask
+    /// creation and application entirely.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.prob == 0.0
+    }
+
+    /// Mask value for the element at logical `(row, col)`: [`Self::scale`]
+    /// when kept, `0.0` when dropped. Multiplying by this value applies
+    /// (inverted) dropout; it is exactly what [`dropout_mask`] stores, so
+    /// fused paths that evaluate it inline (pack-prologues, GEMM
+    /// store-epilogues) are bitwise-identical to mask materialization.
+    #[inline]
+    pub fn mask_value(&self, row: usize, col: usize, cols: usize) -> f32 {
+        if self.keep(row, col, cols) {
+            self.scale()
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Computes the dropout mask as a matrix of `0.0` / `scale` values.
@@ -86,6 +108,11 @@ pub fn dropout_mask(rows: usize, cols: usize, spec: &DropoutSpec) -> Result<Matr
     let scale = spec.scale();
     let mut mask = Matrix::zeros(rows, cols);
     if rows == 0 || cols == 0 {
+        return Ok(mask);
+    }
+    if spec.is_identity() {
+        // No RNG evaluation needed: the identity mask is all ones.
+        mask.as_mut_slice().fill(1.0);
         return Ok(mask);
     }
     let current = pool::current();

@@ -7,9 +7,14 @@
 //! * `NT`: `C = A @ Bᵀ` — input gradients (`dY Wᵀ`, `dS Aᵀ`, `dY Bᵀ`);
 //! * `TN`: `C = Aᵀ @ B` — weight gradients (`X̂ᵀ dS`, `Sᵀ dY`).
 //!
-//! All three support an accumulate-into-output mode (`beta = 1`), which the
-//! fused executors use to model a GEMM epilogue that adds the LoRA branch
-//! into the frozen output without materializing a partial tensor.
+//! All three support fused prologues and epilogues: the `A` operand can be
+//! transformed while it is packed (counter-based dropout, with optional
+//! emission of the post-dropout operand for the backward pass), and each
+//! completed register tile is stored through an [`Epilogue`] — overwrite,
+//! accumulate, scale, or accumulate-through-a-dropout-mask. These are the
+//! hooks the fused LoRA executors use to run a whole forward+backward step
+//! with *no* standalone full-tensor elementwise passes, while remaining
+//! bitwise-equal to the multi-pass compositions they replace.
 //!
 //! This module owns shape checking and the public API; the compute path —
 //! pack-once operand panels, the `MR x NR` register-tiled microkernel, and
@@ -18,21 +23,51 @@
 //! proof sketch of why results are bitwise-identical at any thread count.
 
 use crate::error::TensorError;
-use crate::microkernel::{self, Layout};
+use crate::microkernel;
 use crate::pool::{self, Pool};
 use crate::tensor::Matrix;
 use crate::Result;
 
-pub use crate::microkernel::{KC, MC, MR, NC, NR};
+pub use crate::microkernel::{Epilogue, Layout, Prologue, KC, MC, MR, NC, NR};
 
-/// Accumulation mode for a GEMM call.
+/// Accumulation mode for a GEMM call — the pre-fusion subset of
+/// [`Epilogue`], kept as the concise spelling for the common cases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Accumulate {
     /// Overwrite the output (`beta = 0`). The zeroing is folded into the
-    /// microkernel's first `k`-block store, not a separate sweep over `C`.
+    /// tile store, not a separate sweep over `C`.
     Overwrite,
     /// Add into the existing output (`beta = 1`).
     Add,
+}
+
+impl From<Accumulate> for Epilogue {
+    fn from(acc: Accumulate) -> Epilogue {
+        match acc {
+            Accumulate::Overwrite => Epilogue::Overwrite,
+            Accumulate::Add => Epilogue::Add,
+        }
+    }
+}
+
+/// Validates the fusion hooks of a GEMM call: dropout probabilities in
+/// range, and the emit buffer exactly as long as the `A` operand.
+fn check_fusion(prologue: &Prologue<'_>, epilogue: &Epilogue, a_len: usize) -> Result<()> {
+    if let Some(spec) = &prologue.dropout {
+        spec.validate()?;
+    }
+    if let Epilogue::AddMasked(spec) = epilogue {
+        spec.validate()?;
+    }
+    if let Some(emit) = &prologue.emit {
+        if emit.len() != a_len {
+            return Err(TensorError::LengthMismatch {
+                expected: a_len,
+                actual: emit.len(),
+            });
+        }
+    }
+    Ok(())
 }
 
 fn check_shapes(
@@ -61,6 +96,117 @@ fn check_shapes(
     Ok(())
 }
 
+/// Computes one fused GEMM `C = epilogue(alpha * prologue(A)' @ B')` on
+/// `pool`, with operands interpreted per `layout`.
+///
+/// This is the full-surface entry point; the `gemm_{nn,nt,tn}*` helpers are
+/// thin wrappers. `prologue.emit`, when present, must have exactly
+/// `a.len()` elements and receives the post-dropout `A` operand in the
+/// source's own layout.
+#[allow(clippy::too_many_arguments)] // the full fused-GEMM surface
+pub fn gemm_fused_on(
+    pool: &Pool,
+    layout: Layout,
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    prologue: Prologue<'_>,
+    epilogue: Epilogue,
+) -> Result<()> {
+    let (op, out_op, m, k, kb, n) = match layout {
+        Layout::Nn => (
+            "gemm_nn",
+            "gemm_nn_out",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols(),
+        ),
+        Layout::Nt => (
+            "gemm_nt",
+            "gemm_nt_out",
+            a.rows(),
+            a.cols(),
+            b.cols(),
+            b.rows(),
+        ),
+        Layout::Tn => (
+            "gemm_tn",
+            "gemm_tn_out",
+            a.cols(),
+            a.rows(),
+            b.rows(),
+            b.cols(),
+        ),
+    };
+    check_shapes(op, out_op, a, b, c, (k, kb), (m, n))?;
+    check_fusion(&prologue, &epilogue, a.len())?;
+    microkernel::gemm(
+        pool,
+        layout,
+        alpha,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+        m,
+        k,
+        n,
+        prologue,
+        epilogue,
+    );
+    Ok(())
+}
+
+/// Computes one fused GEMM `C = epilogue(alpha * prologue(A)' @ B')` on
+/// the current pool. See [`gemm_fused_on`].
+pub fn gemm_fused(
+    layout: Layout,
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    prologue: Prologue<'_>,
+    epilogue: Epilogue,
+) -> Result<()> {
+    gemm_fused_on(pool::current(), layout, alpha, a, b, c, prologue, epilogue)
+}
+
+/// Slice-level fused GEMM over raw row-major windows.
+///
+/// This is the entry the multi-LoRA executor uses to run per-segment GEMMs
+/// directly on *row windows* of the batch tensors (`&x[start*k..end*k]`)
+/// without copying the window out: a row window of a row-major matrix is
+/// contiguous, and the `DropoutSpec::row_offset` in the prologue/epilogue
+/// keeps the realized mask identical to the whole-batch one. Lengths are
+/// checked against `(m, k, n)` for the given `layout`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_windows_on(
+    pool: &Pool,
+    layout: Layout,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    prologue: Prologue<'_>,
+    epilogue: Epilogue,
+) -> Result<()> {
+    for (len, want) in [(a.len(), m * k), (b.len(), k * n), (c.len(), m * n)] {
+        if len != want {
+            return Err(TensorError::LengthMismatch {
+                expected: want,
+                actual: len,
+            });
+        }
+    }
+    check_fusion(&prologue, &epilogue, a.len())?;
+    microkernel::gemm(pool, layout, alpha, a, b, c, m, k, n, prologue, epilogue);
+    Ok(())
+}
+
 /// Computes `C (+)= alpha * A @ B` on `pool`, where `A` is `m x k` and `B`
 /// is `k x n`.
 pub fn gemm_nn_on(
@@ -71,22 +217,16 @@ pub fn gemm_nn_on(
     c: &mut Matrix,
     acc: Accumulate,
 ) -> Result<()> {
-    let (m, k) = a.shape();
-    let (kb, n) = b.shape();
-    check_shapes("gemm_nn", "gemm_nn_out", a, b, c, (k, kb), (m, n))?;
-    microkernel::gemm(
+    gemm_fused_on(
         pool,
         Layout::Nn,
         alpha,
-        a.as_slice(),
-        b.as_slice(),
-        c.as_mut_slice(),
-        m,
-        k,
-        n,
-        acc == Accumulate::Overwrite,
-    );
-    Ok(())
+        a,
+        b,
+        c,
+        Prologue::none(),
+        acc.into(),
+    )
 }
 
 /// Computes `C (+)= alpha * A @ Bᵀ` on `pool`, where `A` is `m x k` and `B`
@@ -99,22 +239,16 @@ pub fn gemm_nt_on(
     c: &mut Matrix,
     acc: Accumulate,
 ) -> Result<()> {
-    let (m, k) = a.shape();
-    let (n, kb) = b.shape();
-    check_shapes("gemm_nt", "gemm_nt_out", a, b, c, (k, kb), (m, n))?;
-    microkernel::gemm(
+    gemm_fused_on(
         pool,
         Layout::Nt,
         alpha,
-        a.as_slice(),
-        b.as_slice(),
-        c.as_mut_slice(),
-        m,
-        k,
-        n,
-        acc == Accumulate::Overwrite,
-    );
-    Ok(())
+        a,
+        b,
+        c,
+        Prologue::none(),
+        acc.into(),
+    )
 }
 
 /// Computes `C (+)= alpha * Aᵀ @ B` on `pool`, where `A` is `k x m` and `B`
@@ -127,22 +261,16 @@ pub fn gemm_tn_on(
     c: &mut Matrix,
     acc: Accumulate,
 ) -> Result<()> {
-    let (k, m) = a.shape();
-    let (kb, n) = b.shape();
-    check_shapes("gemm_tn", "gemm_tn_out", a, b, c, (k, kb), (m, n))?;
-    microkernel::gemm(
+    gemm_fused_on(
         pool,
         Layout::Tn,
         alpha,
-        a.as_slice(),
-        b.as_slice(),
-        c.as_mut_slice(),
-        m,
-        k,
-        n,
-        acc == Accumulate::Overwrite,
-    );
-    Ok(())
+        a,
+        b,
+        c,
+        Prologue::none(),
+        acc.into(),
+    )
 }
 
 /// Computes `C (+)= alpha * A @ B` on the current pool.

@@ -1,5 +1,6 @@
 //! Register-tiled GEMM engine: pack-once operands, an `MR x NR`
-//! microkernel, and 2D macro-tile parallelism.
+//! microkernel, fused pack-prologue / store-epilogue hooks, and 2D
+//! macro-tile parallelism.
 //!
 //! Every GEMM layout (`NN`, `NT`, `TN`) lowers onto one compute path:
 //!
@@ -10,10 +11,24 @@
 //!    strip range per pool task — and the packed panels are then shared
 //!    read-only by every compute task. The transpose layouts differ *only*
 //!    in their packing gather; the compute loop is layout-oblivious.
+//!    A [`Prologue`] can transform `A` while it is being gathered:
+//!    counter-based dropout is applied per element (the keep/drop decision
+//!    is a pure function of `(seed, row, col)`, so *where* it is evaluated
+//!    cannot change the result), and the post-dropout operand can be
+//!    emitted to a second destination — this is how the fused LoRA forward
+//!    produces `X̂` for the backward pass without a separate mask +
+//!    hadamard sweep.
 //! 2. **Microkernel.** An `MR x NR` accumulator tile lives in a fixed-size
-//!    local array. The `NR` lane loop has constant bounds, so the compiler
+//!    local array and accumulates the *entire* `k` reduction for its output
+//!    tile in registers, in strictly ascending `kk` order. The `NR` lane
+//!    loop has constant bounds and independent lanes, so the compiler
 //!    auto-vectorizes it on stable Rust (no `std::arch`); the `MR` loop is
 //!    fully unrolled. One invocation owns its output tile exclusively.
+//!    When the tile is complete it is stored exactly once, through an
+//!    [`Epilogue`] applied while the values are still in registers:
+//!    overwrite, accumulate, scale-by-alpha, or accumulate-through-a-
+//!    dropout-mask. This is what lets the LoRA executors drop their
+//!    standalone `scale` / `hadamard` / `add` full-tensor passes.
 //! 3. **2D macro-tiles.** Parallelism is over an `(i-block, j-block)` grid
 //!    of [`MC`]` x `[`NC`] output tiles rather than row ranges, so skinny
 //!    LoRA shapes (`m x k x r` and `r x k x n` with rank `r` in 16..=64,
@@ -26,20 +41,28 @@
 //! Results are bitwise-identical at every thread count by construction:
 //!
 //! * every output element is owned by exactly one macro-tile task and,
-//!   inside it, by exactly one microkernel invocation per `k`-block;
-//! * the reduction order per element is `k`-blocks of [`KC`] ascending,
-//!   and ascending `kk` inside each block — a pure function of the shape,
-//!   never of the thread count or of which thread ran the tile;
-//! * packing only copies values (or multiplies by `alpha`), so it cannot
-//!   perturb a bit, and zero padding in edge strips is written explicitly
-//!   but only ever multiplies into padded accumulator lanes that are never
-//!   stored.
+//!   inside it, by exactly one microkernel invocation;
+//! * the reduction order per element is a single ascending-`kk` chain over
+//!   the full `k` extent — a pure function of the shape, never of the
+//!   thread count or of which thread ran the tile. (Earlier revisions
+//!   folded `KC`-sized partial sums; the full-`k` register accumulation
+//!   makes the engine bitwise-equal to a naive ascending-`k` loop at
+//!   *every* `k`, which the fuzz suite asserts.);
+//! * packing only copies values, multiplies by `alpha`, or multiplies by
+//!   the deterministic dropout mask value, so it cannot perturb a bit, and
+//!   zero padding in edge strips is written explicitly but only ever
+//!   multiplies into padded accumulator lanes that are never stored;
+//! * epilogues are applied per element exactly once, in the same
+//!   expression shape as the multi-pass composition they replace
+//!   (`c + alpha * p`, `c + p * mask`), so the fused result is
+//!   bitwise-equal to the unfused one.
 //!
-//! The `Overwrite` accumulation mode is folded into the first `k`-block's
-//! store (`=` instead of `+=`), which removes the separate zeroing sweep
-//! over `C` — one full write pass saved per call.
+//! `Epilogue::Overwrite` writes the tile with `=` instead of `+=`, which
+//! removes the separate zeroing sweep over `C` — one full write pass saved
+//! per call.
 
 use crate::arena::Scratch;
+use crate::dropout::DropoutSpec;
 use crate::pool::{self, Pool};
 
 /// Microkernel tile rows: rows of `C` accumulated per invocation.
@@ -51,8 +74,11 @@ use crate::pool::{self, Pool};
 pub const MR: usize = 8;
 /// Microkernel tile columns: the auto-vectorized lane dimension.
 pub const NR: usize = 8;
-/// `k`-block length; per-element reductions fold `KC`-sized partial sums
-/// in ascending order, so `KC` is part of the numeric contract.
+/// Historical `k`-block length, retained as a shape parameter for tests
+/// and benches. Since the full-`k` register-accumulation rewrite the
+/// engine no longer folds `KC`-sized partial sums, so `KC` is *not* part
+/// of the numeric contract: the per-element reduction is one ascending-`k`
+/// chain regardless of `k`.
 pub const KC: usize = 256;
 /// Macro-tile rows (`i`-block). Must be a multiple of [`MR`] so packed row
 /// strips never straddle two macro-tiles.
@@ -85,6 +111,77 @@ impl Layout {
     }
 }
 
+/// Store-epilogue applied to each completed accumulator tile, while it is
+/// still in registers. `P` below is the packed-alpha product
+/// `(alpha * A') @ B'`.
+///
+/// Each variant is the register-resident equivalent of a multi-pass
+/// composition, with the identical per-element expression shape, so fused
+/// and unfused results are bitwise-equal:
+///
+/// | variant            | computes              | replaces                              |
+/// |--------------------|-----------------------|---------------------------------------|
+/// | `Overwrite`        | `C = P`               | `matmul(...)`                         |
+/// | `Add`              | `C += P`              | `add(C, matmul(...))`                 |
+/// | `Scaled(s)`        | `C = s * P`           | `scale(s, matmul(...))`               |
+/// | `AddScaled(s)`     | `C += s * P`          | `add(C, scale(s, matmul(...)))`       |
+/// | `AddMasked(spec)`  | `C += P * mask(i, j)` | `add(C, hadamard(matmul(...), mask))` |
+///
+/// `AddMasked` regenerates the counter-based dropout mask value analytically
+/// from `(seed, row, col)` — the mask matrix itself is never materialized.
+/// The multiply by `0.0` for dropped elements is kept (rather than a skip)
+/// so non-finite values propagate exactly as `hadamard` would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Epilogue {
+    /// `C = P`.
+    Overwrite,
+    /// `C += P`.
+    Add,
+    /// `C = s * P`.
+    Scaled(f32),
+    /// `C += s * P`.
+    AddScaled(f32),
+    /// `C += P * mask(i, j)` with the mask value from `spec` at the
+    /// output's logical coordinates (`spec.row_offset` shifts rows, so a
+    /// row-window GEMM reproduces the whole-batch mask).
+    AddMasked(DropoutSpec),
+}
+
+/// Pack-prologue applied to the `A` operand while its panels are gathered.
+///
+/// * `dropout` multiplies each element by its counter-based mask value
+///   (`spec.scale()` or `0.0`) in the *source* matrix's coordinates, so the
+///   packed operand is bitwise-identical to `hadamard(A, mask)` without a
+///   mask matrix or an extra pass.
+/// * `emit` additionally writes the post-dropout (pre-`alpha`) operand to a
+///   buffer with the same layout and length as the `A` source. This is how
+///   the fused LoRA forward saves `X̂` for the backward pass during the K1
+///   pack. Strips write disjoint regions, so parallel packing stays safe
+///   and deterministic.
+#[derive(Default)]
+pub struct Prologue<'a> {
+    /// Counter-based dropout applied to `A` during packing.
+    pub dropout: Option<DropoutSpec>,
+    /// Second destination receiving the post-dropout `A` operand; must have
+    /// exactly the length of the `A` source slice.
+    pub emit: Option<&'a mut [f32]>,
+}
+
+impl<'a> Prologue<'a> {
+    /// The empty prologue: pack `A` unchanged.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Dropout-only prologue.
+    pub fn dropout(spec: DropoutSpec) -> Self {
+        Self {
+            dropout: Some(spec),
+            emit: None,
+        }
+    }
+}
+
 /// Raw base pointer for handing disjoint tile regions to pool tasks.
 struct SendPtr(*mut f32);
 unsafe impl Send for SendPtr {}
@@ -109,14 +206,63 @@ impl SendPtr {
 // survive packing).
 // ---------------------------------------------------------------------------
 
-/// Packs one `MR`-row strip of a row-major `m x k` matrix, folding `alpha`.
-fn pack_a_strip_rowmajor(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, out: &mut [f32]) {
+/// Per-strip view of the prologue, capturable by `Sync` pack closures.
+#[derive(Clone, Copy)]
+struct PackFusion {
+    dropout: Option<DropoutSpec>,
+    emit: Option<*const SendPtr>,
+}
+
+impl PackFusion {
+    #[cfg(test)]
+    const NONE: PackFusion = PackFusion {
+        dropout: None,
+        emit: None,
+    };
+
+    #[inline]
+    fn emit_ptr(&self) -> Option<*mut f32> {
+        // SAFETY: the pointee `SendPtr` outlives the packing job (it is a
+        // local in `gemm`, which blocks until packing completes).
+        self.emit.map(|p| unsafe { (*p).get() })
+    }
+}
+
+// SAFETY: `emit` points at a `SendPtr` owned by the submitting `gemm` call,
+// which outlives the packing job; the target regions written through it are
+// pairwise disjoint per strip.
+unsafe impl Send for PackFusion {}
+unsafe impl Sync for PackFusion {}
+
+/// Packs one `MR`-row strip of a row-major `m x k` matrix, folding `alpha`
+/// and applying the pack fusion (dropout in source coordinates, optional
+/// emission of the post-dropout value at the source element's offset).
+fn pack_a_strip_rowmajor_fused(
+    av: &[f32],
+    m: usize,
+    k: usize,
+    alpha: f32,
+    i0: usize,
+    fusion: PackFusion,
+    out: &mut [f32],
+) {
+    let emit = fusion.emit_ptr();
     for r in 0..MR {
         let row = i0 + r;
         if row < m {
             let src = &av[row * k..(row + 1) * k];
             for (kk, &v) in src.iter().enumerate() {
-                out[kk * MR + r] = alpha * v;
+                let x = match fusion.dropout {
+                    Some(spec) => v * spec.mask_value(row, kk, k),
+                    None => v,
+                };
+                if let Some(e) = emit {
+                    // SAFETY: offset `row*k + kk` is in-bounds of the
+                    // emit buffer (length == av.len() == m*k) and owned by
+                    // this strip alone.
+                    unsafe { *e.add(row * k + kk) = x };
+                }
+                out[kk * MR + r] = alpha * x;
             }
         } else {
             for kk in 0..k {
@@ -126,20 +272,54 @@ fn pack_a_strip_rowmajor(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, 
     }
 }
 
+/// Packs one `MR`-row strip of a row-major `m x k` matrix, folding `alpha`
+/// (prologue-free path; the fuzz and packing tests compare against it).
+#[cfg(test)]
+fn pack_a_strip_rowmajor(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, out: &mut [f32]) {
+    pack_a_strip_rowmajor_fused(av, m, k, alpha, i0, PackFusion::NONE, out);
+}
+
 /// Packs one `MR`-row strip of the *transpose* of a row-major `k x m`
-/// matrix (the `TN` left operand), folding `alpha`.
-fn pack_a_strip_transposed(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, out: &mut [f32]) {
+/// matrix (the `TN` left operand), folding `alpha` and the pack fusion.
+/// Dropout and emission use the source's own `(kk, col)` coordinates.
+fn pack_a_strip_transposed_fused(
+    av: &[f32],
+    m: usize,
+    k: usize,
+    alpha: f32,
+    i0: usize,
+    fusion: PackFusion,
+    out: &mut [f32],
+) {
+    let emit = fusion.emit_ptr();
     let avail = m.saturating_sub(i0).min(MR);
     for kk in 0..k {
         let src = &av[kk * m..(kk + 1) * m];
         let dst = &mut out[kk * MR..(kk + 1) * MR];
         for r in 0..avail {
-            dst[r] = alpha * src[i0 + r];
+            let x = match fusion.dropout {
+                Some(spec) => src[i0 + r] * spec.mask_value(kk, i0 + r, m),
+                None => src[i0 + r],
+            };
+            if let Some(e) = emit {
+                // SAFETY: offset `kk*m + i0 + r` is in-bounds of the emit
+                // buffer (length == av.len() == k*m) and owned by this
+                // strip's column range alone.
+                unsafe { *e.add(kk * m + i0 + r) = x };
+            }
+            dst[r] = alpha * x;
         }
         for d in dst.iter_mut().skip(avail) {
             *d = 0.0;
         }
     }
+}
+
+/// Packs one `MR`-row strip of the *transpose* of a row-major `k x m`
+/// matrix (the `TN` left operand), folding `alpha` (prologue-free path).
+#[cfg(test)]
+fn pack_a_strip_transposed(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, out: &mut [f32]) {
+    pack_a_strip_transposed_fused(av, m, k, alpha, i0, PackFusion::NONE, out);
 }
 
 /// Packs one `NR`-column strip of a row-major `k x n` matrix.
@@ -176,8 +356,9 @@ fn pack_b_strip_transposed(bv: &[f32], k: usize, n: usize, j0: usize, out: &mut 
 
 /// Packs all strips of one operand in parallel. `strip_len` is `k*MR` (for
 /// `A`) or `k*NR` (for `B`); strips are disjoint, so tasks write disjoint
-/// regions of `out`. Content is a pure copy per strip — identical at any
-/// thread count.
+/// regions of `out`. Content is a pure copy/transform per strip —
+/// identical at any thread count. A 1-thread pool takes the serial path
+/// without touching the allocator.
 fn pack_parallel(
     pool: &Pool,
     out: &mut [f32],
@@ -185,6 +366,12 @@ fn pack_parallel(
     strip_len: usize,
     pack_strip: &(dyn Fn(usize, &mut [f32]) + Sync),
 ) {
+    if pool.threads() <= 1 || strips <= 1 {
+        for s in 0..strips {
+            pack_strip(s, &mut out[s * strip_len..(s + 1) * strip_len]);
+        }
+        return;
+    }
     let ranges = pool::split_evenly(strips, pool.threads());
     if ranges.len() <= 1 {
         for s in 0..strips {
@@ -208,11 +395,11 @@ fn pack_parallel(
 // Microkernel and macro-tile driver
 // ---------------------------------------------------------------------------
 
-/// Accumulates `kc` outer products into the register tile. `apanel` is a
-/// `kc x MR` packed strip block, `bpanel` a `kc x NR` one. The `NR` lane
-/// loop has constant bounds and independent lanes, so the compiler
-/// vectorizes it; the per-element reduction order over `kk` is strictly
-/// ascending.
+/// Accumulates `k` outer products into the register tile. `apanel` is a
+/// `k x MR` packed strip, `bpanel` a `k x NR` one. The `NR` lane loop has
+/// constant bounds and independent lanes, so the compiler vectorizes it;
+/// the per-element reduction order over `kk` is strictly ascending across
+/// the full `k` extent.
 #[inline]
 fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
     for (a, b) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
@@ -225,9 +412,9 @@ fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
     }
 }
 
-/// Writes the live `rows x cols` corner of an accumulator tile into `C` at
-/// `(i0, j0)`. `overwrite` selects `=` (first `k`-block under
-/// `Accumulate::Overwrite`) versus `+=`.
+/// Writes the live `rows x cols` corner of a completed accumulator tile
+/// into `C` at `(i0, j0)` through `epilogue`. Runs exactly once per output
+/// element per GEMM call.
 ///
 /// # Safety
 ///
@@ -242,15 +429,33 @@ unsafe fn store_tile(
     j0: usize,
     rows: usize,
     cols: usize,
-    overwrite: bool,
+    epilogue: Epilogue,
 ) {
     for (r, acc_row) in acc.iter().enumerate().take(rows) {
         let dst = unsafe { std::slice::from_raw_parts_mut(cbase.add((i0 + r) * n + j0), cols) };
-        if overwrite {
-            dst.copy_from_slice(&acc_row[..cols]);
-        } else {
-            for (d, v) in dst.iter_mut().zip(acc_row) {
-                *d += v;
+        match epilogue {
+            Epilogue::Overwrite => dst.copy_from_slice(&acc_row[..cols]),
+            Epilogue::Add => {
+                for (d, v) in dst.iter_mut().zip(acc_row) {
+                    *d += v;
+                }
+            }
+            Epilogue::Scaled(s) => {
+                for (d, v) in dst.iter_mut().zip(acc_row) {
+                    *d = s * v;
+                }
+            }
+            Epilogue::AddScaled(s) => {
+                for (d, v) in dst.iter_mut().zip(acc_row) {
+                    *d += s * v;
+                }
+            }
+            Epilogue::AddMasked(spec) => {
+                for (c, (d, v)) in dst.iter_mut().zip(acc_row).enumerate() {
+                    // Always multiply (never branch to skip) so non-finite
+                    // products propagate exactly as `hadamard` would.
+                    *d += v * spec.mask_value(i0 + r, j0 + c, n);
+                }
             }
         }
     }
@@ -258,10 +463,11 @@ unsafe fn store_tile(
 
 /// Computes one `MC x NC` macro-tile of `C` from the shared packed panels.
 ///
-/// Loop order is `k`-block → `j`-strip → `i`-strip, so the `NR`-wide `B`
-/// panel block (`KC*NR` floats, 16 KiB) stays L1-resident while the `i`
-/// loop streams `A` strips over it.
-#[allow(clippy::too_many_arguments)]
+/// Loop order is `j`-strip → `i`-strip, with the full-`k` reduction for
+/// each `MR x NR` tile accumulated in registers by a single microkernel
+/// invocation and stored exactly once through the epilogue. The `NR`-wide
+/// `B` panel strip (`k*NR` floats) is reused across the whole `i` loop.
+#[allow(clippy::too_many_arguments)] // one argument per tile coordinate
 fn macro_tile(
     apack: &[f32],
     bpack: &[f32],
@@ -270,38 +476,37 @@ fn macro_tile(
     n: usize,
     i_range: std::ops::Range<usize>,
     j_range: std::ops::Range<usize>,
-    overwrite: bool,
+    epilogue: Epilogue,
 ) {
-    let mut pc = 0;
-    while pc < k {
-        let kc = KC.min(k - pc);
-        let ow = overwrite && pc == 0;
-        let mut j0 = j_range.start;
-        while j0 < j_range.end {
-            let cols = NR.min(j_range.end - j0);
-            let bpanel = &bpack[(j0 / NR) * k * NR + pc * NR..][..kc * NR];
-            let mut i0 = i_range.start;
-            while i0 < i_range.end {
-                let rows = MR.min(i_range.end - i0);
-                let apanel = &apack[(i0 / MR) * k * MR + pc * MR..][..kc * MR];
-                let mut acc = [[0.0f32; NR]; MR];
-                microkernel(apanel, bpanel, &mut acc);
-                // SAFETY: this macro-tile exclusively owns the
-                // `i_range x j_range` region of `C`, and `(i0, j0)` plus
-                // `rows x cols` stays inside it.
-                unsafe { store_tile(&acc, cbase, n, i0, j0, rows, cols, ow) };
-                i0 += MR;
-            }
-            j0 += NR;
+    let mut j0 = j_range.start;
+    while j0 < j_range.end {
+        let cols = NR.min(j_range.end - j0);
+        let bpanel = &bpack[(j0 / NR) * k * NR..][..k * NR];
+        let mut i0 = i_range.start;
+        while i0 < i_range.end {
+            let rows = MR.min(i_range.end - i0);
+            let apanel = &apack[(i0 / MR) * k * MR..][..k * MR];
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(apanel, bpanel, &mut acc);
+            // SAFETY: this macro-tile exclusively owns the
+            // `i_range x j_range` region of `C`, and `(i0, j0)` plus
+            // `rows x cols` stays inside it.
+            unsafe { store_tile(&acc, cbase, n, i0, j0, rows, cols, epilogue) };
+            i0 += MR;
         }
-        pc += KC;
+        j0 += NR;
     }
 }
 
-/// Packs both operands once and runs the macro-tile grid on `pool`.
+/// Packs both operands once (through the prologue) and runs the macro-tile
+/// grid on `pool`, storing each tile through the epilogue.
 ///
 /// `av`/`bv` are interpreted per `layout`; `cv` is the row-major `m x n`
-/// output. `overwrite` selects `C = alpha*A@B` versus `C += alpha*A@B`.
+/// output. `prologue.emit`, when present, must have exactly `av.len()`
+/// elements (the shape check lives in `matmul`). `k == 0` is handled by
+/// the normal path: empty panels leave every accumulator tile zero, and
+/// the epilogue is still applied (`Overwrite` clears, `Add` is a no-op in
+/// value but keeps the composition's `c + 0.0` semantics).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     pool: &Pool,
@@ -313,31 +518,36 @@ pub(crate) fn gemm(
     m: usize,
     k: usize,
     n: usize,
-    overwrite: bool,
+    prologue: Prologue<'_>,
+    epilogue: Epilogue,
 ) {
     if m == 0 || n == 0 {
         return;
     }
-    if k == 0 {
-        // No k-blocks run, so the overwrite-on-first-store path never
-        // triggers; an empty product is all zeros.
-        if overwrite {
-            cv.fill(0.0);
-        }
-        return;
-    }
+    debug_assert!(
+        prologue.emit.as_ref().is_none_or(|e| e.len() == av.len()),
+        "prologue emit buffer must match the A operand length"
+    );
 
     let a_strips = m.div_ceil(MR);
     let b_strips = n.div_ceil(NR);
     let mut apack = Scratch::take(a_strips * MR * k);
     let mut bpack = Scratch::take(b_strips * NR * k);
 
+    // Keep the `SendPtr` alive on this frame for the whole packing job so
+    // `PackFusion`'s raw pointer to it stays valid.
+    let emit_holder = prologue.emit.map(|e| SendPtr(e.as_mut_ptr()));
+    let fusion = PackFusion {
+        dropout: prologue.dropout,
+        emit: emit_holder.as_ref().map(|h| h as *const SendPtr),
+    };
+
     match layout {
         Layout::Nn | Layout::Nt => pack_parallel(pool, &mut apack, a_strips, k * MR, &|s, out| {
-            pack_a_strip_rowmajor(av, m, k, alpha, s * MR, out);
+            pack_a_strip_rowmajor_fused(av, m, k, alpha, s * MR, fusion, out);
         }),
         Layout::Tn => pack_parallel(pool, &mut apack, a_strips, k * MR, &|s, out| {
-            pack_a_strip_transposed(av, m, k, alpha, s * MR, out);
+            pack_a_strip_transposed_fused(av, m, k, alpha, s * MR, fusion, out);
         }),
     }
     match layout {
@@ -368,7 +578,7 @@ pub(crate) fn gemm(
             n,
             i_lo..(i_lo + MC).min(m),
             j_lo..(j_lo + NC).min(n),
-            overwrite,
+            epilogue,
         );
     });
 }
@@ -433,6 +643,75 @@ mod tests {
         }
     }
 
+    /// The dropout prologue must pack exactly `hadamard(A, mask)` and emit
+    /// the post-dropout operand at source offsets, for both A gathers.
+    #[test]
+    fn fused_packing_applies_mask_and_emits() {
+        let (m, k) = (MR + 2, 13);
+        let mut rng = crate::rng::Pcg32::seeded(77);
+        let a = crate::tensor::Matrix::random_uniform(m, k, 1.0, &mut rng);
+        let spec = DropoutSpec::new(0.4, 99);
+        let alpha = 1.25f32;
+
+        // Expected packed strip: mask applied manually, then plain pack.
+        let mut masked = a.clone();
+        for i in 0..m {
+            for j in 0..k {
+                let v = masked.get(i, j).unwrap() * spec.mask_value(i, j, k);
+                masked.set(i, j, v).unwrap();
+            }
+        }
+
+        let mut emit = vec![f32::NAN; m * k];
+        let holder = SendPtr(emit.as_mut_ptr());
+        let fusion = PackFusion {
+            dropout: Some(spec),
+            emit: Some(&holder as *const SendPtr),
+        };
+        for s in 0..m.div_ceil(MR) {
+            let mut want = vec![0.0f32; k * MR];
+            let mut got = vec![1.0f32; k * MR];
+            pack_a_strip_rowmajor(masked.as_slice(), m, k, alpha, s * MR, &mut want);
+            pack_a_strip_rowmajor_fused(a.as_slice(), m, k, alpha, s * MR, fusion, &mut got);
+            assert_eq!(want, got, "rowmajor strip {s}");
+        }
+        assert_eq!(emit, masked.as_slice(), "rowmajor emit");
+
+        // Transposed gather: source is (reduction `tk`) x (output rows
+        // `tm`); dropout runs in the source's own coordinates.
+        let (tm, tk) = (MR + 5, 9);
+        let src = crate::tensor::Matrix::random_uniform(tk, tm, 1.0, &mut rng);
+        let mut masked_t = src.clone();
+        for i in 0..tk {
+            for j in 0..tm {
+                let v = masked_t.get(i, j).unwrap() * spec.mask_value(i, j, tm);
+                masked_t.set(i, j, v).unwrap();
+            }
+        }
+        let mut emit_t = vec![f32::NAN; tk * tm];
+        let holder_t = SendPtr(emit_t.as_mut_ptr());
+        let fusion_t = PackFusion {
+            dropout: Some(spec),
+            emit: Some(&holder_t as *const SendPtr),
+        };
+        for s in 0..tm.div_ceil(MR) {
+            let mut want = vec![0.0f32; tk * MR];
+            let mut got = vec![1.0f32; tk * MR];
+            pack_a_strip_transposed(masked_t.as_slice(), tm, tk, alpha, s * MR, &mut want);
+            pack_a_strip_transposed_fused(
+                src.as_slice(),
+                tm,
+                tk,
+                alpha,
+                s * MR,
+                fusion_t,
+                &mut got,
+            );
+            assert_eq!(want, got, "transposed strip {s}");
+        }
+        assert_eq!(emit_t, masked_t.as_slice(), "transposed emit");
+    }
+
     /// A skinny LoRA shape (one row block) must still produce a multi-task
     /// grid via its column blocks.
     #[test]
@@ -442,15 +721,39 @@ mod tests {
         assert!(n.div_ceil(NC) >= 8, "j-blocks must carry the parallelism");
     }
 
-    /// `k = 0` with overwrite must still clear the output.
+    /// `k = 0` runs the normal path: overwrite clears, add leaves values.
     #[test]
     fn zero_k_overwrite_clears_output() {
         let pool = Pool::new(2);
         let mut c = vec![5.0f32; 6];
-        gemm(&pool, Layout::Nn, 1.0, &[], &[], &mut c, 2, 0, 3, true);
+        gemm(
+            &pool,
+            Layout::Nn,
+            1.0,
+            &[],
+            &[],
+            &mut c,
+            2,
+            0,
+            3,
+            Prologue::none(),
+            Epilogue::Overwrite,
+        );
         assert!(c.iter().all(|&v| v == 0.0));
         let mut c = vec![5.0f32; 6];
-        gemm(&pool, Layout::Nn, 1.0, &[], &[], &mut c, 2, 0, 3, false);
+        gemm(
+            &pool,
+            Layout::Nn,
+            1.0,
+            &[],
+            &[],
+            &mut c,
+            2,
+            0,
+            3,
+            Prologue::none(),
+            Epilogue::Add,
+        );
         assert!(c.iter().all(|&v| v == 5.0));
     }
 }

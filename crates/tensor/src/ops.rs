@@ -4,8 +4,17 @@
 //! Figure 4 runtime breakdown: scaling, addition of branch outputs, masked
 //! multiplication. Each function is shape-checked and returns a
 //! [`crate::TensorError`] on mismatch.
+//!
+//! The bulk elementwise ops (`add`, `sub`, `hadamard`, `axpy`, `scale`)
+//! are parallelized over deterministic row chunks of the current worker
+//! pool, with the same partitioning the dropout mask uses. Every element
+//! is a pure function of the operands at its own index, so chunked
+//! parallel evaluation is bitwise-identical to the serial loop at any
+//! thread count. On a 1-thread pool the single-pass serial path runs
+//! instead (no pre-zeroed output sweep).
 
 use crate::error::TensorError;
+use crate::pool;
 use crate::tensor::Matrix;
 use crate::Result;
 
@@ -24,7 +33,7 @@ pub fn hadamard(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     zip_map("hadamard", a, b, |x, y| x * y)
 }
 
-/// Computes `a += alpha * b` in place.
+/// Computes `a += alpha * b` in place, in parallel row chunks.
 pub fn axpy(alpha: f32, b: &Matrix, a: &mut Matrix) -> Result<()> {
     if a.shape() != b.shape() {
         return Err(TensorError::ShapeMismatch {
@@ -33,15 +42,50 @@ pub fn axpy(alpha: f32, b: &Matrix, a: &mut Matrix) -> Result<()> {
             rhs: b.shape(),
         });
     }
-    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += alpha * y;
+    let current = pool::current();
+    let chunk_len = chunk_len(a.rows(), a.cols(), current.threads());
+    if chunk_len == 0 {
+        return Ok(());
     }
+    let bs = b.as_slice();
+    pool::parallel_chunks_mut(current, a.as_mut_slice(), chunk_len, |t, chunk| {
+        let off = t * chunk_len;
+        let len = chunk.len();
+        for (x, y) in chunk.iter_mut().zip(&bs[off..off + len]) {
+            *x += alpha * y;
+        }
+    });
     Ok(())
 }
 
-/// Returns `alpha * a` as a new matrix.
+/// Returns `alpha * a` as a new matrix, computed in parallel row chunks.
 pub fn scale(alpha: f32, a: &Matrix) -> Matrix {
-    a.map(|v| alpha * v)
+    let current = pool::current();
+    if current.threads() <= 1 {
+        return a.map(|v| alpha * v);
+    }
+    let (rows, cols) = a.shape();
+    let chunk_len = chunk_len(rows, cols, current.threads());
+    let mut out = Matrix::zeros(rows, cols);
+    if chunk_len == 0 {
+        return out;
+    }
+    let src = a.as_slice();
+    pool::parallel_chunks_mut(current, out.as_mut_slice(), chunk_len, |t, chunk| {
+        let off = t * chunk_len;
+        let len = chunk.len();
+        for (d, &v) in chunk.iter_mut().zip(&src[off..off + len]) {
+            *d = alpha * v;
+        }
+    });
+    out
+}
+
+/// Row-chunk length shared by the parallel elementwise ops: whole rows,
+/// split the same way the dropout mask is (`ceil(rows / threads)` rows per
+/// chunk), so partitioning is a pure function of shape and thread count.
+fn chunk_len(rows: usize, cols: usize, threads: usize) -> usize {
+    rows.div_ceil(threads.max(1)) * cols
 }
 
 /// Sum of all elements (f64 accumulator for stability).
@@ -87,7 +131,7 @@ pub fn all_close(a: &Matrix, b: &Matrix, tol: f32) -> bool {
             .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
 }
 
-fn zip_map<F: Fn(f32, f32) -> f32>(
+fn zip_map<F: Fn(f32, f32) -> f32 + Sync>(
     op: &'static str,
     a: &Matrix,
     b: &Matrix,
@@ -100,13 +144,31 @@ fn zip_map<F: Fn(f32, f32) -> f32>(
             rhs: b.shape(),
         });
     }
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| f(x, y))
-        .collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
+    let current = pool::current();
+    if current.threads() <= 1 {
+        // Single pass: no pre-zeroed output sweep on the serial path.
+        let data = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Matrix::from_vec(a.rows(), a.cols(), data);
+    }
+    let (rows, cols) = a.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    let chunk_len = chunk_len(rows, cols, current.threads());
+    if chunk_len == 0 {
+        return Ok(out);
+    }
+    let (xs, ys) = (a.as_slice(), b.as_slice());
+    pool::parallel_chunks_mut(current, out.as_mut_slice(), chunk_len, |t, chunk| {
+        let off = t * chunk_len;
+        for (i, d) in chunk.iter_mut().enumerate() {
+            *d = f(xs[off + i], ys[off + i]);
+        }
+    });
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -155,6 +217,53 @@ mod tests {
         let mut b = Matrix::zeros(2, 2);
         b.set(1, 1, 0.25).unwrap();
         assert!((max_abs_diff(&a, &b).unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    /// The parallel row-chunked elementwise ops must be bitwise-identical
+    /// to the 1-thread path at every pool size, including non-chunk-aligned
+    /// shapes.
+    #[test]
+    fn parallel_elementwise_is_bitwise_identical_to_serial() {
+        use crate::pool::{with_pool, Pool};
+        let mut rng = Pcg32::seeded(41);
+        for &(rows, cols) in &[(1usize, 1usize), (7, 9), (65, 33), (130, 70)] {
+            let a = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+            let b = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+            let serial = Pool::new(1);
+            let (s_add, s_sub, s_had, s_scale, s_axpy) = with_pool(&serial, || {
+                let mut ax = a.clone();
+                axpy(1.75, &b, &mut ax).unwrap();
+                (
+                    add(&a, &b).unwrap(),
+                    sub(&a, &b).unwrap(),
+                    hadamard(&a, &b).unwrap(),
+                    scale(-0.625, &a),
+                    ax,
+                )
+            });
+            for threads in [2usize, 4, 8] {
+                let pool = Pool::new(threads);
+                with_pool(&pool, || {
+                    let mut ax = a.clone();
+                    axpy(1.75, &b, &mut ax).unwrap();
+                    for (label, got, want) in [
+                        ("add", add(&a, &b).unwrap(), &s_add),
+                        ("sub", sub(&a, &b).unwrap(), &s_sub),
+                        ("hadamard", hadamard(&a, &b).unwrap(), &s_had),
+                        ("scale", scale(-0.625, &a), &s_scale),
+                        ("axpy", ax, &s_axpy),
+                    ] {
+                        assert!(
+                            got.as_slice()
+                                .iter()
+                                .zip(want.as_slice())
+                                .all(|(x, y)| x.to_bits() == y.to_bits()),
+                            "{label} {rows}x{cols} t={threads}"
+                        );
+                    }
+                });
+            }
+        }
     }
 
     #[test]

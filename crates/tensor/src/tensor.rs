@@ -144,6 +144,20 @@ impl Matrix {
         self.data
     }
 
+    /// Reshapes to `rows x cols` in place, reusing the existing allocation
+    /// whenever capacity allows (steady-state workspace reuse performs no
+    /// heap allocation and no initializing sweep).
+    ///
+    /// Contents after the call are unspecified — stale values from before
+    /// the call, or zeros in a freshly grown region. Callers must overwrite
+    /// every element they later read, exactly like the GEMM scratch arena's
+    /// contract.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Returns element `(row, col)` with bounds checking.
     pub fn get(&self, row: usize, col: usize) -> Result<f32> {
         if row >= self.rows || col >= self.cols {

@@ -9,15 +9,18 @@
 //!
 //! The naive reference accumulates each element in ascending `kk` order
 //! with `alpha` folded into `A` — exactly the microkernel's per-element
-//! order when `k <= KC` (a single `k`-block). For those shapes the
-//! comparison is *bitwise*; beyond one block the engine folds `KC`-sized
-//! partial sums, so the comparison falls back to a relative tolerance.
+//! order at *every* `k` since the full-`k` register-accumulation rewrite,
+//! so every comparison here is bitwise. A third suite checks each fused
+//! prologue/epilogue path against the multi-pass composition it replaces
+//! (`scale` / `add` / `hadamard` / mask materialization), also bitwise.
 
 use lorafusion_tensor::matmul::{
-    gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate, KC, MC, MR, NC, NR,
+    gemm_fused_on, gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate, Epilogue, Layout, Prologue, KC,
+    MC, MR, NC, NR,
 };
+use lorafusion_tensor::ops;
 use lorafusion_tensor::pool::Pool;
-use lorafusion_tensor::{Matrix, Pcg32};
+use lorafusion_tensor::{dropout_mask, DropoutSpec, Matrix, Pcg32};
 
 /// Naive `C (+)= alpha * A' @ B'` with per-element ascending-`kk` order and
 /// alpha folded into `A`, matching the engine's single-`k`-block order.
@@ -92,8 +95,9 @@ fn check_case(pool: &Pool, m: usize, k: usize, n: usize, alpha: f32, seed: u64) 
     let at = a.transpose();
     let bt = b.transpose();
     let base = Matrix::random_gaussian(m, n, 1.0, &mut rng);
-    // A single k-block reproduces the naive per-element order exactly.
-    let bitwise = k <= KC;
+    // Full-k register accumulation reproduces the naive per-element order
+    // exactly, at every k.
+    let bitwise = true;
     let label = format!("{m}x{k}x{n} alpha={alpha}");
 
     for overwrite in [true, false] {
@@ -172,6 +176,166 @@ fn random_shape_fuzz_matches_naive_reference() {
             0.5 + case as f32 * 0.125
         };
         check_case(&pool, m, k, n, alpha, 3000 + case);
+    }
+}
+
+/// Checks every fused prologue/epilogue path against the multi-pass
+/// composition it replaces, bitwise, for all three layouts.
+fn check_fused_paths(pool: &Pool, m: usize, k: usize, n: usize, seed: u64) {
+    let alpha = 1.25f32;
+    let s = -0.75f32;
+    let spec = DropoutSpec::new(0.35, seed ^ 0xD0).with_row_offset((seed as usize % 2) * 5);
+    for layout in [Layout::Nn, Layout::Nt, Layout::Tn] {
+        let mut rng = Pcg32::seeded(seed);
+        let (a, b) = match layout {
+            Layout::Nn => (
+                Matrix::random_gaussian(m, k, 1.0, &mut rng),
+                Matrix::random_gaussian(k, n, 1.0, &mut rng),
+            ),
+            Layout::Nt => (
+                Matrix::random_gaussian(m, k, 1.0, &mut rng),
+                Matrix::random_gaussian(n, k, 1.0, &mut rng),
+            ),
+            Layout::Tn => (
+                Matrix::random_gaussian(k, m, 1.0, &mut rng),
+                Matrix::random_gaussian(k, n, 1.0, &mut rng),
+            ),
+        };
+        let base = Matrix::random_gaussian(m, n, 1.0, &mut rng);
+        let tag = layout.tag();
+        let label = format!("{tag} {m}x{k}x{n}");
+
+        // Plain product P = alpha * A' @ B' through the same engine; the
+        // compositions below are the multi-pass spellings each epilogue
+        // replaces.
+        let mut p = Matrix::zeros(m, n);
+        gemm_fused_on(
+            pool,
+            layout,
+            alpha,
+            &a,
+            &b,
+            &mut p,
+            Prologue::none(),
+            Epilogue::Overwrite,
+        )
+        .unwrap();
+
+        // Scaled(s) == scale(s, matmul(...)), even over stale output.
+        let want = ops::scale(s, &p);
+        let mut got = base.clone();
+        gemm_fused_on(
+            pool,
+            layout,
+            alpha,
+            &a,
+            &b,
+            &mut got,
+            Prologue::none(),
+            Epilogue::Scaled(s),
+        )
+        .unwrap();
+        assert_matches(&format!("{label} scaled"), &got, &want, true);
+
+        // AddScaled(s) == add(C, scale(s, matmul(...))).
+        let want = ops::add(&base, &ops::scale(s, &p)).unwrap();
+        let mut got = base.clone();
+        gemm_fused_on(
+            pool,
+            layout,
+            alpha,
+            &a,
+            &b,
+            &mut got,
+            Prologue::none(),
+            Epilogue::AddScaled(s),
+        )
+        .unwrap();
+        assert_matches(&format!("{label} addscaled"), &got, &want, true);
+
+        // AddMasked(spec) == add(C, hadamard(matmul(...), mask)).
+        let mask = dropout_mask(m, n, &spec).unwrap();
+        let want = ops::add(&base, &ops::hadamard(&p, &mask).unwrap()).unwrap();
+        let mut got = base.clone();
+        gemm_fused_on(
+            pool,
+            layout,
+            alpha,
+            &a,
+            &b,
+            &mut got,
+            Prologue::none(),
+            Epilogue::AddMasked(spec),
+        )
+        .unwrap();
+        assert_matches(&format!("{label} addmasked"), &got, &want, true);
+
+        // Dropout prologue (+ emit) == matmul(hadamard(A, mask_a), B),
+        // with the mask in the A source's own coordinates and the emitted
+        // buffer equal to the materialized X̂.
+        let (src_rows, src_cols) = a.shape();
+        let amask = dropout_mask(src_rows, src_cols, &spec).unwrap();
+        let a_hat = ops::hadamard(&a, &amask).unwrap();
+        let mut want = Matrix::zeros(m, n);
+        gemm_fused_on(
+            pool,
+            layout,
+            alpha,
+            &a_hat,
+            &b,
+            &mut want,
+            Prologue::none(),
+            Epilogue::Overwrite,
+        )
+        .unwrap();
+        let mut emit = vec![f32::NAN; a.len()];
+        let mut got = base.clone();
+        gemm_fused_on(
+            pool,
+            layout,
+            alpha,
+            &a,
+            &b,
+            &mut got,
+            Prologue {
+                dropout: Some(spec),
+                emit: Some(&mut emit),
+            },
+            Epilogue::Overwrite,
+        )
+        .unwrap();
+        assert_matches(&format!("{label} prologue"), &got, &want, true);
+        for (idx, (g, w)) in emit.iter().zip(a_hat.as_slice()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{label} emit element {idx}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_paths_match_multipass_compositions() {
+    let pool = Pool::new(2);
+    for (i, &(m, k, n)) in edge_shapes().iter().enumerate() {
+        check_fused_paths(&pool, m, k, n, 500 + i as u64);
+    }
+}
+
+#[test]
+fn fused_paths_are_bitwise_identical_across_thread_counts() {
+    // Passing the composition check under every pool size implies the
+    // fused paths themselves are bitwise-identical across thread counts
+    // (the compositions are deterministic by the suites above).
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        for (i, &(m, k, n)) in [(MR + 1, 3, NR + 1), (MC + 1, KC + 1, NC + 1), (16, 70, 257)]
+            .iter()
+            .enumerate()
+        {
+            check_fused_paths(&pool, m, k, n, 800 + i as u64);
+        }
     }
 }
 

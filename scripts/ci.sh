@@ -45,4 +45,16 @@ else
   BENCH_GEMM_SIZE=256 BENCH_GEMM_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_gemm
 fi
 
+# Module-level gate: bench_lora asserts in-binary that the fused executor's
+# forward output is bitwise-equal to the reference multi-pass baseline, its
+# gradients agree to tolerance, and the fused step is bitwise reproducible
+# at 1/2/4/8 threads. BENCH_LORA_WRITE=0 keeps the committed full-size
+# results/BENCH_lora.json untouched.
+step "bench_lora fused-vs-reference gate (hidden 128)"
+if [[ "$QUICK" -eq 0 ]]; then
+  BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 cargo run --release -q -p lorafusion-bench --bin bench_lora
+else
+  BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_lora
+fi
+
 step "CI OK"
