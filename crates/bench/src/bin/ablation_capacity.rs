@@ -21,6 +21,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("ablation_capacity");
+
     let cluster = ClusterSpec::h100(4);
     let jobs = Workload::Mixed.jobs(128, 32, 9000);
     let model = ModelPreset::Llama70b;

@@ -21,6 +21,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("ablation_fusion");
+
     let dev = DeviceKind::H100Sxm.spec();
     let cost = CostModel::default();
     let t = TrafficModel::for_device(&dev);

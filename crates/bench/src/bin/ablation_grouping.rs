@@ -23,6 +23,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("ablation_grouping");
+
     let cluster = ClusterSpec::h100(4);
     let jobs = Workload::Heterogeneous.jobs(128, 32, 9500);
 

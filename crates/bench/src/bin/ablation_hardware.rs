@@ -29,6 +29,8 @@ fn module_speedup(dev: &DeviceSpec) -> f64 {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("ablation_hardware");
+
     let mut rows = Vec::new();
     let mut out = Vec::new();
 

@@ -20,6 +20,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("ablation_sched");
+
     let cluster = ClusterSpec::h100(4);
     let jobs = Workload::Mixed.jobs(256, 32, 8000);
 

@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use lorafusion_bench::{fmt, print_table, write_json};
+use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_tensor::matmul::{gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate};
 use lorafusion_tensor::microkernel::Layout;
 use lorafusion_tensor::pool::Pool;
@@ -96,6 +96,8 @@ fn time_config(
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("bench_gemm");
+
     let size: usize = std::env::var("BENCH_GEMM_SIZE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -194,6 +196,11 @@ fn main() {
         rows.iter().all(|r| r.bitwise_equal_to_serial),
         "parallel GEMM diverged from serial output"
     );
+    report::scalar(
+        "bench_gemm.peak_gflops",
+        rows.iter().map(|r| r.gflops).fold(0.0, f64::max),
+    );
+
     let write = std::env::var("BENCH_GEMM_WRITE")
         .map(|v| v != "0" && v.to_lowercase() != "false")
         .unwrap_or(true);

@@ -24,7 +24,7 @@
 
 use std::time::Instant;
 
-use lorafusion_bench::{fmt, print_table, write_json};
+use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_gpu::DeviceKind;
 use lorafusion_kernels::{fused, reference, LoraConfig, LoraLayer, TrafficModel};
 use lorafusion_tensor::ops::all_close;
@@ -82,6 +82,8 @@ fn time_median(reps: usize, mut step: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("bench_lora");
+
     let size: usize = std::env::var("BENCH_LORA_SIZE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -230,6 +232,13 @@ fn main() {
             "bitwise=serial",
         ],
         &table,
+    );
+
+    report::scalar(
+        "bench_lora.best_speedup_vs_reference",
+        rows.iter()
+            .map(|r| r.speedup_vs_reference)
+            .fold(0.0, f64::max),
     );
 
     let write = std::env::var("BENCH_LORA_WRITE")

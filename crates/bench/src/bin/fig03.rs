@@ -45,6 +45,8 @@ fn compiled_forward(shape: Shape, t: &TrafficModel) -> Vec<KernelProfile> {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig03");
+
     let dev = DeviceKind::H100Sxm.spec();
     let cost = CostModel::default();
     let t = TrafficModel::for_device(&dev);

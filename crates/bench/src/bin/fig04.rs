@@ -54,6 +54,8 @@ fn breakdown(pass: &'static str, kernels: &[KernelProfile]) -> Breakdown {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig04");
+
     let dev = DeviceKind::H100Sxm.spec();
     let t = TrafficModel::for_device(&dev);
     let shape = Shape::new(8192, 4096, 4096, 16);

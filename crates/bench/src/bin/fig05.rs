@@ -28,6 +28,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig05");
+
     let cluster = ClusterSpec::h100(4);
     let dist = LengthDistribution::Fixed { len: 512 };
 

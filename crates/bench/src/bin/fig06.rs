@@ -26,6 +26,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig06");
+
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for preset in [DatasetPreset::CnnDailyMail, DatasetPreset::Mixed] {

@@ -27,6 +27,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig07");
+
     let cluster = ClusterSpec::h100(4);
     let mut rows = Vec::new();
     let mut out = Vec::new();

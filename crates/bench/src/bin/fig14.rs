@@ -1,7 +1,7 @@
 //! Figure 14: end-to-end throughput of training 4 LoRA adapters on H100
 //! GPUs — three models, five workloads, four systems.
 
-use lorafusion_bench::{fmt, geomean, print_table, write_json, Workload};
+use lorafusion_bench::{fmt, geomean, print_table, report, write_json, Workload};
 use lorafusion_dist::baselines::{evaluate_system, SystemKind};
 use lorafusion_dist::cluster::ClusterSpec;
 use lorafusion_dist::model_config::ModelPreset;
@@ -61,6 +61,8 @@ lorafusion_bench::impl_to_json!(Cell {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig14");
+
     let settings = [
         (ModelPreset::Llama8b, 1usize),
         (ModelPreset::Qwen32b, 2),
@@ -158,20 +160,21 @@ fn main() {
             vs_mlora.push(lf.tokens_per_second / ml.tokens_per_second);
         }
     }
-    println!(
-        "\nLoRAFusion vs best Megatron: mean {:.2}x (max {:.2}x); vs mLoRA: mean {:.2}x (max {:.2}x)",
-        geomean(&vs_megatron),
+    println!();
+    report::scalar("fig14.speedup_vs_megatron.mean", geomean(&vs_megatron));
+    report::scalar(
+        "fig14.speedup_vs_megatron.max",
         vs_megatron.iter().cloned().fold(0.0, f64::max),
-        geomean(&vs_mlora),
+    );
+    report::scalar("fig14.speedup_vs_mlora.mean", geomean(&vs_mlora));
+    report::scalar(
+        "fig14.speedup_vs_mlora.max",
         vs_mlora.iter().cloned().fold(0.0, f64::max),
     );
     println!("Paper: up to 1.96x (avg 1.47x) vs Megatron-LM; up to 1.46x (avg 1.29x) vs mLoRA.");
+    // Hits/misses live on the metrics registry ("layer_cost.cache_*");
+    // report the derived rate alongside them.
     let cache = lorafusion_dist::layer_cost::cost_cache_stats();
-    println!(
-        "Layer-cost cache: {} hits / {} misses ({:.1}% hit rate)",
-        cache.hits,
-        cache.misses,
-        cache.hit_rate() * 100.0
-    );
+    report::scalar("layer_cost.cache.hit_rate", cache.hit_rate());
     write_json("fig14", &out);
 }

@@ -59,6 +59,8 @@ lorafusion_bench::impl_to_json!(Cell {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig15");
+
     let settings = [(ModelPreset::Llama8b, 1usize), (ModelPreset::Qwen32b, 4)];
     let mut out = Vec::new();
     let mut speedups = Vec::new();

@@ -23,6 +23,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig16");
+
     let model = ModelPreset::Llama70b;
     let mut rows = Vec::new();
     let mut out = Vec::new();

@@ -35,6 +35,8 @@ fn retag(mut ks: Vec<KernelProfile>, adapters: u32) -> Vec<KernelProfile> {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig17");
+
     let dev = DeviceKind::H100Sxm.spec();
     let cost = CostModel::default();
     let t = TrafficModel::for_device(&dev);

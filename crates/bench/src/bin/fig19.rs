@@ -30,6 +30,8 @@ fn totals(ks: &[KernelProfile]) -> (u64, u64) {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig19");
+
     let dev = DeviceKind::H100Sxm.spec();
     let t = TrafficModel::for_device(&dev);
     let shapes = [

@@ -31,6 +31,8 @@ fn jobs(n_adapters: usize) -> Vec<AdapterJob> {
 }
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig20");
+
     let cluster = ClusterSpec::h100(4);
     let model = ModelPreset::Llama70b;
     let mut rows = Vec::new();

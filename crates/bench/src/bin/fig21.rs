@@ -24,6 +24,8 @@ lorafusion_bench::impl_to_json!(Row {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig21");
+
     let cluster = ClusterSpec::h100(4);
     let mut rows = Vec::new();
     let mut out = Vec::new();

@@ -19,6 +19,8 @@ lorafusion_bench::impl_to_json!(Bar {
 });
 
 fn main() {
+    let _report = lorafusion_bench::report::init_guard("fig22");
+
     let cluster = ClusterSpec::h100(4);
     let jobs = Workload::Mixed.jobs(128, 32, 7000);
     let fixed = Batching::FixedSamples { samples: 4 };

@@ -1,0 +1,95 @@
+//! Validates a Chrome/Perfetto `trace.json` produced by
+//! `lorafusion-trace` (or any conforming trace-event file).
+//!
+//! Usage: `trace_validate <trace.json> [--require-counters N]
+//! [--require-sim] [--require-idle]`
+//!
+//! Parses the file with the in-tree JSON parser, checks every event
+//! against the trace-event schema (`ph`/`ts`/`dur`/`pid`/`tid`, counter
+//! `args`, metadata `args.name`), prints the track/event census and
+//! exits nonzero on any violation — `scripts/ci.sh` runs it over the
+//! trace emitted by the `bench_lora` gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lorafusion_trace::validate::validate_trace_file;
+
+fn main() -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut require_counters = 0usize;
+    let mut require_sim = false;
+    let mut require_idle = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require-counters" => {
+                require_counters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--require-counters takes an integer");
+            }
+            "--require-sim" => require_sim = true,
+            "--require-idle" => require_idle = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: trace_validate <trace.json> \
+                     [--require-counters N] [--require-sim] [--require-idle]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if path.replace(PathBuf::from(other)).is_some() {
+                    eprintln!("trace_validate: more than one input file given");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_validate <trace.json> [--require-counters N] ...");
+        return ExitCode::FAILURE;
+    };
+
+    let stats = match validate_trace_file(&path) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("{}: INVALID: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{}: valid Chrome trace", path.display());
+    println!("  events            {}", stats.events);
+    println!("  complete (ph=X)   {}", stats.complete_events);
+    println!("  counter (ph=C)    {}", stats.counter_events);
+    println!("  metadata (ph=M)   {}", stats.meta_events);
+    println!("  sim kernel events {}", stats.sim_kernel_events);
+    println!("  idle events       {}", stats.idle_events);
+    println!("  counter tracks    {}", stats.counter_tracks);
+    println!("  processes         {:?}", stats.pids);
+    println!("  span tracks       {}", stats.tids.len());
+
+    let mut failed = false;
+    if stats.counter_tracks < require_counters {
+        eprintln!(
+            "FAIL: {} counter tracks, required {require_counters}",
+            stats.counter_tracks
+        );
+        failed = true;
+    }
+    if require_sim && stats.sim_kernel_events == 0 {
+        eprintln!("FAIL: no simulated kernel events");
+        failed = true;
+    }
+    if require_idle && stats.idle_events == 0 {
+        eprintln!("FAIL: no idle events");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

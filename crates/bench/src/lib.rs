@@ -14,6 +14,7 @@ use lorafusion_sched::AdapterJob;
 
 pub mod harness;
 pub mod json;
+pub mod report;
 
 pub use harness::{Bench, CaseResult};
 pub use json::{Json, ToJson};

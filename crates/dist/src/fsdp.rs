@@ -65,6 +65,7 @@ pub fn simulate_fsdp_step(
     ranks: &[RankWork],
 ) -> FsdpStepResult {
     let n = ranks.len().max(1);
+    let _span = lorafusion_trace::span!("fsdp.step", ranks = n);
     let link = cluster.bottleneck_link(n);
 
     // Parameter gathers: twice per microbatch (forward and backward

@@ -15,8 +15,9 @@
 //! via [`cost_cache_stats`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+use lorafusion_trace::metrics::{counter, Counter};
 
 use lorafusion_gpu::{CostModel, DeviceSpec, KernelClass, KernelProfile};
 use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
@@ -234,25 +235,42 @@ impl CostCacheStats {
 }
 
 static COST_CACHE: OnceLock<Mutex<HashMap<CostCacheKey, CachedSeconds>>> = OnceLock::new();
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn cost_cache() -> &'static Mutex<HashMap<CostCacheKey, CachedSeconds>> {
     COST_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Hit/miss counters, hosted on the `lorafusion-trace` metrics registry
+/// (`layer_cost.cache_hits` / `layer_cost.cache_misses`) so they show up
+/// in metrics snapshots and Perfetto counter tracks for free.
+fn cache_counters() -> (Counter, Counter) {
+    static CELLS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    *CELLS.get_or_init(|| {
+        (
+            counter("layer_cost.cache_hits"),
+            counter("layer_cost.cache_misses"),
+        )
+    })
+}
+
 /// Current hit/miss counters of the layer-cost cache.
+///
+/// Compatibility shim over the metrics registry; prefer reading the
+/// registry (`lorafusion_trace::metrics::metrics_snapshot`) directly in
+/// new code.
 pub fn cost_cache_stats() -> CostCacheStats {
+    let (hits, misses) = cache_counters();
     CostCacheStats {
-        hits: CACHE_HITS.load(Ordering::Relaxed),
-        misses: CACHE_MISSES.load(Ordering::Relaxed),
+        hits: hits.get(),
+        misses: misses.get(),
     }
 }
 
 /// Resets the hit/miss counters (the cached entries stay valid).
 pub fn reset_cost_cache_stats() {
-    CACHE_HITS.store(0, Ordering::Relaxed);
-    CACHE_MISSES.store(0, Ordering::Relaxed);
+    let (hits, misses) = cache_counters();
+    hits.reset();
+    misses.reset();
 }
 
 /// FNV-1a over the bit patterns of the floats that shape kernel costs.
@@ -344,15 +362,16 @@ pub fn microbatch_cost(
         device: device.name,
         env_bits: env_fingerprint(device, cost, traffic),
     };
+    let (cache_hits, cache_misses) = cache_counters();
     let cached = {
         let mut cache = cost_cache().lock().unwrap();
         match cache.get(&key) {
             Some(entry) => {
-                CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                cache_hits.incr();
                 *entry
             }
             None => {
-                CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                cache_misses.incr();
                 let entry =
                     compute_cached_seconds(cfg, strategy, tokens, rank, device, cost, traffic);
                 cache.insert(key, entry);

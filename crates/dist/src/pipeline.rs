@@ -12,6 +12,8 @@
 //!   spacing (including no-op microbatches) makes non-blocking in the
 //!   steady state.
 
+use lorafusion_gpu::Timeline;
+
 /// One microbatch to execute.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineJob {
@@ -108,6 +110,42 @@ impl PipelineResult {
 }
 
 impl PipelineResult {
+    /// Replays the execution trace into one [`Timeline`] per stage, so the
+    /// simulated ranks get the same event/idle-gap accounting as any other
+    /// simulated device. Trace events are chronological per stage, so each
+    /// `wait_until(start)` records the exact inter-task gap as an explicit
+    /// [`lorafusion_gpu::IdleGap`]; a final `wait_until(makespan)` turns
+    /// flush/optimizer tail time into idle as well. The mean per-stage
+    /// [`Timeline::idle_ratio_from_events`] therefore equals
+    /// [`PipelineResult::bubble_ratio`].
+    pub fn stage_timelines(&self) -> Vec<Timeline> {
+        let stages = self.per_stage_busy.len();
+        let mut timelines: Vec<Timeline> = (0..stages).map(|_| Timeline::new()).collect();
+        for e in &self.trace {
+            let tl = &mut timelines[e.stage];
+            tl.wait_until(e.start);
+            tl.push(
+                format!("{}{}", if e.forward { "F" } else { "B" }, e.microbatch),
+                e.end - e.start,
+            );
+        }
+        for tl in timelines.iter_mut() {
+            tl.wait_until(self.makespan);
+        }
+        timelines
+    }
+
+    /// Exports the per-stage timelines onto the global trace as simulated
+    /// GPU tracks (one per stage). No-op when tracing is disabled.
+    pub fn export_to_trace(&self, label: &str) {
+        if !lorafusion_trace::enabled() {
+            return;
+        }
+        for (stage, tl) in self.stage_timelines().into_iter().enumerate() {
+            tl.export_to_trace(&format!("{label} stage{stage}"));
+        }
+    }
+
     /// Throughput in tokens per second.
     pub fn tokens_per_second(&self) -> f64 {
         if self.makespan <= 0.0 {
@@ -133,6 +171,7 @@ pub fn simulate_pipeline(
 ) -> PipelineResult {
     let s = opts.stages.max(1);
     let n = jobs.len();
+    let _span = lorafusion_trace::span!("pipeline.simulate", stages = s, microbatches = n);
     assert_eq!(
         flush_groups.iter().sum::<usize>(),
         n,
@@ -287,13 +326,20 @@ pub fn simulate_pipeline(
     } else {
         0.0
     };
-    PipelineResult {
+    let result = PipelineResult {
         makespan,
         per_stage_busy: busy,
         bubble_ratio,
         tokens: jobs.iter().map(|j| j.tokens).sum(),
         trace,
+    };
+    if lorafusion_trace::enabled() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static RUNS: AtomicU64 = AtomicU64::new(0);
+        let run = RUNS.fetch_add(1, Ordering::Relaxed);
+        result.export_to_trace(&format!("pipeline#{run}"));
     }
+    result
 }
 
 #[cfg(test)]
@@ -424,6 +470,38 @@ mod tests {
         let r = simulate_pipeline(&jobs, &[9], &opts);
         assert_eq!(r.tokens, 8000);
         assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn idle_events_reproduce_bubble_ratio() {
+        // The aggregate bubble ratio (cursor arithmetic) must be exactly
+        // reproducible from the explicit idle events of the replayed
+        // per-stage timelines — flushed mode included, where the optimizer
+        // tail shows up as trailing idle gaps.
+        let stages = 4usize;
+        let jobs = uniform_jobs(8, stages, 1.0, 2.0);
+        let opts = PipelineOptions {
+            stages,
+            comm_seconds: 0.1,
+            optimizer_seconds: 0.5,
+        };
+        let r = simulate_pipeline(&jobs, &[4, 4], &opts);
+        let timelines = r.stage_timelines();
+        assert_eq!(timelines.len(), stages);
+        let mean_idle = timelines
+            .iter()
+            .map(|t| t.idle_ratio_from_events())
+            .sum::<f64>()
+            / stages as f64;
+        assert!(
+            (mean_idle - r.bubble_ratio).abs() < 1e-9,
+            "idle-event bubble {mean_idle} != cursor bubble {}",
+            r.bubble_ratio
+        );
+        for (tl, &busy) in timelines.iter().zip(&r.per_stage_busy) {
+            assert!((tl.makespan() - r.makespan).abs() < 1e-9);
+            assert!((tl.idle_total() - (r.makespan - busy)).abs() < 1e-9);
+        }
     }
 
     #[test]

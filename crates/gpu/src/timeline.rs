@@ -30,11 +30,32 @@ impl TimelineEvent {
     }
 }
 
+/// One idle gap on a stream: the interval a `wait_until` skipped over.
+/// Idle is first-class so bubble ratios can be computed from explicit
+/// events rather than reconstructed from cursor arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IdleGap {
+    /// Gap start in seconds (the cursor before the wait).
+    pub start: f64,
+    /// Gap end in seconds (the waited-for time).
+    pub end: f64,
+}
+
+impl IdleGap {
+    /// Gap duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
 /// A single-stream execution record.
 #[derive(Debug, Clone, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Timeline {
     events: Vec<TimelineEvent>,
+    idle: Vec<IdleGap>,
     cursor: f64,
 }
 
@@ -50,9 +71,14 @@ impl Timeline {
         self.cursor
     }
 
-    /// Advances the cursor to `time` if it is later, recording idle time.
+    /// Advances the cursor to `time` if it is later, recording the
+    /// skipped interval as an explicit [`IdleGap`].
     pub fn wait_until(&mut self, time: f64) {
         if time > self.cursor {
+            self.idle.push(IdleGap {
+                start: self.cursor,
+                end: time,
+            });
             self.cursor = time;
         }
     }
@@ -103,6 +129,45 @@ impl Timeline {
             return 0.0;
         }
         1.0 - self.busy() / self.cursor
+    }
+
+    /// All recorded idle gaps in execution order.
+    pub fn idle_gaps(&self) -> &[IdleGap] {
+        &self.idle
+    }
+
+    /// Sum of explicit idle-gap durations. Because the cursor only
+    /// advances through `push` (busy) or `wait_until` (a recorded
+    /// gap), this equals `makespan() - busy()` up to rounding.
+    pub fn idle_total(&self) -> f64 {
+        self.idle.iter().map(IdleGap::duration).sum()
+    }
+
+    /// Bubble ratio computed purely from the explicit idle events,
+    /// with no cursor arithmetic: `idle_total / makespan`.
+    pub fn idle_ratio_from_events(&self) -> f64 {
+        if self.cursor <= 0.0 {
+            return 0.0;
+        }
+        self.idle_total() / self.cursor
+    }
+
+    /// Exports this timeline as one simulated-stream track labelled
+    /// `label` in the process trace: kernels as `sim` events, gaps as
+    /// `idle` events (simulated seconds become trace microseconds).
+    /// No-op when tracing is disabled.
+    pub fn export_to_trace(&self, label: &str) {
+        use lorafusion_trace::sim;
+        let track = sim::sim_track(label);
+        if !track.is_live() {
+            return;
+        }
+        for e in &self.events {
+            sim::sim_complete(track, &e.name, e.start * 1e6, e.duration() * 1e6);
+        }
+        for gap in &self.idle {
+            sim::sim_idle(track, gap.start * 1e6, gap.duration() * 1e6);
+        }
     }
 }
 
@@ -184,6 +249,37 @@ mod tests {
         t.push("a", 2.0);
         t.wait_until(1.0);
         assert_eq!(t.now(), 2.0);
+        // A backwards wait records no idle gap.
+        assert!(t.idle_gaps().is_empty());
+    }
+
+    #[test]
+    fn wait_until_records_explicit_idle_gaps() {
+        let mut t = Timeline::new();
+        t.push("a", 1.0);
+        t.wait_until(3.0);
+        t.push("b", 1.0);
+        t.wait_until(4.5);
+        assert_eq!(t.idle_gaps().len(), 2);
+        assert_eq!(
+            t.idle_gaps()[0],
+            IdleGap {
+                start: 1.0,
+                end: 3.0
+            }
+        );
+        assert_eq!(
+            t.idle_gaps()[1],
+            IdleGap {
+                start: 4.0,
+                end: 4.5
+            }
+        );
+        assert!((t.idle_total() - 2.5).abs() < 1e-12);
+        // The explicit-event bubble ratio must agree with the cursor
+        // arithmetic the Fig. 20 path uses.
+        assert!((t.idle_ratio_from_events() - t.idle_ratio()).abs() < 1e-12);
+        assert!((t.idle_total() - (t.makespan() - t.busy())).abs() < 1e-12);
     }
 
     #[test]

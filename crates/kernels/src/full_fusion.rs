@@ -110,6 +110,7 @@ pub fn forward(
     dropout_row_offset: usize,
     t: &TrafficModel,
 ) -> Result<ForwardOutput> {
+    let _span = lorafusion_trace::span!("full_fusion.forward", m = x.rows());
     let mut out = fused::forward(layer, x, dropout_row_offset, t)?;
     let shape = Shape::new(x.rows(), layer.k(), layer.n(), layer.rank());
     out.kernels = forward_profiles_recompute(shape, t);
@@ -126,6 +127,7 @@ pub fn backward(
     dy: &Matrix,
     t: &TrafficModel,
 ) -> Result<BackwardOutput> {
+    let _span = lorafusion_trace::span!("full_fusion.backward", m = dy.rows());
     fused::backward(layer, saved, dy, t)
 }
 

@@ -232,6 +232,7 @@ impl Workspace {
         x: &Matrix,
         dropout_row_offset: usize,
     ) -> Result<()> {
+        let _span = lorafusion_trace::span!("fused.forward", m = x.rows(), k = x.cols());
         let cfg = layer.adapter.config;
         let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(dropout_row_offset);
         self.spec = spec;
@@ -319,6 +320,7 @@ fn backward_core(
     da: &mut Matrix,
     db: &mut Matrix,
 ) -> Result<()> {
+    let _span = lorafusion_trace::span!("fused.backward", m = dy.rows(), n = dy.cols());
     let cfg = layer.adapter.config;
 
     // K3: dS and dB with alpha folded into the `Scaled` tile store — the

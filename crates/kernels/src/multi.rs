@@ -327,6 +327,7 @@ pub fn forward(
     segments: &[Segment],
     t: &TrafficModel,
 ) -> Result<ForwardOutput> {
+    let _span = lorafusion_trace::span!("multi.forward", m = x.rows(), segments = segments.len());
     validate_segments(segments, x.rows(), layer.adapters.len())?;
     let (k, n) = (layer.k(), layer.n());
 
@@ -349,6 +350,8 @@ pub fn forward(
     let current = pool::current();
     let per_segment = pool::parallel_map(current, segments.len(), |idx| -> Result<_> {
         let seg = &segments[idx];
+        let _span =
+            lorafusion_trace::span!("multi.segment", adapter = seg.adapter, rows = seg.len());
         let adapter = &layer.adapters[seg.adapter];
         let cfg = adapter.config;
         let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(seg.dropout_row_offset);
@@ -429,6 +432,11 @@ pub fn backward(
     dy: &Matrix,
     t: &TrafficModel,
 ) -> Result<BackwardOutput> {
+    let _span = lorafusion_trace::span!(
+        "multi.backward",
+        m = dy.rows(),
+        segments = saved.segments.len()
+    );
     validate_segments(&saved.segments, dy.rows(), layer.adapters.len())?;
     let (k, n) = (layer.k(), layer.n());
 
@@ -448,6 +456,8 @@ pub fn backward(
     let current = pool::current();
     let per_segment = pool::parallel_map(current, saved.segments.len(), |idx| -> Result<_> {
         let seg = &saved.segments[idx];
+        let _span =
+            lorafusion_trace::span!("multi.segment", adapter = seg.adapter, rows = seg.len());
         let adapter = &layer.adapters[seg.adapter];
         let cfg = adapter.config;
         let r = cfg.rank;

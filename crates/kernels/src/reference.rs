@@ -205,6 +205,7 @@ pub fn forward(
     dropout_row_offset: usize,
     t: &TrafficModel,
 ) -> Result<ForwardOutput> {
+    let _span = lorafusion_trace::span!("reference.forward", m = x.rows(), k = x.cols());
     let cfg = layer.adapter.config;
     let spec = DropoutSpec::new(cfg.dropout, cfg.seed).with_row_offset(dropout_row_offset);
     let y1 = matmul_nn(x, &layer.w)?;
@@ -236,6 +237,7 @@ pub fn backward(
     dy: &Matrix,
     t: &TrafficModel,
 ) -> Result<BackwardOutput> {
+    let _span = lorafusion_trace::span!("reference.backward", m = dy.rows(), n = dy.cols());
     let cfg = layer.adapter.config;
     let dy2 = scale(cfg.alpha, dy);
     let ds = matmul_nt(&dy2, &layer.adapter.b)?;

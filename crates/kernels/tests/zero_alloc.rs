@@ -7,6 +7,12 @@
 //! global allocator and asserts *zero* allocations and *zero* arena
 //! growth events for a warmed step.
 //!
+//! The step is instrumented with `lorafusion-trace` spans and registry
+//! counters, so this gate also proves the *disabled*-tracing path costs
+//! nothing on the heap: span guards must be inert and counter handles
+//! must be resolved (and their one-time registration allocations paid)
+//! during warm-up, never in the steady state.
+//!
 //! It lives in its own test binary so the global allocator cannot count
 //! unrelated tests running on sibling threads.
 
@@ -62,6 +68,11 @@ fn steady_state_step_performs_no_heap_allocation() {
     let x = Matrix::random_uniform(64, 96, 1.0, &mut rng);
     let dy = Matrix::random_uniform(64, 80, 1.0, &mut rng);
 
+    // Tracing must be off: this gate covers the disabled path that every
+    // production step takes when LORAFUSION_TRACE is unset.
+    lorafusion_trace::disable();
+    assert!(!lorafusion_trace::enabled());
+
     // The serial pool dispatches inline; multi-threaded dispatch allocates
     // job state inside the pool (outside the per-layer numeric path this
     // gate covers).
@@ -70,7 +81,8 @@ fn steady_state_step_performs_no_heap_allocation() {
         let mut ws = fused::Workspace::new();
 
         // Warm up: first steps size the workspace tensors and the packing
-        // arena; a second round proves sizing is stable.
+        // arena, and resolve the trace counter handles (their one-time
+        // registration allocates); a second round proves sizing is stable.
         for _ in 0..2 {
             ws.forward_into(&layer, &x, 0).unwrap();
             ws.backward_into(&layer, &dy).unwrap();
@@ -79,8 +91,12 @@ fn steady_state_step_performs_no_heap_allocation() {
         let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
         let growth_before = lorafusion_tensor::arena::growth_events();
 
-        ws.forward_into(&layer, &x, 0).unwrap();
-        ws.backward_into(&layer, &dy).unwrap();
+        // A disabled span guard in the measured region must be free.
+        {
+            let _span = lorafusion_trace::span!("zero_alloc.step", m = x.rows());
+            ws.forward_into(&layer, &x, 0).unwrap();
+            ws.backward_into(&layer, &dy).unwrap();
+        }
 
         let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
         let growth = lorafusion_tensor::arena::growth_events() - growth_before;

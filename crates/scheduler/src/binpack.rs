@@ -122,6 +122,13 @@ pub fn two_stage_milp_packing(
     if num_s * num_b + num_a * num_b + num_b > MAX_MILP_VARS {
         // The full model would only burn the timeout; go straight to the
         // neighborhood matheuristic over the smallest bins.
+        {
+            use std::sync::OnceLock;
+            static SKIPS: OnceLock<lorafusion_trace::metrics::Counter> = OnceLock::new();
+            SKIPS
+                .get_or_init(|| lorafusion_trace::metrics::counter("scheduler.milp_skipped_vars"))
+                .incr();
+        }
         let greedy_min = greedy
             .iter()
             .map(|m| bin_tokens(&m.entries, padding))

@@ -65,6 +65,7 @@ pub fn schedule_jobs(
     config: &SchedulerConfig,
 ) -> Result<Schedule, SchedulerError> {
     let start = Instant::now();
+    let _span = lorafusion_trace::span!("scheduler.schedule", jobs = jobs.len());
     if jobs.is_empty() {
         return Err(SchedulerError::NoJobs);
     }
@@ -179,6 +180,26 @@ pub fn schedule_jobs(
             stats_out.milp_optimal += 1;
         }
         schedule.extend(bins);
+    }
+
+    {
+        use lorafusion_trace::metrics::{counter, Counter};
+        use std::sync::OnceLock;
+        static CELLS: OnceLock<(Counter, Counter, Counter)> = OnceLock::new();
+        let (packings, selected, fallback) = *CELLS.get_or_init(|| {
+            (
+                counter("scheduler.packings"),
+                counter("scheduler.milp_selected"),
+                counter("scheduler.milp_fallback"),
+            )
+        });
+        packings.add(stats_out.packings as u64);
+        selected.add(stats_out.milp_selected as u64);
+        if config.use_milp {
+            // Packings where the MILP ran (or was skipped on size) but the
+            // greedy result won anyway.
+            fallback.add((stats_out.packings - stats_out.milp_selected) as u64);
+        }
     }
 
     // 4. Merge pass.

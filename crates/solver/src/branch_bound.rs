@@ -43,6 +43,11 @@ impl Default for MilpOptions {
 /// node cap expired first, and [`Status::Infeasible`] when no feasible
 /// point was found.
 pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, SolverError> {
+    let _span = lorafusion_trace::span!(
+        "solver.milp",
+        vars = problem.num_vars(),
+        constraints = problem.num_constraints()
+    );
     problem.validate()?;
     let deadline = Instant::now() + options.timeout;
 
@@ -98,6 +103,13 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, 
             break;
         }
         explored += 1;
+        {
+            use std::sync::OnceLock;
+            static NODES: OnceLock<lorafusion_trace::metrics::Counter> = OnceLock::new();
+            NODES
+                .get_or_init(|| lorafusion_trace::metrics::counter("solver.bb.nodes"))
+                .incr();
+        }
 
         // Prune by bound.
         if let Some(inc) = &incumbent {

@@ -66,6 +66,16 @@ impl Scratch {
         });
         if buf.capacity() < len {
             GROWTH_EVENTS.with(|c| c.set(c.get() + 1));
+            // Process-wide view of the same signal for the metrics
+            // registry; the thread-local stays authoritative for the
+            // per-thread zero-alloc assertions.
+            {
+                use std::sync::OnceLock;
+                static GROWTHS: OnceLock<lorafusion_trace::metrics::Counter> = OnceLock::new();
+                GROWTHS
+                    .get_or_init(|| lorafusion_trace::metrics::counter("arena.growths"))
+                    .incr();
+            }
             buf.reserve_exact(len - buf.len());
         }
         // `resize` only writes the grown tail; reused capacity keeps its

@@ -28,7 +28,38 @@ use crate::pool::{self, Pool};
 use crate::tensor::Matrix;
 use crate::Result;
 
+use lorafusion_trace::metrics::{counter, histogram, Counter, Histogram};
+use lorafusion_trace::span::{span_guard, Cat, SpanGuard};
+
 pub use crate::microkernel::{Epilogue, Layout, Prologue, KC, MC, MR, NC, NR};
+
+/// Opens the per-call GEMM span and bumps the registry metrics. One
+/// `OnceLock` resolve plus two relaxed atomic adds; the span guard is
+/// inert when tracing is disabled.
+fn gemm_trace(layout: Layout, m: usize, k: usize, n: usize) -> SpanGuard {
+    static METRICS: std::sync::OnceLock<(Counter, Histogram)> = std::sync::OnceLock::new();
+    let (calls, m_tokens) = METRICS.get_or_init(|| {
+        (
+            counter("gemm.calls"),
+            histogram(
+                "gemm.m.tokens",
+                &[64, 128, 256, 512, 1024, 2048, 4096, 8192],
+            ),
+        )
+    });
+    calls.incr();
+    m_tokens.record(m as u64);
+    let name = match layout {
+        Layout::Nn => "gemm.nn",
+        Layout::Nt => "gemm.nt",
+        Layout::Tn => "gemm.tn",
+    };
+    span_guard(
+        name,
+        Cat::Work,
+        &[("m", m as u64), ("k", k as u64), ("n", n as u64)],
+    )
+}
 
 /// Accumulation mode for a GEMM call — the pre-fusion subset of
 /// [`Epilogue`], kept as the concise spelling for the common cases.
@@ -142,6 +173,7 @@ pub fn gemm_fused_on(
     };
     check_shapes(op, out_op, a, b, c, (k, kb), (m, n))?;
     check_fusion(&prologue, &epilogue, a.len())?;
+    let _span = gemm_trace(layout, m, k, n);
     microkernel::gemm(
         pool,
         layout,
@@ -203,6 +235,7 @@ pub fn gemm_windows_on(
         }
     }
     check_fusion(&prologue, &epilogue, a.len())?;
+    let _span = gemm_trace(layout, m, k, n);
     microkernel::gemm(pool, layout, alpha, a, b, c, m, k, n, prologue, epilogue);
     Ok(())
 }

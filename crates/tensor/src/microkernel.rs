@@ -366,6 +366,13 @@ fn pack_parallel(
     strip_len: usize,
     pack_strip: &(dyn Fn(usize, &mut [f32]) + Sync),
 ) {
+    {
+        use std::sync::OnceLock;
+        static PANELS: OnceLock<lorafusion_trace::metrics::Counter> = OnceLock::new();
+        PANELS
+            .get_or_init(|| lorafusion_trace::metrics::counter("gemm.panels_packed"))
+            .add(strips as u64);
+    }
     if pool.threads() <= 1 || strips <= 1 {
         for s in 0..strips {
             pack_strip(s, &mut out[s * strip_len..(s + 1) * strip_len]);
@@ -570,6 +577,9 @@ pub(crate) fn gemm(
         let bj = t % j_blocks;
         let i_lo = bi * MC;
         let j_lo = bj * NC;
+        // Task-category span: macro-tile execution is where the real
+        // FLOPs happen, so Perfetto occupancy comes from these.
+        let _tile = lorafusion_trace::task_span!("gemm.macro_tile", bi = bi, bj = bj);
         macro_tile(
             apack,
             bpack,

@@ -30,6 +30,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
+use lorafusion_trace::metrics::{counter, Counter};
+use lorafusion_trace::task_span;
+
+/// Registry counters for dispatched jobs/tasks, resolved once so the
+/// hot path is two relaxed atomic adds.
+fn pool_counters() -> (Counter, Counter) {
+    static CELLS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    *CELLS.get_or_init(|| (counter("pool.jobs"), counter("pool.tasks")))
+}
+
 thread_local! {
     /// True on pool worker threads and on submitters while they execute
     /// tasks: any nested `run` goes inline instead of re-entering the pool.
@@ -57,6 +67,10 @@ struct JobState {
     /// Tasks not yet finished.
     remaining: AtomicUsize,
     panicked: AtomicBool,
+    /// Span open on the submitting thread when the job was enqueued;
+    /// installed as the *logical* parent of task-side spans so the
+    /// span tree reflects call structure, not thread assignment.
+    trace_parent: u64,
 }
 
 // SAFETY: the pointee is `Sync`, and `f` is only dereferenced for claimed
@@ -156,6 +170,9 @@ impl Pool {
         if n == 0 {
             return;
         }
+        let (jobs, tasks) = pool_counters();
+        jobs.incr();
+        tasks.add(n as u64);
         if self.threads <= 1 || n == 1 || IN_POOL.with(Cell::get) {
             for i in 0..n {
                 f(i);
@@ -176,6 +193,11 @@ impl Pool {
             next: AtomicUsize::new(0),
             remaining: AtomicUsize::new(n),
             panicked: AtomicBool::new(false),
+            trace_parent: if lorafusion_trace::enabled() {
+                lorafusion_trace::span::current_span_id()
+            } else {
+                0
+            },
         });
         {
             let mut slot = lock_recover(&self.shared.slot);
@@ -244,6 +266,9 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn execute_tasks(shared: &Shared, job: &JobState) {
+    // Task-side spans attach under the submitter's span regardless of
+    // which thread claims the task (see `JobState::trace_parent`).
+    let _inherit = lorafusion_trace::span::inherit_parent(job.trace_parent);
     loop {
         let i = job.next.fetch_add(1, Ordering::Relaxed);
         if i >= job.n {
@@ -252,7 +277,11 @@ fn execute_tasks(shared: &Shared, job: &JobState) {
         // SAFETY: `i < n` was claimed, so the job is not yet complete and
         // the submitter still keeps the closure alive.
         let f = unsafe { &*job.f };
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).is_err() {
+        let run_task = || {
+            let _task = task_span!("pool.task", index = i);
+            f(i);
+        };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(run_task)).is_err() {
             job.panicked.store(true, Ordering::Relaxed);
         }
         if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {

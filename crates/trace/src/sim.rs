@@ -1,0 +1,133 @@
+//! Simulated-GPU tracks: the event-driven simulators (pipeline stages,
+//! `gpu::Timeline` streams) register one track per stream and replay
+//! their kernel / idle intervals here; the Chrome exporter renders
+//! them as a second Perfetto process alongside the real CPU threads.
+//!
+//! Simulated time is seconds from the simulator's own epoch; callers
+//! convert to microseconds. Both the track count and the total event
+//! count are capped — fig14 alone runs dozens of pipeline simulations
+//! with thousands of events each — and every drop is counted in the
+//! metrics registry (`trace.sim.tracks_dropped`,
+//! `trace.sim.events_dropped`), never silent.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::counter;
+
+/// Handle to one simulated stream track. A dropped handle (track cap
+/// reached or tracing disabled) swallows its events.
+#[derive(Debug, Clone, Copy)]
+pub struct SimTrack {
+    tid: u64,
+}
+
+impl SimTrack {
+    pub fn is_live(&self) -> bool {
+        self.tid != 0
+    }
+}
+
+/// One simulated interval (kernel execution or idle gap).
+#[derive(Debug, Clone)]
+pub struct SimEvent {
+    /// 1-based track ordinal (tid within the sim process).
+    pub track: u64,
+    pub name: String,
+    pub start_us: f64,
+    pub dur_us: f64,
+    pub idle: bool,
+}
+
+fn tracks() -> &'static Mutex<Vec<String>> {
+    static TRACKS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    TRACKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn events() -> &'static Mutex<Vec<SimEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<SimEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+const MAX_SIM_TRACKS: usize = 128;
+const MAX_SIM_EVENTS: usize = 250_000;
+
+/// Register a simulated stream track labelled `label`. Returns a dead
+/// handle when tracing is disabled or the track cap is hit.
+pub fn sim_track(label: &str) -> SimTrack {
+    if !crate::enabled() {
+        return SimTrack { tid: 0 };
+    }
+    let mut tracks = tracks().lock().unwrap();
+    if tracks.len() >= MAX_SIM_TRACKS {
+        counter("trace.sim.tracks_dropped").incr();
+        return SimTrack { tid: 0 };
+    }
+    tracks.push(label.to_owned());
+    SimTrack {
+        tid: tracks.len() as u64,
+    }
+}
+
+fn push(track: SimTrack, name: &str, start_us: f64, dur_us: f64, idle: bool) {
+    if !track.is_live() {
+        return;
+    }
+    let mut events = events().lock().unwrap();
+    if events.len() >= MAX_SIM_EVENTS {
+        drop(events);
+        counter("trace.sim.events_dropped").incr();
+        return;
+    }
+    events.push(SimEvent {
+        track: track.tid,
+        name: name.to_owned(),
+        start_us,
+        dur_us,
+        idle,
+    });
+}
+
+/// Record one simulated kernel interval on `track`.
+pub fn sim_complete(track: SimTrack, name: &str, start_us: f64, dur_us: f64) {
+    push(track, name, start_us, dur_us, false);
+}
+
+/// Record one simulated idle gap (pipeline bubble) on `track`.
+pub fn sim_idle(track: SimTrack, start_us: f64, dur_us: f64) {
+    push(track, "idle", start_us, dur_us, true);
+}
+
+/// Snapshot of the registered track labels, in tid order (tid = index + 1).
+pub fn sim_track_labels() -> Vec<String> {
+    tracks().lock().unwrap().clone()
+}
+
+/// Snapshot of all simulated events (non-destructive).
+pub fn sim_events() -> Vec<SimEvent> {
+    events().lock().unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_and_events_round_trip() {
+        let _serial = crate::test_serial();
+        crate::enable_capture();
+        let track = sim_track("test stream 0");
+        assert!(track.is_live());
+        sim_complete(track, "k1", 0.0, 10.0);
+        sim_idle(track, 10.0, 2.5);
+        let events = sim_events();
+        let mine: Vec<_> = events.iter().filter(|e| e.track == track.tid).collect();
+        assert_eq!(mine.len(), 2);
+        assert!(!mine[0].idle);
+        assert_eq!(mine[1].name, "idle");
+        assert!(mine[1].idle);
+        crate::disable();
+        let dead = sim_track("while disabled");
+        assert!(!dead.is_live());
+        sim_complete(dead, "ignored", 0.0, 1.0);
+    }
+}

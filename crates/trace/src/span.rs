@@ -1,0 +1,380 @@
+//! Span capture: RAII guards, thread-local buffers, logical parents.
+//!
+//! Every thread that records a span lazily registers a buffer in a
+//! global registry; guards push a completed [`SpanEvent`] into their
+//! own thread's buffer on drop, so the hot path never contends on a
+//! shared lock (each buffer's mutex is only ever locked by its owner
+//! thread until export).
+//!
+//! Parentage is *logical*, not physical: a span's parent is the
+//! innermost open span on the same thread, or — when the thread is a
+//! pool worker running a task — the span that was open on the
+//! *submitting* thread when the job was enqueued (installed via
+//! [`inherit_parent`] by `lorafusion-tensor`'s pool). This is what
+//! makes [`Cat::Work`] span trees deterministic at any thread count.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Span category. `Work` spans are part of the deterministic span
+/// structure contract; `Task` spans (pool tasks, macro-tiles) depend
+/// on the thread count and exist for Perfetto occupancy only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cat {
+    Work,
+    Task,
+}
+
+impl Cat {
+    pub fn tag(self) -> &'static str {
+        match self {
+            Cat::Work => "work",
+            Cat::Task => "task",
+        }
+    }
+}
+
+/// Maximum number of `key = value` args a span can carry. Fixed so the
+/// guard stays heap-free.
+pub const MAX_ARGS: usize = 4;
+
+/// One completed span interval.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    pub cat: Cat,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Logical parent span id, or 0 for a root span.
+    pub parent: u64,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    args: [(&'static str, u64); MAX_ARGS],
+    nargs: u8,
+}
+
+impl SpanEvent {
+    pub fn arg_slice(&self) -> &[(&'static str, u64)] {
+        &self.args[..self.nargs as usize]
+    }
+}
+
+/// All events recorded by one thread, with its stable track identity.
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    pub tid: u64,
+    pub name: String,
+    pub events: Vec<SpanEvent>,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    name: String,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static INHERIT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_buf() -> Arc<ThreadBuf> {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(buf) = slot.as_ref() {
+            return Arc::clone(buf);
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        let buf = Arc::new(ThreadBuf {
+            tid,
+            name,
+            events: Mutex::new(Vec::new()),
+        });
+        registry().lock().unwrap().push(Arc::clone(&buf));
+        *slot = Some(Arc::clone(&buf));
+        buf
+    })
+}
+
+/// The id of the innermost open span on this thread, falling back to
+/// the inherited logical parent (see [`inherit_parent`]); 0 if none.
+#[inline]
+pub fn current_span_id() -> u64 {
+    let top = STACK.with(|s| s.borrow().last().copied());
+    match top {
+        Some(id) => id,
+        None => INHERIT.with(|c| c.get()),
+    }
+}
+
+/// Restores the previous inherited parent on drop.
+pub struct InheritGuard {
+    prev: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Install `parent` as this thread's logical parent for spans opened
+/// while no local span is on the stack. Used by the worker pool to
+/// stitch task-side spans under the submitter's span.
+pub fn inherit_parent(parent: u64) -> InheritGuard {
+    let prev = INHERIT.with(|c| c.replace(parent));
+    InheritGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for InheritGuard {
+    fn drop(&mut self) {
+        INHERIT.with(|c| c.set(self.prev));
+    }
+}
+
+struct LiveSpan {
+    name: &'static str,
+    cat: Cat,
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+    args: [(&'static str, u64); MAX_ARGS],
+    nargs: u8,
+}
+
+/// RAII span guard returned by [`span_guard`] and the [`span!`] /
+/// [`task_span!`] macros. Not `Send`: a span belongs to the thread
+/// that opened it.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Whether this guard is actually recording (tracing enabled at
+    /// open time).
+    pub fn is_live(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+/// Open a span. Returns an inert guard (no allocation, no thread-local
+/// buffer touch) when tracing is disabled. `args` beyond [`MAX_ARGS`]
+/// are dropped.
+#[inline]
+pub fn span_guard(name: &'static str, cat: Cat, args: &[(&'static str, u64)]) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            live: None,
+            _not_send: PhantomData,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    STACK.with(|s| s.borrow_mut().push(id));
+    let mut packed = [("", 0u64); MAX_ARGS];
+    let nargs = args.len().min(MAX_ARGS);
+    packed[..nargs].copy_from_slice(&args[..nargs]);
+    SpanGuard {
+        live: Some(LiveSpan {
+            name,
+            cat,
+            id,
+            parent,
+            start_ns: crate::now_ns(),
+            args: packed,
+            nargs: nargs as u8,
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let dur_ns = crate::now_ns().saturating_sub(live.start_ns);
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            let buf = local_buf();
+            buf.events.lock().unwrap().push(SpanEvent {
+                name: live.name,
+                cat: live.cat,
+                id: live.id,
+                parent: live.parent,
+                start_ns: live.start_ns,
+                dur_ns,
+                args: live.args,
+                nargs: live.nargs,
+            });
+        }
+    }
+}
+
+/// Open a [`Cat::Work`] span: `span!("gemm.nn")` or
+/// `span!("gemm.nn", m = m, k = k, n = n)` (values cast `as u64`,
+/// at most four).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span_guard($name, $crate::span::Cat::Work, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span::span_guard(
+            $name,
+            $crate::span::Cat::Work,
+            &[$((stringify!($key), $value as u64)),+],
+        )
+    };
+}
+
+/// Open a [`Cat::Task`] span (same syntax as [`span!`]).
+#[macro_export]
+macro_rules! task_span {
+    ($name:expr) => {
+        $crate::span::span_guard($name, $crate::span::Cat::Task, &[])
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span::span_guard(
+            $name,
+            $crate::span::Cat::Task,
+            &[$((stringify!($key), $value as u64)),+],
+        )
+    };
+}
+
+/// Snapshot (clone) every thread's buffered events. Non-destructive,
+/// so [`crate::flush`] can be called repeatedly.
+pub fn all_thread_events() -> Vec<ThreadEvents> {
+    let registry = registry().lock().unwrap();
+    registry
+        .iter()
+        .map(|buf| ThreadEvents {
+            tid: buf.tid,
+            name: buf.name.clone(),
+            events: buf.events.lock().unwrap().clone(),
+        })
+        .collect()
+}
+
+/// Drain every thread's buffered events (destructive; for tests that
+/// compare span trees between runs).
+pub fn drain_all_events() -> Vec<ThreadEvents> {
+    let registry = registry().lock().unwrap();
+    registry
+        .iter()
+        .map(|buf| ThreadEvents {
+            tid: buf.tid,
+            name: buf.name.clone(),
+            events: std::mem::take(&mut *buf.events.lock().unwrap()),
+        })
+        .collect()
+}
+
+/// Collapse [`Cat::Work`] spans into a multiset of `a/b/c` name paths
+/// (Work ancestors only — `Task` links are skipped, not broken).
+///
+/// This is the deterministic shape of an execution: the same program
+/// must produce the same map at any thread count. Call it only after
+/// the spans of interest have closed; still-open ancestors are not in
+/// any buffer yet and truncate the path at that point.
+pub fn work_span_paths(threads: &[ThreadEvents]) -> BTreeMap<String, u64> {
+    let mut index: HashMap<u64, (&'static str, Cat, u64)> = HashMap::new();
+    for t in threads {
+        for e in &t.events {
+            index.insert(e.id, (e.name, e.cat, e.parent));
+        }
+    }
+    let mut paths = BTreeMap::new();
+    for t in threads {
+        for e in &t.events {
+            if e.cat != Cat::Work {
+                continue;
+            }
+            let mut names = vec![e.name];
+            let mut parent = e.parent;
+            while parent != 0 {
+                match index.get(&parent) {
+                    Some(&(name, cat, grandparent)) => {
+                        if cat == Cat::Work {
+                            names.push(name);
+                        }
+                        parent = grandparent;
+                    }
+                    None => break,
+                }
+            }
+            names.reverse();
+            *paths.entry(names.join("/")).or_insert(0) += 1;
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_logical_parents() {
+        let _serial = crate::test_serial();
+        crate::enable_capture();
+        drain_all_events();
+        {
+            let _outer = span!("outer");
+            let outer_id = current_span_id();
+            assert_ne!(outer_id, 0);
+            {
+                let _inner = span!("inner", m = 4usize, k = 8usize);
+            }
+            // Simulate a worker thread inheriting the submitter's span.
+            let captured = outer_id;
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let _serial_inherit = inherit_parent(captured);
+                    let _task = task_span!("pool.task", index = 0usize);
+                    let _leaf = span!("leaf");
+                });
+            });
+        }
+        crate::disable();
+        let threads = drain_all_events();
+        let paths = work_span_paths(&threads);
+        assert_eq!(paths.get("outer"), Some(&1));
+        assert_eq!(paths.get("outer/inner"), Some(&1));
+        // The leaf ran on a different thread under a Task span, but its
+        // Work path skips the task and lands under "outer".
+        assert_eq!(paths.get("outer/leaf"), Some(&1));
+        let inner: Vec<_> = threads
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .filter(|e| e.name == "inner")
+            .collect();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].arg_slice(), &[("m", 4), ("k", 8)]);
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let _serial = crate::test_serial();
+        crate::disable();
+        let before = current_span_id();
+        let guard = span!("never");
+        assert!(!guard.is_live());
+        assert_eq!(current_span_id(), before);
+    }
+}

@@ -55,4 +55,13 @@ fn main() {
             Err(e) => println!("  planner: {e}"),
         }
     }
+
+    // Flush the Perfetto trace when LORAFUSION_TRACE=<path> is set.
+    if let Some(path) = lorafusion_trace::trace_path() {
+        lorafusion_trace::metrics::sample_counters();
+        match lorafusion_trace::flush() {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => eprintln!("trace flush failed: {e}"),
+        }
+    }
 }

@@ -105,4 +105,13 @@ fn main() {
             mb.padded_tokens(64)
         );
     }
+
+    // Flush the Perfetto trace when LORAFUSION_TRACE=<path> is set.
+    if let Some(path) = lorafusion_trace::trace_path() {
+        lorafusion_trace::metrics::sample_counters();
+        match lorafusion_trace::flush() {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => eprintln!("trace flush failed: {e}"),
+        }
+    }
 }

@@ -73,4 +73,13 @@ fn main() {
         .map(|a| format!("job{a}={:.4}", trainer.probe_loss(a, 64, 7)))
         .collect();
     println!("  final : {}", final_losses.join("  "));
+
+    // Flush the Perfetto trace when LORAFUSION_TRACE=<path> is set.
+    if let Some(path) = lorafusion_trace::trace_path() {
+        lorafusion_trace::metrics::sample_counters();
+        match lorafusion_trace::flush() {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => eprintln!("trace flush failed: {e}"),
+        }
+    }
 }

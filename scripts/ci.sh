@@ -57,4 +57,23 @@ else
   BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_lora
 fi
 
+# Observability gate: rerun the bench_lora gate with tracing armed, then
+# validate the emitted Perfetto trace.json against the Chrome trace-event
+# schema with the in-tree validator (trace_validate exits nonzero on any
+# malformed event or if no counter tracks made it into the file).
+step "trace emission + validation gate"
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+if [[ "$QUICK" -eq 0 ]]; then
+  LORAFUSION_TRACE="$TRACE_TMP/trace.json" BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 \
+    cargo run --release -q -p lorafusion-bench --bin bench_lora
+  cargo run --release -q -p lorafusion-bench --bin trace_validate -- \
+    "$TRACE_TMP/trace.json" --require-counters 5
+else
+  LORAFUSION_TRACE="$TRACE_TMP/trace.json" BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 \
+    cargo run -q -p lorafusion-bench --bin bench_lora
+  cargo run -q -p lorafusion-bench --bin trace_validate -- \
+    "$TRACE_TMP/trace.json" --require-counters 5
+fi
+
 step "CI OK"
