@@ -115,6 +115,10 @@ fn main() {
     }
     shapes.dedup();
 
+    // lint: allow(thread-count-dependence) — the bench deliberately sweeps
+    // thread counts and mirrors the pool's own sizing to label the sweep;
+    // numeric results are asserted bitwise-identical across the sweep.
+
     // Mirror the global pool's sizing: LORAFUSION_THREADS, else the
     // machine's available parallelism.
     let default_threads = std::env::var("LORAFUSION_THREADS")

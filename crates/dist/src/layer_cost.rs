@@ -14,7 +14,7 @@
 //! so memoized results are bitwise-identical. Hit statistics are exposed
 //! via [`cost_cache_stats`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use lorafusion_trace::metrics::{counter, Counter};
@@ -25,7 +25,7 @@ use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
 use crate::model_config::TransformerConfig;
 
 /// Which kernel implementation executes the LoRA linear layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelStrategy {
     /// No adapter (the frozen baseline of Fig. 3).
     Frozen,
@@ -190,7 +190,7 @@ fn lm_head_profiles(
 /// depends on *except* `sum_sq_len` (which only shapes the per-call
 /// attention profiles) and the stage partition (applied per stage from the
 /// cached per-layer values).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct CostCacheKey {
     cfg: TransformerConfig,
     strategy: KernelStrategy,
@@ -234,10 +234,10 @@ impl CostCacheStats {
     }
 }
 
-static COST_CACHE: OnceLock<Mutex<HashMap<CostCacheKey, CachedSeconds>>> = OnceLock::new();
+static COST_CACHE: OnceLock<Mutex<BTreeMap<CostCacheKey, CachedSeconds>>> = OnceLock::new();
 
-fn cost_cache() -> &'static Mutex<HashMap<CostCacheKey, CachedSeconds>> {
-    COST_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cost_cache() -> &'static Mutex<BTreeMap<CostCacheKey, CachedSeconds>> {
+    COST_CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Hit/miss counters, hosted on the `lorafusion-trace` metrics registry

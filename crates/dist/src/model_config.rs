@@ -1,7 +1,7 @@
 //! Transformer model configurations used in the paper's evaluation.
 
 /// Architecture of a decoder-only transformer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransformerConfig {
     /// Display name.
     pub name: &'static str,

@@ -312,7 +312,11 @@ pub fn backward_profiles(
 /// non-overlapping, so no two tasks ever touch the same element.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f32);
+// SAFETY: tasks only write the disjoint row windows assigned to them by
+// `validate_segments`, and the allocation outlives the pool scope.
 unsafe impl Send for SendPtr {}
+// SAFETY: shared references only hand out the raw pointer; every
+// dereference targets a per-task disjoint window, so no data race.
 unsafe impl Sync for SendPtr {}
 impl SendPtr {
     fn get(self) -> *mut f32 {

@@ -30,23 +30,36 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to `System`, adding only a relaxed
+// counter bump; layout and pointer contracts are forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`; `layout` is forwarded.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: our caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero layout), which is exactly what `System` requires.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::alloc_zeroed`, forwarded.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller-supplied layout forwarded verbatim to `System`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`, forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` came from this allocator (which is `System`
+        // underneath) with `layout`, per the caller's contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as `System::dealloc`, forwarded.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` via this wrapper with
+        // the same `layout`, per the caller's contract.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -1,0 +1,37 @@
+// Negative fixture: everything in here that *looks* like a violation is
+// inside a comment, a (raw) string, or a test region — a lexer that
+// falls for any of them reports false positives.
+
+/* Block comments can nest in Rust: /* unsafe { HashMap::new() } */ and
+   this is still a comment, mentioning Instant::now() freely. */
+
+// A line comment with unsafe, HashMap, SystemTime, available_parallelism.
+
+pub fn doc_strings() -> (&'static str, &'static str, String) {
+    let raw = r#"unsafe { let m: HashMap<u32, u32> = HashMap::new(); }"#;
+    let nested_hashes = r##"a raw string with "quotes" and Instant::now()"##;
+    let escaped = format!("not \"unsafe\" at all: {}", "LORAFUSION_\u{54}HREADS-free");
+    (raw, nested_hashes, escaped)
+}
+
+pub fn char_literals_do_not_desync() -> (char, char, &'static str) {
+    let quote = '\'';
+    let hash = '#';
+    // After those char literals the lexer must still see this comment and
+    // the code below as code, not string content.
+    let lifetime_user: &'static str = "fine";
+    (quote, hash, lifetime_user)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_use_scratch_maps_and_clocks() {
+        let mut m = HashMap::new();
+        m.insert('k', Instant::now());
+        assert_eq!(m.len(), 1);
+    }
+}

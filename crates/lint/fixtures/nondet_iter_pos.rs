@@ -1,0 +1,13 @@
+// Positive fixture: HashMap iteration in a deterministic crate — the
+// per-key visit order depends on the hasher's random state, so any
+// output assembled here varies run to run.
+
+use std::collections::HashMap;
+
+pub fn sum_costs(costs: &HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    for (k, v) in costs.iter() {
+        out.push((*k, *v));
+    }
+    out
+}

@@ -1,0 +1,18 @@
+// Negative fixture: key-lookup-only HashMap usage, exempted by a pragma
+// that carries its proof obligation as the reason.
+
+// lint: allow(nondeterministic-iteration) — the map is only ever probed by
+// key (`get`/`insert`); no code path iterates it, so hasher order is
+// unobservable.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    inner: HashMap<u64, f64>,
+}
+
+impl Cache {
+    pub fn lookup(&self, key: u64) -> Option<f64> {
+        self.inner.get(&key).copied()
+    }
+}

@@ -1,0 +1,10 @@
+// Positive fixture: a pragma without its mandatory reason must both fail
+// on its own AND not suppress the rule it names.
+
+// lint: allow(wall-clock-in-core)
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

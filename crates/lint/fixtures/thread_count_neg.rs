@@ -1,0 +1,13 @@
+// Negative fixture: compute code takes the pool it is handed and asks
+// the pool — never the machine — how wide it is.
+
+pub fn shard_count(pool: &lorafusion_tensor::Pool) -> usize {
+    pool.threads()
+}
+
+// `current` as a plain identifier (e.g. `pool::current()`) is fine; only
+// `thread::current()` observes thread identity.
+pub fn dispatch() -> usize {
+    let current = 4usize;
+    current
+}

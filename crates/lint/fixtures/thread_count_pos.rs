@@ -1,0 +1,17 @@
+// Positive fixture: three distinct thread-count observations outside
+// tensor::pool — sizing logic leaking into a compute crate.
+
+pub fn shard_count() -> usize {
+    std::env::var("LORAFUSION_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,48 @@
+// Negative fixture: every unsafe site carries its argument, in the three
+// placements the rule accepts: directly above, above the containing
+// statement, and as a rustdoc safety section on an unsafe fn. Padding
+// functions keep the sites far enough apart that each comment is
+// load-bearing for exactly one site (see the deletion-sweep test).
+
+struct SendPtr(*mut f32);
+
+// SAFETY: the pointer is only dereferenced for indices the submitting
+// call proved disjoint; the allocation outlives every task.
+unsafe impl Send for SendPtr {}
+
+fn pad_one() -> usize {
+    1
+}
+
+fn pad_two() -> usize {
+    2
+}
+
+fn read_first(p: *const f32) -> f32 {
+    // SAFETY: caller guarantees `p` points at a live, initialized f32.
+    let v =
+        unsafe { *p };
+    v
+}
+
+fn pad_three() -> usize {
+    3
+}
+
+fn pad_four() -> usize {
+    4
+}
+
+/// Reads without a bounds check.
+///
+/// # Safety
+///
+/// `i` must be in-bounds of the allocation behind `p`.
+unsafe fn read_at(p: *const f32, i: usize) -> f32 {
+    let base = p;
+    let offset = i;
+    let stride = 1usize;
+    let idx = offset * stride;
+    // SAFETY: `idx` equals `i`, in-bounds per this function's contract.
+    unsafe { *base.add(idx) }
+}

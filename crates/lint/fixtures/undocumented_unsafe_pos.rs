@@ -1,0 +1,9 @@
+// Positive fixture: `unsafe` with no SAFETY comment anywhere near it —
+// exactly what the tree looks like after someone deletes a SAFETY comment.
+
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+
+fn read_first(p: *const f32) -> f32 {
+    unsafe { *p }
+}

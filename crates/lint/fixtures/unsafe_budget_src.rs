@@ -1,0 +1,14 @@
+// Budget-count fixture: exactly three `unsafe` keyword occurrences in
+// code (the ones in this comment and the string below must not count).
+
+struct Wrapper(*mut u8);
+// SAFETY: the wrapped pointer is only used single-threaded in the fixture.
+unsafe impl Send for Wrapper {}
+// SAFETY: shared references to the wrapper never dereference the pointer.
+unsafe impl Sync for Wrapper {}
+
+pub fn deref(p: *const u8) -> u8 {
+    let _decoy = "unsafe";
+    // SAFETY: caller promises a valid pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+// Positive fixture: wall-clock reads in a scheduling crate make packing
+// decisions time-dependent and therefore non-replayable.
+
+use std::time::{Instant, SystemTime};
+
+pub fn pack_with_deadline(budget_ms: u64) -> bool {
+    let start = Instant::now();
+    let _stamp = SystemTime::now();
+    start.elapsed().as_millis() < budget_ms as u128
+}

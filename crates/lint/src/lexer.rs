@@ -1,0 +1,453 @@
+//! Hand-rolled Rust token scanner.
+//!
+//! The linter's rules are purely lexical, so this is not a parser: it
+//! splits a source file into identifiers, punctuation, literals and
+//! comments with line numbers, getting exactly the cases right that a
+//! naive `grep` gets wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`) — banned identifiers inside them must not fire;
+//! * string, byte-string and **raw** string literals (`r"…"`,
+//!   `r##"…"##`) — a raw string *containing* `unsafe` or `HashMap` is
+//!   data, not code;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escapes
+//!   (`'\''`, `'\u{1F600}'`), so a stray `'` cannot desynchronize the
+//!   scanner into treating the rest of the file as a string.
+//!
+//! Everything downstream (pragmas, `#[cfg(test)]` regions, the rules)
+//! consumes this token stream.
+
+/// Kind of a non-comment token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#raw` identifiers, dequoted).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String / byte-string / raw-string literal; `text` is the content
+    /// without quotes or hashes.
+    Str,
+    /// Char or byte literal (content not preserved).
+    Char,
+    /// Numeric literal (content not preserved).
+    Num,
+    /// Lifetime or loop label (without the leading `'`).
+    Lifetime,
+}
+
+/// One non-comment token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with the 1-based lines it spans. `text`
+/// includes the comment markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line_start: u32,
+    pub line_end: u32,
+}
+
+/// A lexed source file: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if any comment covers `line`.
+    pub fn comment_on_line(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line_start <= line && line <= c.line_end)
+    }
+
+    /// True if any code token sits on `line`.
+    pub fn code_on_line(&self, line: u32) -> bool {
+        self.toks.iter().any(|t| t.line == line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Unterminated literals/comments are tolerated (the
+/// partial token extends to end-of-file): the linter must degrade
+/// gracefully on code that rustc would reject anyway.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    macro_rules! bump_lines {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_lines!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line_start: line,
+                line_end: line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let line_start = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_lines!(chars[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i.min(n)].iter().collect(),
+                line_start,
+                line_end: line,
+            });
+            continue;
+        }
+        // Raw strings / raw identifiers: r"…", r#"…"#, br##"…"##, r#ident.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if chars[j] == 'b' && j + 1 < n && chars[j + 1] == 'r' {
+                j += 1;
+            }
+            chars[j] == 'r' && j + 1 < n && (chars[j + 1] == '#' || chars[j + 1] == '"')
+        } {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                // Raw (byte) string literal.
+                j += 1;
+                let content_start = j;
+                let tok_line = line;
+                'scan: while j < n {
+                    if chars[j] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            break 'scan;
+                        }
+                    }
+                    bump_lines!(chars[j]);
+                    j += 1;
+                }
+                let content: String = chars[content_start..j.min(n)].iter().collect();
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: tok_line,
+                });
+                i = (j + 1 + hashes).min(n);
+                continue;
+            } else if hashes == 1 && j < n && is_ident_start(chars[j]) {
+                // Raw identifier r#ident.
+                let start = j;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // String / byte-string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && chars[i + 1] == '"') {
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // past opening quote
+            let tok_line = line;
+            let start = i;
+            while i < n && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < n {
+                    bump_lines!(chars[i + 1]);
+                    i += 2;
+                } else {
+                    bump_lines!(chars[i]);
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: chars[start..i.min(n)].iter().collect(),
+                line: tok_line,
+            });
+            i = (i + 1).min(n); // past closing quote
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' || (c == 'b' && i + 1 < n && chars[i + 1] == '\'') {
+            let mut j = i;
+            let byte = c == 'b';
+            if byte {
+                j += 1;
+            }
+            // j is at the quote.
+            if !byte && j + 1 < n && is_ident_start(chars[j + 1]) && {
+                // 'a' is a char literal; 'a, 'a> and 'static are lifetimes.
+                let mut k = j + 2;
+                while k < n && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                !(k < n && chars[k] == '\'')
+            } {
+                // Lifetime / loop label.
+                let start = j + 1;
+                let mut k = start;
+                while k < n && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..k].iter().collect(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Char (or byte) literal.
+            j += 1; // past quote
+            if j < n && chars[j] == '\\' {
+                j += 1;
+                if j < n && chars[j] == 'u' {
+                    // \u{…}
+                    while j < n && chars[j] != '}' {
+                        j += 1;
+                    }
+                }
+                j += 1;
+            } else if j < n {
+                j += 1;
+            }
+            // Consume to the closing quote (handles '\x7f' etc.).
+            while j < n && chars[j] != '\'' {
+                bump_lines!(chars[j]);
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal (loose: digits, radix letters, suffix, optional
+        // fraction/exponent — enough to keep `1.0f32` a single token while
+        // leaving `0..n` as number-punct-punct-ident).
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line,
+            });
+            continue;
+        }
+        // Single punctuation character.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_are_not_code() {
+        let src = "// unsafe HashMap\nlet x = 1; /* outer /* unsafe */ still comment */ let y;\n";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"y".to_string()), "code after nested comment");
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn block_comment_line_spans_are_tracked() {
+        let src = "/* a\nb\nc */ fn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].line_start, 1);
+        assert_eq!(lexed.comments[0].line_end, 3);
+        let f = lexed.toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content() {
+        let src = r####"let s = r#"unsafe { HashMap::new() }"#; let t = r##"Instant"##;"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].text.contains("HashMap"));
+        assert_eq!(strs[1].text, "Instant");
+    }
+
+    #[test]
+    fn plain_strings_with_escapes_do_not_desync() {
+        let src = "let s = \"quote \\\" unsafe\"; let u = unsafe_marker;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"unsafe_marker".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let q = '\\''; let c = 'x'; let b = b'y'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let ids = idents("let x: &'static str = \"s\";");
+        assert!(ids.contains(&"str".to_string()));
+        let lexed = lex("let x: &'static str = \"s\";");
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_dequoted() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..10 { let x = 1.5e-3f32; }";
+        let lexed = lex(src);
+        let dots = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 2, "the .. of the range survives");
+        assert!(idents(src).contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn unterminated_comment_reaches_eof_without_panic() {
+        let lexed = lex("let a = 1; /* never closed\nunsafe");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(!lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+    }
+}

@@ -1,0 +1,84 @@
+//! `lorafusion-lint` — a zero-dependency determinism & soundness
+//! static-analysis pass for the whole workspace.
+//!
+//! The paper's headline claim is that fusion is *lossless*; the test
+//! suite proves it dynamically with bitwise-equality gates. This crate
+//! proves the negative space statically: nothing in the deterministic
+//! crates may reintroduce iteration-order, wall-clock or thread-count
+//! nondeterminism, no `unsafe` may appear without its safety argument,
+//! and the offline zero-dependency build invariant is machine-checked
+//! from the manifests. See [`rules`] for the catalogue.
+//!
+//! Run it as `cargo run -p lorafusion-lint -- check`; suppress a rule
+//! for a file with `// lint: allow(<rule>) — <reason>` (the reason is
+//! mandatory). `scripts/ci.sh` treats any diagnostic as failure.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod toml_lite;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use rules::Diag;
+
+/// Result of a full-tree check.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diags: Vec<Diag>,
+    pub rust_files: usize,
+    pub manifests: usize,
+    /// Per-crate `unsafe` occurrence counts (every crate that was seen,
+    /// including zero-count ones).
+    pub unsafe_counts: BTreeMap<String, u64>,
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let (rust, manifests) = walk::collect_files(root)?;
+    let mut report = Report {
+        rust_files: rust.len(),
+        manifests: manifests.len(),
+        ..Report::default()
+    };
+    for (abs, rel) in &rust {
+        let src = std::fs::read_to_string(abs)?;
+        let (diags, unsafe_count) = rules::check_rust_file(rel, &src);
+        report.diags.extend(diags);
+        *report
+            .unsafe_counts
+            .entry(rules::crate_of(rel).to_string())
+            .or_insert(0) += unsafe_count;
+    }
+    for (abs, rel) in &manifests {
+        let src = std::fs::read_to_string(abs)?;
+        report.diags.extend(rules::check_manifest(rel, &src));
+    }
+    let budget_src = std::fs::read_to_string(root.join("lint-budget.toml")).ok();
+    report.diags.extend(rules::check_unsafe_budget(
+        &report.unsafe_counts,
+        budget_src.as_deref(),
+    ));
+    report
+        .diags
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Renders the current per-crate `unsafe` counts in `lint-budget.toml`
+/// format (the `budget` subcommand).
+pub fn render_budget(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# Per-crate budget of `unsafe` keyword occurrences, enforced by the\n\
+         # `unsafe-budget` rule of `lorafusion-lint`. Growing a crate's unsafe\n\
+         # surface requires bumping its entry here — a reviewable, auditable\n\
+         # diff. Regenerate with `cargo run -p lorafusion-lint -- budget`.\n\n\
+         [unsafe]\n",
+    );
+    for (krate, count) in counts {
+        out.push_str(&format!("{krate} = {count}\n"));
+    }
+    out
+}

@@ -1,0 +1,77 @@
+//! CLI for `lorafusion-lint`.
+//!
+//! ```text
+//! cargo run -p lorafusion-lint -- check [--root <dir>]   # exit 1 on any violation
+//! cargo run -p lorafusion-lint -- budget [--root <dir>]  # print current unsafe counts
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lorafusion-lint <check|budget> [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = root.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        lorafusion_lint::walk::find_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("lorafusion-lint: could not locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let report = match lorafusion_lint::check_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "lorafusion-lint: I/O error while scanning {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            for d in &report.diags {
+                println!("{d}");
+            }
+            if report.diags.is_empty() {
+                println!(
+                    "lorafusion-lint: OK — {} source files, {} manifests, 0 violations",
+                    report.rust_files, report.manifests
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "lorafusion-lint: FAIL — {} violation(s) across {} source files",
+                    report.diags.len(),
+                    report.rust_files
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "budget" => {
+            print!("{}", lorafusion_lint::render_budget(&report.unsafe_counts));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,447 @@
+//! The rule engine: six invariants, each one a machine-checked version
+//! of a determinism or soundness argument the repo's tests rely on.
+//!
+//! | rule | invariant guarded |
+//! |------|-------------------|
+//! | `undocumented-unsafe` | every `unsafe` carries its aliasing/lifetime argument in a `// SAFETY:` (or `# Safety`) comment |
+//! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in deterministic crates — iteration order must be a pure function of the data |
+//! | `wall-clock-in-core` | compute/scheduling crates never read `Instant`/`SystemTime`; replays are bit-identical |
+//! | `thread-count-dependence` | only `tensor::pool` (and `trace`) may observe the thread count |
+//! | `dep-freeze` | manifests declare only workspace-path or feature-gated deps; the offline zero-dep build stays true |
+//! | `unsafe-budget` | the per-crate `unsafe` count cannot grow without a reviewed `lint-budget.toml` bump |
+//!
+//! Rules 2–4 skip `#[cfg(test)]`/`#[test]` regions and files under a
+//! `tests/` directory (tests may time themselves and use scratch maps);
+//! rule 1 applies everywhere — an unsound test is still unsound.
+
+// lint: allow(thread-count-dependence) — the rule's needle strings must
+// literally name the banned identifiers they search for.
+
+use crate::lexer::{Lexed, TokKind};
+use crate::source::{in_regions, parse_pragmas, test_regions};
+use crate::toml_lite;
+
+/// Every rule id, in documentation order. `pragma` diagnostics (malformed
+/// suppressions) are reported by the engine itself and cannot be allowed.
+pub const RULES: [&str; 6] = [
+    "undocumented-unsafe",
+    "nondeterministic-iteration",
+    "wall-clock-in-core",
+    "thread-count-dependence",
+    "dep-freeze",
+    "unsafe-budget",
+];
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diag {
+    pub fn new(path: &str, line: u32, rule: &'static str, message: &str) -> Self {
+        Self {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crate a workspace-relative path belongs to: `crates/<name>/…` maps to
+/// `<name>`, everything else (root `src/`, `tests/`, `examples/`) to the
+/// root package, `suite`.
+pub fn crate_of(rel_path: &str) -> &str {
+    let rel = rel_path.strip_prefix("./").unwrap_or(rel_path);
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("suite")
+    } else {
+        "suite"
+    }
+}
+
+/// Is this file a test target (integration tests under `tests/`)?
+fn is_test_file(rel_path: &str) -> bool {
+    rel_path.split('/').any(|seg| seg == "tests")
+}
+
+/// How many non-comment lines may separate an `unsafe` token from its
+/// `SAFETY:` comment. 3 covers a comment above the statement that
+/// contains the unsafe expression (binding line, attribute, signature)
+/// without letting a stale comment from an unrelated item qualify.
+const SAFETY_LOOKBACK_CODE_LINES: u32 = 3;
+
+/// Checks one `.rs` file against rules 1–4, honoring its pragmas.
+/// Returns the diagnostics plus the file's `unsafe` count (for the
+/// budget rule, which aggregates per crate).
+pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
+    let lexed = crate::lexer::lex(src);
+    let (pragmas, mut diags) = parse_pragmas(rel_path, &lexed);
+    let regions = test_regions(&lexed.toks);
+    let krate = crate_of(rel_path);
+    let test_file = is_test_file(rel_path);
+    let exempt = |line: u32| test_file || in_regions(&regions, line);
+
+    let mut unsafe_count = 0u64;
+
+    for (idx, tok) in lexed.toks.iter().enumerate() {
+        match tok.kind {
+            TokKind::Ident => match tok.text.as_str() {
+                "unsafe" => {
+                    unsafe_count += 1;
+                    if !pragmas.allows("undocumented-unsafe")
+                        && !has_safety_comment(&lexed, tok.line)
+                    {
+                        diags.push(Diag::new(
+                            rel_path,
+                            tok.line,
+                            "undocumented-unsafe",
+                            "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                             stating the aliasing/lifetime/initialization argument",
+                        ));
+                    }
+                }
+                "HashMap" | "HashSet"
+                    if krate != "bench"
+                        && !exempt(tok.line)
+                        && !pragmas.allows("nondeterministic-iteration") =>
+                {
+                    diags.push(Diag::new(
+                        rel_path,
+                        tok.line,
+                        "nondeterministic-iteration",
+                        &format!(
+                            "`{}` iteration order is nondeterministic; use `BTree{}` (or a \
+                             sorted collect), or add a pragma proving key-lookup-only usage",
+                            tok.text,
+                            tok.text.trim_start_matches("Hash"),
+                        ),
+                    ));
+                }
+                "Instant" | "SystemTime"
+                    if krate != "bench"
+                        && krate != "trace"
+                        && !exempt(tok.line)
+                        && !pragmas.allows("wall-clock-in-core") =>
+                {
+                    diags.push(Diag::new(
+                        rel_path,
+                        tok.line,
+                        "wall-clock-in-core",
+                        &format!(
+                            "`{}` in a compute/scheduling crate makes runs non-replayable; \
+                             route timing through `lorafusion-trace` or pragma with a reason",
+                            tok.text
+                        ),
+                    ));
+                }
+                "available_parallelism"
+                    if !thread_count_allowed(rel_path, krate)
+                        && !exempt(tok.line)
+                        && !pragmas.allows("thread-count-dependence") =>
+                {
+                    diags.push(Diag::new(
+                        rel_path,
+                        tok.line,
+                        "thread-count-dependence",
+                        "`available_parallelism` outside `tensor::pool`/`trace`: results \
+                         must not depend on the machine's thread count",
+                    ));
+                }
+                "current" => {
+                    // `thread::current()` — thread identity leaking into logic.
+                    let preceded_by_thread = idx >= 3
+                        && lexed.toks[idx - 1].text == ":"
+                        && lexed.toks[idx - 2].text == ":"
+                        && lexed.toks[idx - 3].text == "thread";
+                    if preceded_by_thread
+                        && !thread_count_allowed(rel_path, krate)
+                        && !exempt(tok.line)
+                        && !pragmas.allows("thread-count-dependence")
+                    {
+                        diags.push(Diag::new(
+                            rel_path,
+                            tok.line,
+                            "thread-count-dependence",
+                            "`thread::current()` outside `tensor::pool`/`trace`: thread \
+                             identity must not influence results",
+                        ));
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Str
+                if tok.text.contains("LORAFUSION_THREADS")
+                    && !thread_count_allowed(rel_path, krate)
+                    && !exempt(tok.line)
+                    && !pragmas.allows("thread-count-dependence") =>
+            {
+                diags.push(Diag::new(
+                    rel_path,
+                    tok.line,
+                    "thread-count-dependence",
+                    "reading `LORAFUSION_THREADS` outside `tensor::pool`/`trace`: pool \
+                     sizing is the pool's job",
+                ));
+            }
+            _ => {}
+        }
+    }
+    (diags, unsafe_count)
+}
+
+/// Files allowed to observe the thread count.
+fn thread_count_allowed(rel_path: &str, krate: &str) -> bool {
+    krate == "trace"
+        || rel_path.ends_with("crates/tensor/src/pool.rs")
+        || rel_path == "crates/tensor/src/pool.rs"
+}
+
+/// Is an `unsafe` token at `line` covered by a safety comment?
+///
+/// Walks upward from the token's line: comment lines are scanned for
+/// `SAFETY:` (or a rustdoc `# Safety` section) without limit, but at
+/// most [`SAFETY_LOOKBACK_CODE_LINES`] intervening *code* lines are
+/// tolerated — enough for the binding/signature/attribute lines of the
+/// statement the comment documents, not enough to borrow an unrelated
+/// item's comment. A trailing comment on the token's own line counts.
+fn has_safety_comment(lexed: &Lexed, line: u32) -> bool {
+    let safety_on = |l: u32| {
+        lexed
+            .comments
+            .iter()
+            .any(|c| c.line_start <= l && l <= c.line_end && comment_is_safety(&c.text))
+    };
+    if safety_on(line) {
+        return true;
+    }
+    let mut code_lines = 0u32;
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if safety_on(l) {
+            return true;
+        }
+        if lexed.comment_on_line(l) {
+            continue; // non-SAFETY comment lines don't burn the budget
+        }
+        if lexed.code_on_line(l) {
+            code_lines += 1;
+            if code_lines >= SAFETY_LOOKBACK_CODE_LINES {
+                return false;
+            }
+        }
+        // Blank lines are skipped silently.
+    }
+    false
+}
+
+fn comment_is_safety(text: &str) -> bool {
+    text.contains("SAFETY:") || text.contains("# Safety")
+}
+
+/// Checks one manifest against `dep-freeze`: every dependency must be a
+/// workspace/path dep or be feature-gated (`optional = true`).
+pub fn check_manifest(rel_path: &str, src: &str) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for dep in toml_lite::parse_dependencies(src) {
+        if dep.workspace || dep.path {
+            continue;
+        }
+        if dep.external_source && dep.optional {
+            continue;
+        }
+        diags.push(Diag::new(
+            rel_path,
+            dep.line,
+            "dep-freeze",
+            &format!(
+                "dependency `{}` (in [{}]) is not a workspace/path dep and not feature-gated; \
+                 the build must stay offline and zero-dependency",
+                dep.name, dep.section
+            ),
+        ));
+    }
+    diags
+}
+
+/// Checks aggregated per-crate `unsafe` counts against the budget file.
+/// `budget_src` is the content of `lint-budget.toml`; a crate absent
+/// from the budget has a budget of zero.
+pub fn check_unsafe_budget(
+    counts: &std::collections::BTreeMap<String, u64>,
+    budget_src: Option<&str>,
+) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let budget: std::collections::BTreeMap<String, u64> = match budget_src {
+        Some(src) => toml_lite::parse_int_table(src, "unsafe")
+            .into_iter()
+            .collect(),
+        None => {
+            diags.push(Diag::new(
+                "lint-budget.toml",
+                0,
+                "unsafe-budget",
+                "missing lint-budget.toml at the workspace root (run \
+                 `cargo run -p lorafusion-lint -- budget` to generate one)",
+            ));
+            return diags;
+        }
+    };
+    for (krate, &count) in counts {
+        let allowed = budget.get(krate).copied().unwrap_or(0);
+        if count > allowed {
+            diags.push(Diag::new(
+                "lint-budget.toml",
+                0,
+                "unsafe-budget",
+                &format!(
+                    "crate `{krate}` has {count} `unsafe` occurrences but a budget of {allowed}; \
+                     growing the unsafe surface requires an explicit budget bump"
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/tensor/src/pool.rs"), "tensor");
+        assert_eq!(crate_of("crates/lint/src/rules.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "suite");
+        assert_eq!(crate_of("tests/end_to_end.rs"), "suite");
+    }
+
+    #[test]
+    fn safety_comment_above_statement_is_accepted() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    let v =\n        unsafe { *p };\n    v\n}\n";
+        let (diags, count) = check_rust_file("crates/tensor/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn safety_comment_too_far_is_rejected() {
+        let src = "// SAFETY: stale comment for something else\nfn a() {}\nfn b() {}\nfn c() {}\nfn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let (diags, _) = check_rust_file("crates/tensor/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "undocumented-unsafe");
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_not_counted() {
+        let src =
+            "// unsafe unsafe unsafe\nfn f() { let s = \"unsafe\"; let r = r#\"unsafe\"#; }\n";
+        let (diags, count) = check_rust_file("crates/tensor/src/x.rs", src);
+        assert!(diags.is_empty());
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn hash_collections_allowed_in_bench_and_tests() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); for (k, v) in &m {} }\n";
+        let (diags, _) = check_rust_file("crates/bench/src/x.rs", src);
+        assert!(diags.is_empty(), "bench is exempt: {diags:?}");
+        let (diags, _) = check_rust_file("crates/scheduler/tests/x.rs", src);
+        assert!(diags.is_empty(), "test files are exempt: {diags:?}");
+        let (diags, _) = check_rust_file("crates/scheduler/src/x.rs", src);
+        assert!(!diags.is_empty(), "scheduler src is not exempt");
+        assert!(diags.iter().all(|d| d.rule == "nondeterministic-iteration"));
+    }
+
+    #[test]
+    fn wall_clock_scoping() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert!(check_rust_file("crates/bench/src/h.rs", src).0.is_empty());
+        assert!(check_rust_file("crates/trace/src/l.rs", src).0.is_empty());
+        let (diags, _) = check_rust_file("crates/solver/src/b.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "wall-clock-in-core"));
+    }
+
+    #[test]
+    fn thread_count_scoping() {
+        let src = "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }\n";
+        assert!(check_rust_file("crates/tensor/src/pool.rs", src)
+            .0
+            .is_empty());
+        assert!(check_rust_file("crates/trace/src/span.rs", src)
+            .0
+            .is_empty());
+        assert!(!check_rust_file("crates/tensor/src/matmul.rs", src)
+            .0
+            .is_empty());
+        let env = "fn f() { let v = std::env::var(\"LORAFUSION_THREADS\"); }\n";
+        assert!(!check_rust_file("crates/kernels/src/lora.rs", env)
+            .0
+            .is_empty());
+        let tid = "fn f() { let id = std::thread::current().id(); }\n";
+        let (diags, _) = check_rust_file("crates/sched/src/x.rs", tid);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "thread-count-dependence");
+    }
+
+    #[test]
+    fn pragma_suppresses_rule_for_the_file() {
+        let src = "// lint: allow(wall-clock-in-core) — deadline guard, node cap bounds results\nuse std::time::Instant;\n";
+        let (diags, _) = check_rust_file("crates/solver/src/b.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cfg_test_region_exempts_rules_2_to_4_but_not_unsafe() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t() { let i = Instant::now(); let p = 0 as *const u8; unsafe { *p }; }\n}\n";
+        let (diags, count) = check_rust_file("crates/solver/src/b.rs", src);
+        assert_eq!(count, 1);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "undocumented-unsafe");
+    }
+
+    #[test]
+    fn budget_fails_only_on_unbudgeted_increase() {
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert("tensor".to_string(), 20u64);
+        counts.insert("kernels".to_string(), 13u64);
+        let budget = "[unsafe]\ntensor = 20\nkernels = 13\n";
+        assert!(check_unsafe_budget(&counts, Some(budget)).is_empty());
+        counts.insert("tensor".to_string(), 21);
+        let diags = check_unsafe_budget(&counts, Some(budget));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unsafe-budget");
+        // A crate absent from the budget has budget zero.
+        counts.insert("tensor".to_string(), 20);
+        counts.insert("newcrate".to_string(), 1);
+        assert_eq!(check_unsafe_budget(&counts, Some(budget)).len(), 1);
+        // A missing budget file is itself a violation.
+        assert_eq!(check_unsafe_budget(&counts, None).len(), 1);
+    }
+
+    #[test]
+    fn manifest_rule_flags_external_deps() {
+        let good = "[dependencies]\nlorafusion-tensor.workspace = true\nx = { path = \"../x\" }\nserde = { version = \"1\", optional = true }\n";
+        assert!(check_manifest("Cargo.toml", good).is_empty());
+        let bad = "[dependencies]\nserde = \"1.0\"\n";
+        let diags = check_manifest("Cargo.toml", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "dep-freeze");
+    }
+}

@@ -1,0 +1,305 @@
+//! Per-file analysis context: suppression pragmas and `#[cfg(test)]`
+//! region detection on top of the token stream.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::rules::{Diag, RULES};
+
+/// A file-scoped suppression: `// lint: allow(<rule>[, <rule>…]) — <reason>`.
+///
+/// The reason is mandatory — a pragma without one is itself a violation
+/// (rule id `pragma`), so every suppression in the tree carries its
+/// justification next to the code it exempts.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    allowed: BTreeSet<String>,
+}
+
+impl Pragmas {
+    pub fn allows(&self, rule: &str) -> bool {
+        self.allowed.contains(rule)
+    }
+}
+
+/// Parses every pragma comment in `lexed`. Malformed pragmas (unknown
+/// rule, missing reason) are reported as diagnostics against `path`.
+///
+/// A pragma must be a dedicated comment: `lint:` has to be the first
+/// thing after the comment markers. Prose *quoting* the syntax
+/// mid-sentence (like this doc comment) is not a pragma attempt.
+pub fn parse_pragmas(path: &str, lexed: &Lexed) -> (Pragmas, Vec<Diag>) {
+    let mut pragmas = Pragmas::default();
+    let mut diags = Vec::new();
+    for c in &lexed.comments {
+        let head = c
+            .text
+            .trim_start_matches(['/', '!', '*', ' ', '\t'])
+            .trim_start();
+        let Some(rest) = head.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        if !rest.starts_with("allow") {
+            // A dedicated `lint:` comment without an allow() clause is
+            // malformed enough to flag, but more likely prose; leave it.
+            continue;
+        }
+        let rest = rest["allow".len()..].trim_start();
+        let Some(open) = rest.strip_prefix('(') else {
+            diags.push(Diag::new(
+                path,
+                c.line_start,
+                "pragma",
+                "malformed pragma: expected `lint: allow(<rule>) — <reason>`",
+            ));
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            diags.push(Diag::new(
+                path,
+                c.line_start,
+                "pragma",
+                "malformed pragma: unclosed allow(...)",
+            ));
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for rule in open[..close].split(',') {
+            let rule = rule.trim();
+            if rule.is_empty() || !RULES.contains(&rule) {
+                diags.push(Diag::new(
+                    path,
+                    c.line_start,
+                    "pragma",
+                    &format!(
+                        "unknown rule `{rule}` in pragma (known: {})",
+                        RULES.join(", ")
+                    ),
+                ));
+                bad = true;
+            } else {
+                rules.push(rule.to_string());
+            }
+        }
+        // Everything after the closing paren, minus separator punctuation,
+        // must contain a substantive reason.
+        let reason = open[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        if reason.is_empty() {
+            diags.push(Diag::new(
+                path,
+                c.line_start,
+                "pragma",
+                "pragma is missing its mandatory reason: `lint: allow(<rule>) — <reason>`",
+            ));
+            bad = true;
+        }
+        if !bad {
+            pragmas.allowed.extend(rules);
+        }
+    }
+    (pragmas, diags)
+}
+
+/// Inclusive line ranges of `#[cfg(test)]` / `#[test]`-gated items.
+///
+/// Detection is lexical: an attribute `#[…]` whose identifier set
+/// contains `test` gates the next item; the item's extent is its first
+/// brace-matched block (or, for brace-less items like gated `use`, the
+/// line of the terminating `;`). Nested attributes (`#[cfg(any(test,
+/// feature = "x"))]`) match because `test` appears as an identifier;
+/// `feature = "test-utils"` does not because string contents are not
+/// identifiers.
+pub fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Inner attribute `#![…]` gates the enclosing scope; treat a
+        // file-level `#![cfg(test)]` as gating the rest of the file.
+        let inner = j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "!";
+        if inner {
+            j += 1;
+        }
+        if !(j < toks.len() && toks[j].kind == TokKind::Punct && toks[j].text == "[") {
+            i += 1;
+            continue;
+        }
+        // Collect identifiers inside the bracket group.
+        let attr_line = toks[i].line;
+        let mut depth = 0usize;
+        let mut has_test = false;
+        let mut k = j;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct && t.text == "[" {
+                depth += 1;
+            } else if t.kind == TokKind::Punct && t.text == "]" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident && t.text == "test" {
+                has_test = true;
+            }
+            k += 1;
+        }
+        if !has_test {
+            i = k + 1;
+            continue;
+        }
+        if inner {
+            let end = toks.last().map_or(attr_line, |t| t.line);
+            regions.push((attr_line, end));
+            break;
+        }
+        // Skip any further attributes, then span the gated item.
+        let mut m = k + 1;
+        while m + 1 < toks.len()
+            && toks[m].kind == TokKind::Punct
+            && toks[m].text == "#"
+            && toks[m + 1].text == "["
+        {
+            let mut d = 0usize;
+            while m < toks.len() {
+                if toks[m].text == "[" && toks[m].kind == TokKind::Punct {
+                    d += 1;
+                } else if toks[m].text == "]" && toks[m].kind == TokKind::Punct {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            m += 1;
+        }
+        // Find the item's block (brace matching) or terminating `;`.
+        let mut d = 0usize;
+        let mut end_line = attr_line;
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.kind == TokKind::Punct && t.text == "{" {
+                d += 1;
+            } else if t.kind == TokKind::Punct && t.text == "}" {
+                d = d.saturating_sub(1);
+                if d == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.kind == TokKind::Punct && t.text == ";" && d == 0 {
+                end_line = t.line;
+                break;
+            }
+            end_line = t.line;
+            m += 1;
+        }
+        regions.push((attr_line, end_line));
+        i = m + 1;
+    }
+    regions
+}
+
+/// Membership query over [`test_regions`] output.
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn pragma_happy_path() {
+        let src = "// lint: allow(wall-clock-in-core) — timeout guard, results gated by node cap\n";
+        let lexed = lex(src);
+        let (p, diags) = parse_pragmas("f.rs", &lexed);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(p.allows("wall-clock-in-core"));
+        assert!(!p.allows("undocumented-unsafe"));
+    }
+
+    #[test]
+    fn pragma_accepts_multiple_rules_and_ascii_dash() {
+        let src = "// lint: allow(wall-clock-in-core, thread-count-dependence) - reporting only\n";
+        let (p, diags) = parse_pragmas("f.rs", &lex(src));
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(p.allows("wall-clock-in-core"));
+        assert!(p.allows("thread-count-dependence"));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_rejected() {
+        for src in [
+            "// lint: allow(wall-clock-in-core)\n",
+            "// lint: allow(wall-clock-in-core) — \n",
+            "// lint: allow(wall-clock-in-core) -\n",
+        ] {
+            let (p, diags) = parse_pragmas("f.rs", &lex(src));
+            assert_eq!(diags.len(), 1, "{src:?}");
+            assert_eq!(diags[0].rule, "pragma");
+            assert!(
+                !p.allows("wall-clock-in-core"),
+                "reason-less pragma must not suppress anything"
+            );
+        }
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_rejected() {
+        let (p, diags) = parse_pragmas("f.rs", &lex("// lint: allow(no-such-rule) — because\n"));
+        assert_eq!(diags.len(), 1);
+        assert!(!p.allows("no-such-rule"));
+    }
+
+    #[test]
+    fn prose_mentioning_lint_is_not_a_pragma() {
+        let (_, diags) = parse_pragmas("f.rs", &lex("// the lint: it is strict\n"));
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_region_is_detected() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { let x = 1; }\n}\nfn c() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed.toks);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, 3));
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn test_attr_on_fn_is_detected() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn other() {}\n";
+        let regions = test_regions(&lex(src).toks);
+        assert!(in_regions(&regions, 3));
+        assert!(!in_regions(&regions, 5));
+    }
+
+    #[test]
+    fn cfg_any_with_test_is_detected_but_feature_string_is_not() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod m { fn f() {} }\n";
+        assert_eq!(test_regions(&lex(src).toks).len(), 1);
+        let src = "#[cfg(feature = \"test-utils\")]\nmod m { fn f() {} }\n";
+        assert!(test_regions(&lex(src).toks).is_empty());
+    }
+
+    #[test]
+    fn braceless_gated_item_spans_to_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() {}\n";
+        let regions = test_regions(&lex(src).toks);
+        assert!(in_regions(&regions, 2));
+        assert!(!in_regions(&regions, 3));
+    }
+}

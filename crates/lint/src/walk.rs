@@ -1,0 +1,88 @@
+//! Workspace discovery: find the root, enumerate the source tree.
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into. `fixtures` holds intentionally
+/// violating inputs for the linter's own tests; `results` holds data.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "fixtures", "results", "node_modules"];
+
+/// `(absolute, workspace-relative)` path pairs.
+pub type FileList = Vec<(PathBuf, String)>;
+
+/// All `.rs` files and `Cargo.toml` manifests under `root`, as
+/// `(absolute, workspace-relative)` pairs, sorted by relative path so
+/// output order is stable across platforms and filesystems.
+pub fn collect_files(root: &Path) -> std::io::Result<(FileList, FileList)> {
+    let mut rust = Vec::new();
+    let mut manifests = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if name.ends_with(".rs") {
+                rust.push((path, rel));
+            } else if name == "Cargo.toml" {
+                manifests.push((path, rel));
+            }
+        }
+    }
+    rust.sort_by(|a, b| a.1.cmp(&b.1));
+    manifests.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok((rust, manifests))
+}
+
+/// Finds the workspace root: walks up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_workspace_root_from_the_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("crates/lint/Cargo.toml").exists());
+    }
+
+    #[test]
+    fn collects_sources_and_skips_fixtures() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        let (rust, manifests) = collect_files(&root).expect("walk");
+        assert!(rust.iter().any(|(_, r)| r == "crates/lint/src/walk.rs"));
+        assert!(manifests.iter().any(|(_, r)| r == "Cargo.toml"));
+        assert!(
+            rust.iter().all(|(_, r)| !r.contains("fixtures/")),
+            "fixture inputs must not be linted as tree sources"
+        );
+        assert!(rust.iter().all(|(_, r)| !r.starts_with("target/")));
+    }
+}

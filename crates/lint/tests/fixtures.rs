@@ -1,0 +1,193 @@
+//! Fixture suite: every rule has at least one positive fixture (must
+//! fire) and one negative fixture (must stay silent) under
+//! `crates/lint/fixtures/`. Fixtures are checked under a synthetic
+//! workspace-relative path in a deterministic crate (`scheduler`), so
+//! the crate-scoping logic is exercised exactly as on the real tree.
+
+use std::path::{Path, PathBuf};
+
+use lorafusion_lint::rules::{check_manifest, check_rust_file, check_unsafe_budget, Diag};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Checks a fixture as if it lived in `crates/scheduler/src/`.
+fn check_as_core(name: &str) -> Vec<Diag> {
+    check_rust_file(&format!("crates/scheduler/src/{name}"), &fixture(name)).0
+}
+
+fn rules_fired(diags: &[Diag]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn undocumented_unsafe_positive_fires_per_site() {
+    let diags = check_as_core("undocumented_unsafe_pos.rs");
+    assert_eq!(rules_fired(&diags), vec!["undocumented-unsafe"]);
+    assert_eq!(diags.len(), 2, "both undocumented sites: {diags:?}");
+}
+
+#[test]
+fn undocumented_unsafe_negative_is_clean() {
+    let diags = check_as_core("undocumented_unsafe_neg.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn deleting_a_safety_comment_makes_the_clean_fixture_fail() {
+    // The acceptance demonstration: take the clean fixture, delete any
+    // single SAFETY/`# Safety` comment line, and the rule must fire.
+    let src = fixture("undocumented_unsafe_neg.rs");
+    let safety_lines: Vec<usize> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("SAFETY:") || l.contains("# Safety"))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(safety_lines.len() >= 3, "fixture should have several");
+    for &victim in &safety_lines {
+        let mutated: String = src
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let (diags, _) = check_rust_file("crates/scheduler/src/mutated.rs", &mutated);
+        assert!(
+            diags.iter().any(|d| d.rule == "undocumented-unsafe"),
+            "deleting line {victim} must trip the rule"
+        );
+    }
+}
+
+#[test]
+fn nondet_iteration_positive_fires_and_bench_is_exempt() {
+    let diags = check_as_core("nondet_iter_pos.rs");
+    assert_eq!(rules_fired(&diags), vec!["nondeterministic-iteration"]);
+    // The same file inside the bench crate is allowed.
+    let bench = check_rust_file(
+        "crates/bench/src/nondet_iter_pos.rs",
+        &fixture("nondet_iter_pos.rs"),
+    )
+    .0;
+    assert!(bench.is_empty(), "{bench:?}");
+}
+
+#[test]
+fn nondet_iteration_negatives_are_clean() {
+    for name in ["nondet_iter_neg.rs", "nondet_iter_pragma_neg.rs"] {
+        let diags = check_as_core(name);
+        assert!(diags.is_empty(), "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn wall_clock_positive_fires_and_negative_is_clean() {
+    let diags = check_as_core("wall_clock_pos.rs");
+    assert_eq!(rules_fired(&diags), vec!["wall-clock-in-core"]);
+    assert!(diags.len() >= 2, "Instant and SystemTime: {diags:?}");
+    assert!(check_as_core("wall_clock_neg.rs").is_empty());
+    // bench and trace may read the clock.
+    for krate in ["bench", "trace"] {
+        let diags = check_rust_file(
+            &format!("crates/{krate}/src/w.rs"),
+            &fixture("wall_clock_pos.rs"),
+        )
+        .0;
+        assert!(diags.is_empty(), "{krate}: {diags:?}");
+    }
+}
+
+#[test]
+fn thread_count_positive_fires_and_negative_is_clean() {
+    let diags = check_as_core("thread_count_pos.rs");
+    assert_eq!(rules_fired(&diags), vec!["thread-count-dependence"]);
+    assert_eq!(
+        diags.len(),
+        3,
+        "env var, available_parallelism, thread::current: {diags:?}"
+    );
+    assert!(check_as_core("thread_count_neg.rs").is_empty());
+    // tensor::pool is the one compute file allowed to size itself.
+    let pool = check_rust_file("crates/tensor/src/pool.rs", &fixture("thread_count_pos.rs")).0;
+    assert!(pool.is_empty(), "{pool:?}");
+}
+
+#[test]
+fn reasonless_pragma_fails_and_does_not_suppress() {
+    let diags = check_as_core("pragma_missing_reason_pos.rs");
+    assert!(
+        diags.iter().any(|d| d.rule == "pragma"),
+        "missing reason must be its own violation: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "wall-clock-in-core"),
+        "a broken pragma must not suppress the rule it names: {diags:?}"
+    );
+}
+
+#[test]
+fn lexer_tricky_negative_is_completely_clean() {
+    let (diags, unsafe_count) = check_rust_file(
+        "crates/scheduler/src/lexer_tricky_neg.rs",
+        &fixture("lexer_tricky_neg.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(
+        unsafe_count, 0,
+        "all `unsafe` mentions are comments/strings"
+    );
+}
+
+#[test]
+fn dep_freeze_positive_flags_all_three_external_forms() {
+    let diags = check_manifest(
+        "crates/offender/Cargo.toml",
+        &fixture("dep_freeze_pos.toml"),
+    );
+    assert_eq!(rules_fired(&diags), vec!["dep-freeze"]);
+    assert_eq!(
+        diags.len(),
+        3,
+        "bare version, inline version, git subsection: {diags:?}"
+    );
+}
+
+#[test]
+fn dep_freeze_negative_is_clean() {
+    let diags = check_manifest("crates/clean/Cargo.toml", &fixture("dep_freeze_neg.toml"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unsafe_budget_fixture_counts_and_gates() {
+    let (_, count) = check_rust_file(
+        "crates/fixture/src/lib.rs",
+        &fixture("unsafe_budget_src.rs"),
+    );
+    assert_eq!(count, 3, "comments and strings must not count");
+    let counts: std::collections::BTreeMap<String, u64> =
+        [("fixture".to_string(), count)].into_iter().collect();
+    let ok = check_unsafe_budget(&counts, Some(&fixture("unsafe_budget_ok.toml")));
+    assert!(ok.is_empty(), "{ok:?}");
+    let over = check_unsafe_budget(&counts, Some(&fixture("unsafe_budget_over.toml")));
+    assert_eq!(rules_fired(&over), vec!["unsafe-budget"]);
+}
+
+#[test]
+fn fixture_dir_is_not_scanned_by_the_tree_walk() {
+    let root = lorafusion_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let (rust, _) = lorafusion_lint::walk::collect_files(&root).expect("walk");
+    assert!(
+        rust.iter().all(|(_, rel)| !rel.contains("fixtures/")),
+        "fixtures must stay out of the real check"
+    );
+}

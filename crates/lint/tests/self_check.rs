@@ -1,0 +1,52 @@
+//! Dogfood gate: the real workspace tree must pass its own linter.
+//!
+//! This is what makes the invariants *enforced* rather than aspirational:
+//! `cargo test --workspace` (and CI) fails the moment anyone
+//! reintroduces an undocumented `unsafe`, a `HashMap` iteration in a
+//! deterministic crate, a wall-clock read in a compute path, an
+//! un-pragma'd thread-count observation, an external dependency, or an
+//! un-budgeted `unsafe`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_tree_is_lint_clean() {
+    let root = lorafusion_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = lorafusion_lint::check_workspace(&root).expect("scan workspace");
+    assert!(
+        report.rust_files > 100,
+        "sanity: the walk should see the whole tree, saw {}",
+        report.rust_files
+    );
+    assert!(
+        report.manifests >= 11,
+        "sanity: root + every crate manifest, saw {}",
+        report.manifests
+    );
+    let rendered: Vec<String> = report.diags.iter().map(ToString::to_string).collect();
+    assert!(
+        report.diags.is_empty(),
+        "the tree must be lint-clean:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn checked_in_budget_matches_actual_counts_exactly() {
+    // The budget file must not drift above reality either: slack hides
+    // an unsafe increase inside a previously-padded allowance.
+    let root = lorafusion_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = lorafusion_lint::check_workspace(&root).expect("scan workspace");
+    let budget_src =
+        std::fs::read_to_string(root.join("lint-budget.toml")).expect("lint-budget.toml");
+    let budget: std::collections::BTreeMap<String, u64> =
+        lorafusion_lint::toml_lite::parse_int_table(&budget_src, "unsafe")
+            .into_iter()
+            .collect();
+    assert_eq!(
+        budget, report.unsafe_counts,
+        "lint-budget.toml out of sync; regenerate with `cargo run -p lorafusion-lint -- budget`"
+    );
+}

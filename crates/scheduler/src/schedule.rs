@@ -1,6 +1,6 @@
 //! End-to-end scheduling pipeline (Algorithm 1).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use lorafusion_data::LengthStats;
 use lorafusion_tensor::pool;
@@ -64,7 +64,9 @@ pub fn schedule_jobs(
     jobs: &[AdapterJob],
     config: &SchedulerConfig,
 ) -> Result<Schedule, SchedulerError> {
-    let start = Instant::now();
+    // Wall time is reporting-only (SchedulerStats); routing it through the
+    // trace crate's clock keeps the scheduler itself free of time sources.
+    let start_ns = lorafusion_trace::now_ns();
     let _span = lorafusion_trace::span!("scheduler.schedule", jobs = jobs.len());
     if jobs.is_empty() {
         return Err(SchedulerError::NoJobs);
@@ -216,7 +218,7 @@ pub fn schedule_jobs(
 
     // 5. Verify and fix.
     stats_out.noops_inserted = fix_with_noops(&mut schedule, config.pipeline_stages);
-    stats_out.wall_time = start.elapsed();
+    stats_out.wall_time = Duration::from_nanos(lorafusion_trace::now_ns().saturating_sub(start_ns));
 
     Ok(Schedule {
         microbatches: schedule,

@@ -1,5 +1,11 @@
 //! Depth-first branch-and-bound MILP solver.
 
+// lint: allow(wall-clock-in-core) — the deadline is a hard-stop guard
+// against pathological MILPs, not a result input: `max_nodes` is the
+// deterministic bound, and any truncation (by either limit) surfaces as
+// `Status::TimedOut` so callers can tell a timed-out solve from an
+// optimal one.
+
 use std::time::{Duration, Instant};
 
 use crate::model::{Problem, Solution, SolverError, Status, VarId};

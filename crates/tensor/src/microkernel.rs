@@ -184,7 +184,11 @@ impl<'a> Prologue<'a> {
 
 /// Raw base pointer for handing disjoint tile regions to pool tasks.
 struct SendPtr(*mut f32);
+// SAFETY: tasks write only the `MR x NR`-aligned tile regions assigned by
+// the row-band partition, and the output allocation outlives the scope.
 unsafe impl Send for SendPtr {}
+// SAFETY: shared references only hand out the raw pointer; tile regions
+// handed to different tasks are disjoint, so no data race is possible.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
@@ -232,6 +236,8 @@ impl PackFusion {
 // which outlives the packing job; the target regions written through it are
 // pairwise disjoint per strip.
 unsafe impl Send for PackFusion {}
+// SAFETY: same argument as `Send` above — shared references only read the
+// configuration fields; all writes through `emit` target disjoint strips.
 unsafe impl Sync for PackFusion {}
 
 /// Packs one `MR`-row strip of a row-major `m x k` matrix, folding `alpha`
@@ -439,6 +445,9 @@ unsafe fn store_tile(
     epilogue: Epilogue,
 ) {
     for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        // SAFETY: per this function's contract the `rows x cols` region at
+        // `(i0, j0)` is in-bounds and unaliased, so row `i0 + r` has `cols`
+        // valid, exclusively-owned elements starting at column `j0`.
         let dst = unsafe { std::slice::from_raw_parts_mut(cbase.add((i0 + r) * n + j0), cols) };
         match epilogue {
             Epilogue::Overwrite => dst.copy_from_slice(&acc_row[..cols]),

@@ -76,6 +76,8 @@ struct JobState {
 // SAFETY: the pointee is `Sync`, and `f` is only dereferenced for claimed
 // indices `< n`, all of which complete before the submitter returns.
 unsafe impl Send for JobState {}
+// SAFETY: same argument as `Send` above — the closure behind `f` is `Sync`,
+// and index claiming makes all concurrent accesses disjoint.
 unsafe impl Sync for JobState {}
 
 struct Slot {
@@ -184,6 +186,7 @@ impl Pool {
         // slot; `run` does not return until `remaining == 0`, i.e. until no
         // worker can still dereference it.
         let job = Arc::new(JobState {
+            // SAFETY: see above — the erased borrow cannot outlive `run`.
             f: unsafe {
                 std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
                     f as *const _,
@@ -364,7 +367,11 @@ pub fn split_evenly(total: usize, parts: usize) -> Vec<Range<usize>> {
 
 /// Raw pointer wrapper for handing disjoint output regions to tasks.
 struct SendPtr<T>(*mut T);
+// SAFETY: each task writes only its own index range of the output
+// buffer, and the buffer outlives the scoped dispatch that uses it.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references only hand out the raw pointer; the index
+// ranges written through it are pairwise disjoint across tasks.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

@@ -14,7 +14,7 @@
 //! makes [`Cat::Work`] span trees deterministic at any thread count.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -293,7 +293,7 @@ pub fn drain_all_events() -> Vec<ThreadEvents> {
 /// the spans of interest have closed; still-open ancestors are not in
 /// any buffer yet and truncate the path at that point.
 pub fn work_span_paths(threads: &[ThreadEvents]) -> BTreeMap<String, u64> {
-    let mut index: HashMap<u64, (&'static str, Cat, u64)> = HashMap::new();
+    let mut index: BTreeMap<u64, (&'static str, Cat, u64)> = BTreeMap::new();
     for t in threads {
         for e in &t.events {
             index.insert(e.id, (e.name, e.cat, e.parent));

@@ -22,6 +22,14 @@ cargo fmt --all -- --check
 step "cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Static invariants: the in-tree linter re-checks the whole workspace for
+# undocumented unsafe, nondeterministic iteration, wall-clock reads in
+# compute crates, thread-count dependence, external dependencies, and
+# unsafe-budget drift (see DESIGN.md "Static invariants"). Runs in both
+# the quick and full paths — it takes well under a second.
+step "lorafusion-lint check"
+cargo run -q -p lorafusion-lint -- check
+
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
   cargo build --release
