@@ -16,19 +16,35 @@
 //! (layout, shape, threads) cell on the spot; `scripts/ci.sh` runs this
 //! binary at size 256 as a fast regression gate with `BENCH_GEMM_WRITE=0`
 //! to leave the committed full-size trajectory untouched.
+//!
+//! The thread sweep is clamped to the host's available parallelism (via
+//! the pool's confined accessor) — oversubscribed cells on small boxes
+//! reported `speedup_vs_serial < 1` artifacts — and every row records
+//! `host_cores`, `detected_features`, and the active `simd_path` so rows
+//! from different machines stay comparable.
+//!
+//! `BENCH_GEMM_DIGEST=<path>` switches to the timing-free determinism
+//! mode: each (layout, shape, threads) cell's output bits are reduced to
+//! an FNV-1a digest and written to `<path>`, one line per cell. The file
+//! is a pure function of the computed bits, so `scripts/ci.sh` runs it
+//! under `LORAFUSION_SIMD=0` and under the default and diffs the two —
+//! the bitwise dual-path gate.
 
 use std::time::Instant;
 
 use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_tensor::matmul::{gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate};
 use lorafusion_tensor::microkernel::Layout;
-use lorafusion_tensor::pool::Pool;
-use lorafusion_tensor::{Matrix, Pcg32};
+use lorafusion_tensor::pool::{self, Pool};
+use lorafusion_tensor::{simd, Matrix, Pcg32};
 
 struct Row {
     layout: String,
     shape: String,
     threads: usize,
+    host_cores: usize,
+    detected_features: String,
+    simd_path: String,
     seconds: f64,
     gflops: f64,
     speedup_vs_serial: f64,
@@ -38,11 +54,27 @@ lorafusion_bench::impl_to_json!(Row {
     layout,
     shape,
     threads,
+    host_cores,
+    detected_features,
+    simd_path,
     seconds,
     gflops,
     speedup_vs_serial,
     bitwise_equal_to_serial,
 });
+
+/// FNV-1a over the output's bit patterns: a stable pure function of the
+/// computed bits for the dual-path digest gate.
+fn fnv1a(bits: &[u32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
 
 /// Builds the operands of `C = A (x) B` for `layout` with effective
 /// product shape `m x k x n`.
@@ -121,20 +153,30 @@ fn main() {
 
     // Mirror the global pool's sizing: LORAFUSION_THREADS, else the
     // machine's available parallelism.
+    let host_cores = pool::host_parallelism();
     let default_threads = std::env::var("LORAFUSION_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-    let mut sweep = vec![1usize, 2, 4];
+        .unwrap_or(host_cores);
+    // Clamp the static sweep to the hardware: oversubscribed pools on a
+    // small box time slower-than-serial artifacts, not the engine. An
+    // explicit LORAFUSION_THREADS above the core count is honored — the
+    // user asked for it — but the default sweep never oversubscribes.
+    let mut sweep: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= host_cores)
+        .collect();
     if !sweep.contains(&default_threads) {
         sweep.push(default_threads);
     }
     let pools: Vec<Pool> = sweep.iter().map(|&t| Pool::new(t)).collect();
+    let detected_features = simd::detected_features();
+    let simd_path = simd::active_path().tag();
+    let digest_path = std::env::var("BENCH_GEMM_DIGEST")
+        .ok()
+        .filter(|p| !p.is_empty());
+    let mut digest_lines: Vec<String> = Vec::new();
 
     let square_flops = 2.0 * (size as f64).powi(3);
     let mut rows: Vec<Row> = Vec::new();
@@ -147,6 +189,31 @@ fn main() {
         for &layout in &[Layout::Nn, Layout::Nt, Layout::Tn] {
             let mut rng = Pcg32::seeded(7);
             let (a, b) = operands(layout, m, k, n, &mut rng);
+            if digest_path.is_some() {
+                // Timing-free determinism mode: one run per cell, reduced
+                // to a digest that depends only on the output bits (never
+                // on timing or on the active path's name).
+                let mut serial_bits: Vec<u32> = Vec::new();
+                for (pool, &threads) in pools.iter().zip(&sweep) {
+                    let mut c = Matrix::zeros(m, n);
+                    run_once(layout, pool, &a, &b, &mut c);
+                    let bits: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+                    if threads == 1 {
+                        serial_bits = bits.clone();
+                    }
+                    assert!(
+                        bits == serial_bits,
+                        "parallel GEMM diverged from serial output at {} {m}x{k}x{n} t={threads}",
+                        layout.tag()
+                    );
+                    digest_lines.push(format!(
+                        "{} {m}x{k}x{n} t={threads} {:016x}",
+                        layout.tag(),
+                        fnv1a(&bits)
+                    ));
+                }
+                continue;
+            }
             let mut serial_seconds = 0.0;
             let mut serial_bits: Vec<u32> = Vec::new();
             for (pool, &threads) in pools.iter().zip(&sweep) {
@@ -159,6 +226,9 @@ fn main() {
                     layout: layout.tag().to_string(),
                     shape: format!("{m}x{k}x{n}"),
                     threads,
+                    host_cores,
+                    detected_features: detected_features.to_string(),
+                    simd_path: simd_path.to_string(),
                     seconds,
                     gflops: flops / seconds / 1e9,
                     speedup_vs_serial: serial_seconds / seconds,
@@ -166,6 +236,16 @@ fn main() {
                 });
             }
         }
+    }
+
+    if let Some(path) = digest_path {
+        let body = digest_lines.join("\n") + "\n";
+        std::fs::write(&path, body).expect("failed to write digest file");
+        println!(
+            "(BENCH_GEMM_DIGEST: wrote {} cell digests to {path}; path={simd_path})",
+            digest_lines.len()
+        );
+        return;
     }
 
     let table: Vec<Vec<String>> = rows

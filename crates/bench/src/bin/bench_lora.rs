@@ -21,20 +21,32 @@
 //! bitwise reproducible at 1/2/4/8 threads. `scripts/ci.sh` runs this
 //! binary at a small size as a regression gate with `BENCH_LORA_WRITE=0`
 //! so the committed full-size trajectory stays untouched.
+//!
+//! A `planned:<tag>` row per shape times the FLOP-optimal contraction
+//! ordering from [`contraction::plan`] through the same hook engine; when
+//! the planner picks the default rank-split orderings the row is gated
+//! bitwise against the fused step, otherwise to tolerance against the
+//! reference. Every row also records `host_cores`, `detected_features`,
+//! and the active `simd_path` so rows from different machines stay
+//! comparable.
 
 use std::time::Instant;
 
 use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_gpu::DeviceKind;
-use lorafusion_kernels::{fused, reference, LoraConfig, LoraLayer, TrafficModel};
+use lorafusion_kernels::contraction::{self, ContractionPlan, PlannedWorkspace};
+use lorafusion_kernels::{fused, reference, LoraConfig, LoraLayer, Shape, TrafficModel};
 use lorafusion_tensor::ops::all_close;
-use lorafusion_tensor::pool::with_pool;
-use lorafusion_tensor::{Matrix, Pcg32, Pool};
+use lorafusion_tensor::pool::{self, with_pool};
+use lorafusion_tensor::{simd, Matrix, Pcg32, Pool};
 
 struct Row {
     executor: String,
     shape: String,
     threads: usize,
+    host_cores: usize,
+    detected_features: String,
+    simd_path: String,
     seconds: f64,
     speedup_vs_reference: f64,
     bitwise_equal_to_serial: bool,
@@ -43,6 +55,9 @@ lorafusion_bench::impl_to_json!(Row {
     executor,
     shape,
     threads,
+    host_cores,
+    detected_features,
+    simd_path,
     seconds,
     speedup_vs_reference,
     bitwise_equal_to_serial,
@@ -98,6 +113,21 @@ fn main() {
 
     let mut rng = Pcg32::seeded(0x10AD);
     let layer = LoraLayer::init_nonzero(k, n, cfg, &mut rng);
+
+    let host_cores = pool::host_parallelism();
+    let detected_features = simd::detected_features().to_string();
+    let simd_path = simd::active_path().tag().to_string();
+    let row = |executor: String, shape: &str, threads, seconds, speedup, bitwise| Row {
+        executor,
+        shape: shape.to_string(),
+        threads,
+        host_cores,
+        detected_features: detected_features.clone(),
+        simd_path: simd_path.clone(),
+        seconds,
+        speedup_vs_reference: speedup,
+        bitwise_equal_to_serial: bitwise,
+    };
 
     let mut rows: Vec<Row> = Vec::new();
     for m in [size / 2, size, size * 2] {
@@ -163,22 +193,63 @@ fn main() {
             (ref_seconds, fused_seconds, serial_bits)
         });
 
-        rows.push(Row {
-            executor: "reference".into(),
-            shape: shape.clone(),
-            threads: 1,
-            seconds: ref_seconds,
-            speedup_vs_reference: 1.0,
-            bitwise_equal_to_serial: true,
+        rows.push(row("reference".into(), &shape, 1, ref_seconds, 1.0, true));
+        rows.push(row(
+            "fused".into(),
+            &shape,
+            1,
+            fused_seconds,
+            ref_seconds / fused_seconds,
+            true,
+        ));
+
+        // Planner row: execute the FLOP-optimal contraction ordering for
+        // this shape through the same hook engine. When the planner picks
+        // the default rank-split orderings (it does at these shapes: the
+        // rank is far below the hidden size), the planned step must be
+        // bitwise-equal to the fused serial step; for any other plan the
+        // gate is the tolerance check against the fused outputs.
+        let lora_shape = Shape::new(m, k, n, cfg.rank);
+        let plan = contraction::plan(lora_shape);
+        let (planned_seconds, planned_bitwise) = with_pool(&serial, || {
+            let mut pw = PlannedWorkspace::new(plan);
+            let seconds = time_median(reps, || {
+                pw.forward_into(&layer, &x, 0).unwrap();
+                pw.backward_into(&layer, &dy).unwrap();
+            });
+            let bitwise = bits(&pw.y) == serial_bits.y
+                && bits(&pw.dx) == serial_bits.dx
+                && bits(&pw.da) == serial_bits.da
+                && bits(&pw.db) == serial_bits.db;
+            if plan == ContractionPlan::DEFAULT {
+                assert!(
+                    bitwise,
+                    "planned default step diverged from fused bits at {shape}"
+                );
+            } else {
+                let fwd = reference::forward(&layer, &x, 0, &t).unwrap();
+                let bwd = reference::backward(&layer, &fwd.saved, &dy, &t).unwrap();
+                assert!(all_close(&pw.y, &fwd.y, 1e-4), "planned y at {shape}");
+                assert!(all_close(&pw.dx, &bwd.dx, 1e-4), "planned dx at {shape}");
+                assert!(
+                    all_close(&pw.da, &bwd.grads.da, 1e-4),
+                    "planned da at {shape}"
+                );
+                assert!(
+                    all_close(&pw.db, &bwd.grads.db, 1e-4),
+                    "planned db at {shape}"
+                );
+            }
+            (seconds, bitwise)
         });
-        rows.push(Row {
-            executor: "fused".into(),
-            shape: shape.clone(),
-            threads: 1,
-            seconds: fused_seconds,
-            speedup_vs_reference: ref_seconds / fused_seconds,
-            bitwise_equal_to_serial: true,
-        });
+        rows.push(row(
+            format!("planned:{}", plan.tag()),
+            &shape,
+            1,
+            planned_seconds,
+            ref_seconds / planned_seconds,
+            planned_bitwise,
+        ));
 
         // Determinism sweep: the fused step must be bitwise reproducible
         // at every thread count.
@@ -197,14 +268,14 @@ fn main() {
                 equal,
                 "fused step diverged at {threads} threads for {shape}"
             );
-            rows.push(Row {
-                executor: "fused".into(),
-                shape: shape.clone(),
+            rows.push(row(
+                "fused".into(),
+                &shape,
                 threads,
                 seconds,
-                speedup_vs_reference: ref_seconds / seconds,
-                bitwise_equal_to_serial: equal,
-            });
+                ref_seconds / seconds,
+                equal,
+            ));
         }
     }
 

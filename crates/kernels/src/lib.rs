@@ -36,12 +36,16 @@
 //!   math), with their own lowerings for the ablation benches;
 //! * [`autotune`] — tile-configuration tuning mirroring the artifact's
 //!   `tools/tune_kernels.py`;
+//! * [`contraction`] — FLOP-optimal contraction-order planning: enumerate
+//!   the valid orderings of the LoRA forward/backward, pick the analytic
+//!   minimum per shape, execute it through the same hook engine;
 //! * [`qlora`] — the Section 7 quantization extension: block-wise 4-bit
 //!   base weights with the two-step dequantize-then-fuse scheme;
 //! * [`variants`] — the Section 7 LoRA-variant extension: prologue/epilogue
 //!   hooks around the fused core, instantiated for VeRA and DoRA.
 
 pub mod autotune;
+pub mod contraction;
 pub mod frozen;
 pub mod full_fusion;
 pub mod fused;

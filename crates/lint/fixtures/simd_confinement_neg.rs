@@ -1,0 +1,22 @@
+// Negative fixture: compute code asks the confined dispatch module for
+// its decision instead of detecting features or reading overrides itself.
+
+pub fn path_tag() -> &'static str {
+    lorafusion_tensor::simd::active_path().tag()
+}
+
+// `arch` as a plain identifier (a module of ours, a field access) is
+// fine; only `core::arch` / `std::arch` paths are intrinsics.
+mod arch {
+    pub fn name() -> &'static str {
+        "x86_64"
+    }
+}
+
+pub struct Host {
+    pub arch: &'static str,
+}
+
+pub fn describe(h: &Host) -> String {
+    format!("{} ({})", h.arch, arch::name())
+}

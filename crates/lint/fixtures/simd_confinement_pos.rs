@@ -1,0 +1,20 @@
+// Positive fixture: four distinct SIMD-confinement escapes outside
+// `tensor::simd` — feature detection, feature-gated codegen, raw
+// intrinsics, and the dispatch override all leaking into compute code.
+
+pub fn has_avx2() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: fixture only; never called.
+pub unsafe fn widened() {}
+
+pub fn load(p: *const f32) -> core::arch::x86_64::__m256 {
+    // SAFETY: fixture only; never called.
+    unsafe { core::arch::x86_64::_mm256_loadu_ps(p) }
+}
+
+pub fn simd_enabled() -> bool {
+    std::env::var("LORAFUSION_SIMD").map(|v| v != "0").unwrap_or(true)
+}

@@ -1,4 +1,4 @@
-//! The rule engine: six invariants, each one a machine-checked version
+//! The rule engine: seven invariants, each one a machine-checked version
 //! of a determinism or soundness argument the repo's tests rely on.
 //!
 //! | rule | invariant guarded |
@@ -7,15 +7,19 @@
 //! | `nondeterministic-iteration` | no `HashMap`/`HashSet` in deterministic crates — iteration order must be a pure function of the data |
 //! | `wall-clock-in-core` | compute/scheduling crates never read `Instant`/`SystemTime`; replays are bit-identical |
 //! | `thread-count-dependence` | only `tensor::pool` (and `trace`) may observe the thread count |
+//! | `simd-confinement` | only `tensor::simd` may detect CPU features, use `core::arch`, or read the SIMD override — dispatch stays a pure function of one module's decision |
 //! | `dep-freeze` | manifests declare only workspace-path or feature-gated deps; the offline zero-dep build stays true |
 //! | `unsafe-budget` | the per-crate `unsafe` count cannot grow without a reviewed `lint-budget.toml` bump |
 //!
-//! Rules 2–4 skip `#[cfg(test)]`/`#[test]` regions and files under a
-//! `tests/` directory (tests may time themselves and use scratch maps);
-//! rule 1 applies everywhere — an unsound test is still unsound.
+//! Rules 2–5 skip `#[cfg(test)]`/`#[test]` regions and files under a
+//! `tests/` directory (tests may time themselves, use scratch maps and
+//! force dispatch paths); rule 1 applies everywhere — an unsound test is
+//! still unsound.
 
 // lint: allow(thread-count-dependence) — the rule's needle strings must
 // literally name the banned identifiers they search for.
+// lint: allow(simd-confinement) — same: the rule's needle strings must
+// literally name the banned identifiers and env var they search for.
 
 use crate::lexer::{Lexed, TokKind};
 use crate::source::{in_regions, parse_pragmas, test_regions};
@@ -23,11 +27,12 @@ use crate::toml_lite;
 
 /// Every rule id, in documentation order. `pragma` diagnostics (malformed
 /// suppressions) are reported by the engine itself and cannot be allowed.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "undocumented-unsafe",
     "nondeterministic-iteration",
     "wall-clock-in-core",
     "thread-count-dependence",
+    "simd-confinement",
     "dep-freeze",
     "unsafe-budget",
 ];
@@ -162,6 +167,45 @@ pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
                          must not depend on the machine's thread count",
                     ));
                 }
+                "is_x86_feature_detected" | "target_feature"
+                    if !simd_allowed(rel_path)
+                        && !exempt(tok.line)
+                        && !pragmas.allows("simd-confinement") =>
+                {
+                    diags.push(Diag::new(
+                        rel_path,
+                        tok.line,
+                        "simd-confinement",
+                        &format!(
+                            "`{}` outside `tensor::simd`: CPU-feature detection and \
+                             feature-gated codegen must stay confined to the one module \
+                             whose dispatch decision the tests force both ways",
+                            tok.text
+                        ),
+                    ));
+                }
+                "arch" => {
+                    // `core::arch` / `std::arch` — intrinsics leaking out
+                    // of the confined SIMD module.
+                    let preceded_by_root = idx >= 3
+                        && lexed.toks[idx - 1].text == ":"
+                        && lexed.toks[idx - 2].text == ":"
+                        && (lexed.toks[idx - 3].text == "core"
+                            || lexed.toks[idx - 3].text == "std");
+                    if preceded_by_root
+                        && !simd_allowed(rel_path)
+                        && !exempt(tok.line)
+                        && !pragmas.allows("simd-confinement")
+                    {
+                        diags.push(Diag::new(
+                            rel_path,
+                            tok.line,
+                            "simd-confinement",
+                            "`core::arch` outside `tensor::simd`: architecture intrinsics \
+                             must stay confined to the one audited module",
+                        ));
+                    }
+                }
                 "current" => {
                     // `thread::current()` — thread identity leaking into logic.
                     let preceded_by_thread = idx >= 3
@@ -198,6 +242,20 @@ pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
                      sizing is the pool's job",
                 ));
             }
+            TokKind::Str
+                if tok.text.contains("LORAFUSION_SIMD")
+                    && !simd_allowed(rel_path)
+                    && !exempt(tok.line)
+                    && !pragmas.allows("simd-confinement") =>
+            {
+                diags.push(Diag::new(
+                    rel_path,
+                    tok.line,
+                    "simd-confinement",
+                    "reading `LORAFUSION_SIMD` outside `tensor::simd`: the dispatch \
+                     decision is the SIMD module's job",
+                ));
+            }
             _ => {}
         }
     }
@@ -209,6 +267,12 @@ fn thread_count_allowed(rel_path: &str, krate: &str) -> bool {
     krate == "trace"
         || rel_path.ends_with("crates/tensor/src/pool.rs")
         || rel_path == "crates/tensor/src/pool.rs"
+}
+
+/// The one file allowed to detect CPU features, host intrinsics, and read
+/// the SIMD override: the confined dispatch module.
+fn simd_allowed(rel_path: &str) -> bool {
+    rel_path.ends_with("crates/tensor/src/simd.rs") || rel_path == "crates/tensor/src/simd.rs"
 }
 
 /// Is an `unsafe` token at `line` covered by a safety comment?
@@ -398,6 +462,30 @@ mod tests {
         let (diags, _) = check_rust_file("crates/sched/src/x.rs", tid);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "thread-count-dependence");
+    }
+
+    #[test]
+    fn simd_confinement_scoping() {
+        let detect = "fn f() -> bool { is_x86_feature_detected!(\"avx2\") }\n";
+        assert!(check_rust_file("crates/tensor/src/simd.rs", detect)
+            .0
+            .is_empty());
+        let (diags, _) = check_rust_file("crates/tensor/src/matmul.rs", detect);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "simd-confinement");
+        let arch = "use core::arch::x86_64::__m256;\n";
+        assert!(!check_rust_file("crates/kernels/src/fused.rs", arch)
+            .0
+            .is_empty());
+        let env = "fn f() { let v = std::env::var(\"LORAFUSION_SIMD\"); }\n";
+        assert!(!check_rust_file("crates/kernels/src/fused.rs", env)
+            .0
+            .is_empty());
+        // A bare `arch` identifier is not an intrinsics path.
+        let bare = "mod arch {}\nfn f() { let arch = 0usize; }\n";
+        assert!(check_rust_file("crates/kernels/src/fused.rs", bare)
+            .0
+            .is_empty());
     }
 
     #[test]

@@ -121,6 +121,37 @@ fn thread_count_positive_fires_and_negative_is_clean() {
 }
 
 #[test]
+fn simd_confinement_positive_fires_per_site() {
+    let diags = check_as_core("simd_confinement_pos.rs");
+    assert_eq!(rules_fired(&diags), vec!["simd-confinement"]);
+    assert_eq!(
+        diags.len(),
+        5,
+        "feature detection, target_feature, core::arch x2, env override: {diags:?}"
+    );
+    // The same file inside the confined module is allowed.
+    let simd = check_rust_file(
+        "crates/tensor/src/simd.rs",
+        &fixture("simd_confinement_pos.rs"),
+    )
+    .0;
+    assert!(simd.is_empty(), "{simd:?}");
+    // Test files may force dispatch paths.
+    let test = check_rust_file(
+        "crates/tensor/tests/simd_confinement_pos.rs",
+        &fixture("simd_confinement_pos.rs"),
+    )
+    .0;
+    assert!(test.is_empty(), "{test:?}");
+}
+
+#[test]
+fn simd_confinement_negative_is_clean() {
+    let diags = check_as_core("simd_confinement_neg.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn reasonless_pragma_fails_and_does_not_suppress() {
     let diags = check_as_core("pragma_missing_reason_pos.rs");
     assert!(

@@ -43,6 +43,9 @@ const MAX_CACHED: usize = 4;
 /// uninitialized memory). Returned to the arena on drop.
 pub struct Scratch {
     buf: Vec<f32>,
+    /// Element offset of the checked-out region inside `buf` — nonzero only
+    /// for [`Scratch::take_aligned`] checkouts.
+    off: usize,
     len: usize,
 }
 
@@ -81,19 +84,34 @@ impl Scratch {
         // `resize` only writes the grown tail; reused capacity keeps its
         // stale contents, which is the documented contract.
         buf.resize(len, 0.0);
-        Scratch { buf, len }
+        Scratch { buf, off: 0, len }
+    }
+
+    /// Checks out a buffer of `len` elements whose first element sits on a
+    /// 64-byte (cache line) boundary, by over-allocating up to 15 elements
+    /// and sliding the window. The packed GEMM panels use this so the
+    /// microkernel's vector loads never straddle cache lines at tile
+    /// starts. Same contents contract as [`Scratch::take`].
+    pub fn take_aligned(len: usize) -> Scratch {
+        let mut s = Scratch::take(len + 15);
+        // `align_offset` is in elements; a `Vec<f32>` allocation is at
+        // least 4-byte aligned, so at most 15 elements (60 bytes) are
+        // needed. `min` also guards the pathological `usize::MAX` return.
+        s.off = s.buf.as_ptr().align_offset(64).min(15);
+        s.len = len;
+        s
     }
 
     /// The checked-out region.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.buf[..self.len]
+        &self.buf[self.off..self.off + self.len]
     }
 
     /// The checked-out region, mutably.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.buf[..self.len]
+        &mut self.buf[self.off..self.off + self.len]
     }
 }
 
@@ -169,5 +187,20 @@ mod tests {
         let a = Scratch::take(64);
         let b = Scratch::take(64);
         assert_ne!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn aligned_checkout_starts_on_cache_line() {
+        for len in [0usize, 1, 17, 1024, 4096] {
+            let mut s = Scratch::take_aligned(len);
+            assert_eq!(s.len(), len);
+            assert_eq!(s.as_slice().as_ptr() as usize % 64, 0, "len={len}");
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = i as f32;
+            }
+            if len > 0 {
+                assert_eq!(s[len - 1], (len - 1) as f32);
+            }
+        }
     }
 }

@@ -29,6 +29,7 @@ pub mod microkernel;
 pub mod ops;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod tensor;
 
 pub use dropout::{dropout_forward, dropout_mask, DropoutSpec};
@@ -36,6 +37,7 @@ pub use error::TensorError;
 pub use matmul::{matmul_nn, matmul_nt, matmul_tn};
 pub use pool::Pool;
 pub use rng::{Pcg32, SplitMix64};
+pub use simd::SimdPath;
 pub use tensor::Matrix;
 
 /// Convenience result alias used throughout the crate.

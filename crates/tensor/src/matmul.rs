@@ -25,6 +25,7 @@
 use crate::error::TensorError;
 use crate::microkernel;
 use crate::pool::{self, Pool};
+use crate::simd::{self, SimdPath};
 use crate::tensor::Matrix;
 use crate::Result;
 
@@ -59,6 +60,23 @@ fn gemm_trace(layout: Layout, m: usize, k: usize, n: usize) -> SpanGuard {
         Cat::Work,
         &[("m", m as u64), ("k", k as u64), ("n", n as u64)],
     )
+}
+
+/// Bumps the per-path dispatch counters so traces show which microkernel
+/// spelling actually ran: `gemm.simd_dispatch.avx2` for the explicit
+/// vector kernel, `gemm.simd_dispatch.fallback` for either scalar twin.
+fn count_dispatch(path: SimdPath) {
+    static METRICS: std::sync::OnceLock<(Counter, Counter)> = std::sync::OnceLock::new();
+    let (avx2, fallback) = METRICS.get_or_init(|| {
+        (
+            counter("gemm.simd_dispatch.avx2"),
+            counter("gemm.simd_dispatch.fallback"),
+        )
+    });
+    match path {
+        SimdPath::Avx2Fma => avx2.incr(),
+        SimdPath::ScalarFma | SimdPath::Scalar => fallback.incr(),
+    }
 }
 
 /// Accumulation mode for a GEMM call — the pre-fusion subset of
@@ -145,6 +163,36 @@ pub fn gemm_fused_on(
     prologue: Prologue<'_>,
     epilogue: Epilogue,
 ) -> Result<()> {
+    gemm_fused_on_path(
+        pool,
+        simd::active_path(),
+        layout,
+        alpha,
+        a,
+        b,
+        c,
+        prologue,
+        epilogue,
+    )
+}
+
+/// [`gemm_fused_on`] with an explicit microkernel spelling instead of the
+/// process-wide [`simd::active_path`]. `path` must be supported on this
+/// host ([`SimdPath::is_supported`]); tests and the dual-path bench gate
+/// use this to run both spellings inside one process, where flipping the
+/// `LORAFUSION_SIMD` env var is unreliable.
+#[allow(clippy::too_many_arguments)] // the full fused-GEMM surface
+pub fn gemm_fused_on_path(
+    pool: &Pool,
+    path: SimdPath,
+    layout: Layout,
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    prologue: Prologue<'_>,
+    epilogue: Epilogue,
+) -> Result<()> {
     let (op, out_op, m, k, kb, n) = match layout {
         Layout::Nn => (
             "gemm_nn",
@@ -174,8 +222,10 @@ pub fn gemm_fused_on(
     check_shapes(op, out_op, a, b, c, (k, kb), (m, n))?;
     check_fusion(&prologue, &epilogue, a.len())?;
     let _span = gemm_trace(layout, m, k, n);
+    count_dispatch(path);
     microkernel::gemm(
         pool,
+        path,
         layout,
         alpha,
         a.as_slice(),
@@ -236,7 +286,11 @@ pub fn gemm_windows_on(
     }
     check_fusion(&prologue, &epilogue, a.len())?;
     let _span = gemm_trace(layout, m, k, n);
-    microkernel::gemm(pool, layout, alpha, a, b, c, m, k, n, prologue, epilogue);
+    let path = simd::active_path();
+    count_dispatch(path);
+    microkernel::gemm(
+        pool, path, layout, alpha, a, b, c, m, k, n, prologue, epilogue,
+    );
     Ok(())
 }
 

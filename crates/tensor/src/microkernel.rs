@@ -18,17 +18,20 @@
 //!    emitted to a second destination — this is how the fused LoRA forward
 //!    produces `X̂` for the backward pass without a separate mask +
 //!    hadamard sweep.
-//! 2. **Microkernel.** An `MR x NR` accumulator tile lives in a fixed-size
-//!    local array and accumulates the *entire* `k` reduction for its output
-//!    tile in registers, in strictly ascending `kk` order. The `NR` lane
-//!    loop has constant bounds and independent lanes, so the compiler
-//!    auto-vectorizes it on stable Rust (no `std::arch`); the `MR` loop is
-//!    fully unrolled. One invocation owns its output tile exclusively.
-//!    When the tile is complete it is stored exactly once, through an
-//!    [`Epilogue`] applied while the values are still in registers:
-//!    overwrite, accumulate, scale-by-alpha, or accumulate-through-a-
-//!    dropout-mask. This is what lets the LoRA executors drop their
-//!    standalone `scale` / `hadamard` / `add` full-tensor passes.
+//! 2. **Microkernel.** An `MR x NR` accumulator tile is accumulated in
+//!    registers in strictly ascending `kk` order, one [`KC`]-length block
+//!    of the reduction per invocation; between blocks the tile parks in an
+//!    exact `f32` stack buffer (see [`KC`] for why this cannot change a
+//!    bit). The kernel has three spellings selected by [`SimdPath`]: an
+//!    explicit AVX2+FMA kernel (confined to `crate::simd`), a scalar
+//!    `mul_add` twin that matches it bit for bit, and the historical
+//!    auto-vectorized mul-then-add kernel for non-FMA hosts. One
+//!    invocation owns its output tile exclusively. When the tile is
+//!    complete it is stored exactly once, through an [`Epilogue`] applied
+//!    while the values are still in registers: overwrite, accumulate,
+//!    scale-by-alpha, or accumulate-through-a-dropout-mask. This is what
+//!    lets the LoRA executors drop their standalone `scale` / `hadamard` /
+//!    `add` full-tensor passes.
 //! 3. **2D macro-tiles.** Parallelism is over an `(i-block, j-block)` grid
 //!    of [`MC`]` x `[`NC`] output tiles rather than row ranges, so skinny
 //!    LoRA shapes (`m x k x r` and `r x k x n` with rank `r` in 16..=64,
@@ -44,10 +47,11 @@
 //!   inside it, by exactly one microkernel invocation;
 //! * the reduction order per element is a single ascending-`kk` chain over
 //!   the full `k` extent — a pure function of the shape, never of the
-//!   thread count or of which thread ran the tile. (Earlier revisions
-//!   folded `KC`-sized partial sums; the full-`k` register accumulation
-//!   makes the engine bitwise-equal to a naive ascending-`k` loop at
-//!   *every* `k`, which the fuzz suite asserts.);
+//!   thread count or of which thread ran the tile. The chain is *executed*
+//!   in [`KC`]-length blocks with the accumulator tile parked in an exact
+//!   `f32` buffer between blocks, which reorders nothing and rounds
+//!   nothing — the engine stays bitwise-equal to a naive ascending-`k`
+//!   loop at *every* `k`, which the fuzz suite asserts;
 //! * packing only copies values, multiplies by `alpha`, or multiplies by
 //!   the deterministic dropout mask value, so it cannot perturb a bit, and
 //!   zero padding in edge strips is written explicitly but only ever
@@ -64,25 +68,38 @@
 use crate::arena::Scratch;
 use crate::dropout::DropoutSpec;
 use crate::pool::{self, Pool};
+use crate::simd::{self, SimdPath};
 
 /// Microkernel tile rows: rows of `C` accumulated per invocation.
 ///
-/// `MR x NR = 8 x 8` keeps the 64-float accumulator tile inside the
-/// 16-register AVX2 vector file (8 accumulator vectors plus operands);
-/// measured on the reference machine, 8x8 sustains ~12x the throughput of
-/// the register-spilling 8x16 and 12x8 variants.
-pub const MR: usize = 8;
-/// Microkernel tile columns: the auto-vectorized lane dimension.
-pub const NR: usize = 8;
-/// Historical `k`-block length, retained as a shape parameter for tests
-/// and benches. Since the full-`k` register-accumulation rewrite the
-/// engine no longer folds `KC`-sized partial sums, so `KC` is *not* part
-/// of the numeric contract: the per-element reduction is one ascending-`k`
-/// chain regardless of `k`.
-pub const KC: usize = 256;
+/// `MR x NR = 6 x 16` is the FMA-bound register shape for AVX2: 12
+/// accumulator vectors (6 rows x two 8-lane columns) plus two `B` vectors
+/// and one broadcast fill 15 of the 16 ymm registers, and each `kk` step
+/// issues 12 fused multiply-adds against only 8 load-port uops (6
+/// broadcasts + 2 `B` loads) — the FMA ports saturate before the load
+/// ports do. The earlier 8x8 shape was the opposite (9 load uops per 8
+/// FMAs, load-port-bound at ~89% of FMA peak); 8x16 and 12x8 spill
+/// registers and collapse entirely.
+pub const MR: usize = 6;
+/// Microkernel tile columns: the vector lane dimension — two 8-lane AVX2
+/// vectors per row (and two auto-vectorized lanes-of-8 in the scalar
+/// spellings).
+pub const NR: usize = 16;
+/// Cache-blocking length of the `k` loop inside a macro-tile: the panels
+/// the microkernel streams per invocation are `KC x MR` / `KC x NR`
+/// windows (12 KiB / 32 KiB — together under a 48 KiB L1d), so one
+/// `i`/`j` sweep's working set — the `A` block, the `B` block, and the
+/// macro-tile's accumulator buffer — stays L2-resident instead of
+/// streaming full-`k` strips per tile. `KC` is
+/// *not* part of the numeric contract: the accumulator tile round-trips
+/// through an `f32` buffer between blocks, and an `f32` store/load is
+/// exact, so the per-element reduction is still one ascending-`k` chain
+/// regardless of `k` — bitwise-equal to the unblocked loop at every `k`,
+/// which the fuzz suite asserts.
+pub const KC: usize = 512;
 /// Macro-tile rows (`i`-block). Must be a multiple of [`MR`] so packed row
 /// strips never straddle two macro-tiles.
-pub const MC: usize = 128;
+pub const MC: usize = 120;
 /// Macro-tile columns (`j`-block). Must be a multiple of [`NR`].
 pub const NC: usize = 256;
 
@@ -300,6 +317,10 @@ fn pack_a_strip_transposed_fused(
     let emit = fusion.emit_ptr();
     let avail = m.saturating_sub(i0).min(MR);
     for kk in 0..k {
+        // The gather reads `MR` floats per source row with an `m`-element
+        // stride between rows; prefetching a few rows ahead hides the
+        // stride the hardware prefetcher gives up on for large `m`.
+        simd::prefetch_read(av.as_ptr().wrapping_add((kk + 4) * m + i0));
         let src = &av[kk * m..(kk + 1) * m];
         let dst = &mut out[kk * MR..(kk + 1) * MR];
         for r in 0..avail {
@@ -341,15 +362,32 @@ fn pack_b_strip_rowmajor(bv: &[f32], k: usize, n: usize, j0: usize, out: &mut [f
     }
 }
 
+/// `kk`-block length for the transposed gathers. A block keeps one
+/// `PACK_KB x NR` destination window (`16 KiB`) plus `NR` source row
+/// segments resident in L1 while the transpose walks them, instead of
+/// streaming the whole `k x NR` strip through cache once per source row.
+/// Purely a traversal choice: the values written are identical to the
+/// unblocked gather, which the packing tests assert.
+const PACK_KB: usize = 256;
+
 /// Packs one `NR`-column strip of the *transpose* of a row-major `n x k`
-/// matrix (the `NT` right operand).
+/// matrix (the `NT` right operand), `kk`-blocked with the next source row
+/// segment prefetched while the current one is gathered.
 fn pack_b_strip_transposed(bv: &[f32], k: usize, n: usize, j0: usize, out: &mut [f32]) {
     let avail = n.saturating_sub(j0).min(NR);
-    for c in 0..avail {
-        let src = &bv[(j0 + c) * k..(j0 + c + 1) * k];
-        for (kk, &v) in src.iter().enumerate() {
-            out[kk * NR + c] = v;
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + PACK_KB).min(k);
+        for c in 0..avail {
+            if c + 1 < avail {
+                simd::prefetch_read(bv.as_ptr().wrapping_add((j0 + c + 1) * k + kb));
+            }
+            let src = &bv[(j0 + c) * k + kb..(j0 + c) * k + kend];
+            for (kk, &v) in src.iter().enumerate() {
+                out[(kb + kk) * NR + c] = v;
+            }
         }
+        kb = kend;
     }
     if avail < NR {
         for kk in 0..k {
@@ -425,6 +463,36 @@ fn microkernel(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
     }
 }
 
+/// Scalar twin of the AVX2 kernel ([`SimdPath::ScalarFma`]): the same
+/// loop structure as [`microkernel`] but accumulating with
+/// `f32::mul_add`, whose single correctly-rounded step matches the
+/// vector kernel's `vfmaddps` bit for bit. This is what
+/// `LORAFUSION_SIMD=0` executes on FMA hosts, keeping the env override
+/// bitwise-neutral (see `crate::simd` for the purity rules).
+#[inline]
+fn microkernel_fma(apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] = ai.mul_add(b[j], acc[i][j]);
+            }
+        }
+    }
+}
+
+/// Runs the microkernel spelling selected by `path` (see
+/// [`crate::simd`] for how paths are resolved; all three spellings share
+/// the ascending-`kk` per-element reduction order).
+#[inline]
+fn run_microkernel(path: SimdPath, apanel: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    match path {
+        SimdPath::Avx2Fma => simd::microkernel_avx2(apanel, bpanel, acc),
+        SimdPath::ScalarFma => microkernel_fma(apanel, bpanel, acc),
+        SimdPath::Scalar => microkernel(apanel, bpanel, acc),
+    }
+}
+
 /// Writes the live `rows x cols` corner of a completed accumulator tile
 /// into `C` at `(i0, j0)` through `epilogue`. Runs exactly once per output
 /// element per GEMM call.
@@ -477,14 +545,27 @@ unsafe fn store_tile(
     }
 }
 
+/// Accumulator-tile count of one macro-tile, and the `j`-direction stride
+/// of the accumulator buffer's `(ti, tj)` indexing.
+const ACC_TILES_J: usize = NC / NR;
+const ACC_TILES: usize = (MC / MR) * ACC_TILES_J;
+
 /// Computes one `MC x NC` macro-tile of `C` from the shared packed panels.
 ///
-/// Loop order is `j`-strip → `i`-strip, with the full-`k` reduction for
-/// each `MR x NR` tile accumulated in registers by a single microkernel
-/// invocation and stored exactly once through the epilogue. The `NR`-wide
-/// `B` panel strip (`k*NR` floats) is reused across the whole `i` loop.
+/// The `k` reduction is blocked by [`KC`]: for each `kb` block the loop
+/// order is `j`-strip → `i`-strip, so the `KC x NR` `B` window (32 KiB)
+/// stays L1-resident across the `i` loop and the whole block working set
+/// (`A` window + `B` window + accumulator buffer, ≤ 512 KiB) stays
+/// L2-resident — instead of streaming two full-`k` strips per tile, which
+/// made large GEMMs bandwidth-bound. Each `MR x NR` tile's accumulator
+/// lives in a stack buffer between blocks; the round-trip is an exact
+/// `f32` copy, so the per-element reduction order (one ascending-`kk`
+/// chain) and therefore every output bit is identical to the unblocked
+/// loop. Tiles are stored exactly once through the epilogue after the
+/// last block.
 #[allow(clippy::too_many_arguments)] // one argument per tile coordinate
 fn macro_tile(
+    path: SimdPath,
     apack: &[f32],
     bpack: &[f32],
     cbase: *mut f32,
@@ -494,20 +575,52 @@ fn macro_tile(
     j_range: std::ops::Range<usize>,
     epilogue: Epilogue,
 ) {
+    let mut accbuf = [[[0.0f32; NR]; MR]; ACC_TILES];
+    let mut kb = 0;
+    loop {
+        let kend = (kb + KC).min(k);
+        let kc = kend - kb;
+        let mut j0 = j_range.start;
+        while j0 < j_range.end {
+            let tj = (j0 - j_range.start) / NR;
+            let bpanel = &bpack[(j0 / NR) * k * NR + kb * NR..][..kc * NR];
+            let mut i0 = i_range.start;
+            while i0 < i_range.end {
+                let ti = (i0 - i_range.start) / MR;
+                let apanel = &apack[(i0 / MR) * k * MR + kb * MR..][..kc * MR];
+                run_microkernel(path, apanel, bpanel, &mut accbuf[ti * ACC_TILES_J + tj]);
+                i0 += MR;
+            }
+            j0 += NR;
+        }
+        kb = kend;
+        if kb >= k {
+            break;
+        }
+    }
     let mut j0 = j_range.start;
     while j0 < j_range.end {
         let cols = NR.min(j_range.end - j0);
-        let bpanel = &bpack[(j0 / NR) * k * NR..][..k * NR];
+        let tj = (j0 - j_range.start) / NR;
         let mut i0 = i_range.start;
         while i0 < i_range.end {
             let rows = MR.min(i_range.end - i0);
-            let apanel = &apack[(i0 / MR) * k * MR..][..k * MR];
-            let mut acc = [[0.0f32; NR]; MR];
-            microkernel(apanel, bpanel, &mut acc);
+            let ti = (i0 - i_range.start) / MR;
             // SAFETY: this macro-tile exclusively owns the
             // `i_range x j_range` region of `C`, and `(i0, j0)` plus
             // `rows x cols` stays inside it.
-            unsafe { store_tile(&acc, cbase, n, i0, j0, rows, cols, epilogue) };
+            unsafe {
+                store_tile(
+                    &accbuf[ti * ACC_TILES_J + tj],
+                    cbase,
+                    n,
+                    i0,
+                    j0,
+                    rows,
+                    cols,
+                    epilogue,
+                )
+            };
             i0 += MR;
         }
         j0 += NR;
@@ -526,6 +639,7 @@ fn macro_tile(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     pool: &Pool,
+    path: SimdPath,
     layout: Layout,
     alpha: f32,
     av: &[f32],
@@ -547,8 +661,8 @@ pub(crate) fn gemm(
 
     let a_strips = m.div_ceil(MR);
     let b_strips = n.div_ceil(NR);
-    let mut apack = Scratch::take(a_strips * MR * k);
-    let mut bpack = Scratch::take(b_strips * NR * k);
+    let mut apack = Scratch::take_aligned(a_strips * MR * k);
+    let mut bpack = Scratch::take_aligned(b_strips * NR * k);
 
     // Keep the `SendPtr` alive on this frame for the whole packing job so
     // `PackFusion`'s raw pointer to it stays valid.
@@ -590,6 +704,7 @@ pub(crate) fn gemm(
         // FLOPs happen, so Perfetto occupancy comes from these.
         let _tile = lorafusion_trace::task_span!("gemm.macro_tile", bi = bi, bj = bj);
         macro_tile(
+            path,
             apack,
             bpack,
             cbase.get(),
@@ -731,6 +846,54 @@ mod tests {
         assert_eq!(emit_t, masked_t.as_slice(), "transposed emit");
     }
 
+    /// The AVX2 kernel and its scalar `mul_add` twin must agree bit for
+    /// bit on the same packed panels — the heart of the dispatch-purity
+    /// contract — and the historical mul-then-add kernel must stay close.
+    #[test]
+    fn microkernel_spellings_agree() {
+        let k = 2 * KC + 3;
+        let mut rng = crate::rng::Pcg32::seeded(41);
+        let apanel: Vec<f32> = (0..k * MR).map(|_| rng.next_f32() - 0.5).collect();
+        let bpanel: Vec<f32> = (0..k * NR).map(|_| rng.next_f32() - 0.5).collect();
+        let base = {
+            let mut acc = [[0.0f32; NR]; MR];
+            for row in acc.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = rng.next_f32();
+                }
+            }
+            acc
+        };
+
+        let mut fma = base;
+        microkernel_fma(&apanel, &bpanel, &mut fma);
+        let mut plain = base;
+        microkernel(&apanel, &bpanel, &mut plain);
+        for i in 0..MR {
+            for j in 0..NR {
+                let (x, y) = (fma[i][j], plain[i][j]);
+                assert!(
+                    (x - y).abs() <= 1e-3 * (1.0 + x.abs().max(y.abs())),
+                    "fma vs plain at ({i},{j}): {x} vs {y}"
+                );
+            }
+        }
+
+        if simd::fma_semantics() {
+            let mut vector = base;
+            simd::microkernel_avx2(&apanel, &bpanel, &mut vector);
+            for i in 0..MR {
+                for j in 0..NR {
+                    assert_eq!(
+                        vector[i][j].to_bits(),
+                        fma[i][j].to_bits(),
+                        "avx2 vs scalar-fma at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
     /// A skinny LoRA shape (one row block) must still produce a multi-task
     /// grid via its column blocks.
     #[test]
@@ -747,6 +910,7 @@ mod tests {
         let mut c = vec![5.0f32; 6];
         gemm(
             &pool,
+            simd::active_path(),
             Layout::Nn,
             1.0,
             &[],
@@ -762,6 +926,7 @@ mod tests {
         let mut c = vec![5.0f32; 6];
         gemm(
             &pool,
+            simd::active_path(),
             Layout::Nn,
             1.0,
             &[],

@@ -311,6 +311,16 @@ fn default_threads() -> usize {
         .min(256)
 }
 
+/// The machine's available hardware parallelism (no env override). The
+/// confined accessor benches use to clamp thread sweeps and label result
+/// rows with `host_cores`, so cross-machine rows stay comparable and a
+/// sweep never oversubscribes a small box.
+pub fn host_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// The process-wide pool, sized by `LORAFUSION_THREADS` (default: the
 /// available parallelism). Initialized on first use.
 pub fn global() -> &'static Pool {

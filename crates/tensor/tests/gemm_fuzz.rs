@@ -10,17 +10,22 @@
 //! The naive reference accumulates each element in ascending `kk` order
 //! with `alpha` folded into `A` — exactly the microkernel's per-element
 //! order at *every* `k` since the full-`k` register-accumulation rewrite,
-//! so every comparison here is bitwise. A third suite checks each fused
-//! prologue/epilogue path against the multi-pass composition it replaces
-//! (`scale` / `add` / `hadamard` / mask materialization), also bitwise.
+//! so every comparison here is bitwise. On AVX2+FMA hosts the engine's
+//! semantics are fused multiply-add (see `lorafusion_tensor::simd`), so
+//! the reference mirrors that with `f32::mul_add`. A third suite checks
+//! each fused prologue/epilogue path against the multi-pass composition it
+//! replaces (`scale` / `add` / `hadamard` / mask materialization), also
+//! bitwise. A fourth sweeps the full (layout x shape x thread-count)
+//! matrix with the SIMD path forced on and forced off and asserts bitwise
+//! equality — the `LORAFUSION_SIMD` contract.
 
 use lorafusion_tensor::matmul::{
-    gemm_fused_on, gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate, Epilogue, Layout, Prologue, KC,
-    MC, MR, NC, NR,
+    gemm_fused_on, gemm_fused_on_path, gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate, Epilogue,
+    Layout, Prologue, KC, MC, MR, NC, NR,
 };
 use lorafusion_tensor::ops;
 use lorafusion_tensor::pool::Pool;
-use lorafusion_tensor::{dropout_mask, DropoutSpec, Matrix, Pcg32};
+use lorafusion_tensor::{dropout_mask, simd, DropoutSpec, Matrix, Pcg32};
 
 /// Naive `C (+)= alpha * A' @ B'` with per-element ascending-`kk` order and
 /// alpha folded into `A`, matching the engine's single-`k`-block order.
@@ -49,7 +54,14 @@ fn naive(
                 } else {
                     b.get(kk, j).unwrap()
                 };
-                acc += (alpha * av) * bv;
+                // Mirror the engine's host-determined numeric semantics:
+                // one correctly-rounded fused multiply-add per `kk` on
+                // FMA hosts, historical mul-then-add everywhere else.
+                if simd::fma_semantics() {
+                    acc = (alpha * av).mul_add(bv, acc);
+                } else {
+                    acc += (alpha * av) * bv;
+                }
             }
             // The engine folds the register tile into `C` with one add per
             // element (`C += tile`), so the `Add` reference must do the
@@ -335,6 +347,76 @@ fn fused_paths_are_bitwise_identical_across_thread_counts() {
             .enumerate()
         {
             check_fused_paths(&pool, m, k, n, 800 + i as u64);
+        }
+    }
+}
+
+/// The `LORAFUSION_SIMD` contract: for every (layout x shape x
+/// thread-count) case, the forced-on and forced-off paths must be
+/// bitwise-equal. Uses `path_for(bool)` + `gemm_fused_on_path` rather
+/// than the env var, which is unreliable under the parallel test runner;
+/// `path_for` is the exact pure function the env override feeds.
+#[test]
+fn simd_forced_on_and_off_are_bitwise_identical() {
+    let on = simd::path_for(true);
+    let off = simd::path_for(false);
+    assert!(on.is_supported() && off.is_supported());
+    for threads in [1usize, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        for (i, &(m, k, n)) in edge_shapes().iter().enumerate() {
+            let mut rng = Pcg32::seeded(9000 + i as u64);
+            for layout in [Layout::Nn, Layout::Nt, Layout::Tn] {
+                let (a, b) = match layout {
+                    Layout::Nn => (
+                        Matrix::random_gaussian(m, k, 1.0, &mut rng),
+                        Matrix::random_gaussian(k, n, 1.0, &mut rng),
+                    ),
+                    Layout::Nt => (
+                        Matrix::random_gaussian(m, k, 1.0, &mut rng),
+                        Matrix::random_gaussian(n, k, 1.0, &mut rng),
+                    ),
+                    Layout::Tn => (
+                        Matrix::random_gaussian(k, m, 1.0, &mut rng),
+                        Matrix::random_gaussian(k, n, 1.0, &mut rng),
+                    ),
+                };
+                let base = Matrix::random_gaussian(m, n, 1.0, &mut rng);
+                let spec = DropoutSpec::new(0.3, 40 + i as u64);
+                let label = format!("{} {m}x{k}x{n} t={threads}", layout.tag());
+                for (tag, epilogue) in [
+                    ("overwrite", Epilogue::Overwrite),
+                    ("addscaled", Epilogue::AddScaled(-0.5)),
+                ] {
+                    let mut c_on = base.clone();
+                    let mut c_off = base.clone();
+                    let prologue = || Prologue::dropout(spec);
+                    gemm_fused_on_path(
+                        &pool,
+                        on,
+                        layout,
+                        1.25,
+                        &a,
+                        &b,
+                        &mut c_on,
+                        prologue(),
+                        epilogue,
+                    )
+                    .unwrap();
+                    gemm_fused_on_path(
+                        &pool,
+                        off,
+                        layout,
+                        1.25,
+                        &a,
+                        &b,
+                        &mut c_off,
+                        prologue(),
+                        epilogue,
+                    )
+                    .unwrap();
+                    assert_matches(&format!("{label} {tag}"), &c_on, &c_off, true);
+                }
+            }
         }
     }
 }

@@ -24,8 +24,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Static invariants: the in-tree linter re-checks the whole workspace for
 # undocumented unsafe, nondeterministic iteration, wall-clock reads in
-# compute crates, thread-count dependence, external dependencies, and
-# unsafe-budget drift (see DESIGN.md "Static invariants"). Runs in both
+# compute crates, thread-count dependence, SIMD/intrinsics confinement,
+# external dependencies, and unsafe-budget drift (see DESIGN.md "Static
+# invariants"). Runs in both
 # the quick and full paths — it takes well under a second.
 step "lorafusion-lint check"
 cargo run -q -p lorafusion-lint -- check
@@ -53,6 +54,28 @@ else
   BENCH_GEMM_SIZE=256 BENCH_GEMM_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_gemm
 fi
 
+# Dual-path SIMD gate: the digest mode reduces every (layout, shape,
+# threads) cell's output bits to an FNV-1a digest — a pure function of the
+# computed bits. Run it once with SIMD forced off (the safe fallback path)
+# and once under the default dispatch, then diff the two files: the
+# explicit-SIMD kernel must be bitwise-equal to the fallback on every cell,
+# on this host, on every CI run.
+step "bench_gemm dual-path SIMD gate (size 128)"
+DIGEST_TMP="$(mktemp -d)"
+trap 'rm -rf "$DIGEST_TMP"' EXIT
+if [[ "$QUICK" -eq 0 ]]; then
+  LORAFUSION_SIMD=0 BENCH_GEMM_SIZE=128 BENCH_GEMM_WRITE=0 BENCH_GEMM_DIGEST="$DIGEST_TMP/fallback.txt" \
+    cargo run --release -q -p lorafusion-bench --bin bench_gemm
+  BENCH_GEMM_SIZE=128 BENCH_GEMM_WRITE=0 BENCH_GEMM_DIGEST="$DIGEST_TMP/default.txt" \
+    cargo run --release -q -p lorafusion-bench --bin bench_gemm
+else
+  LORAFUSION_SIMD=0 BENCH_GEMM_SIZE=128 BENCH_GEMM_WRITE=0 BENCH_GEMM_DIGEST="$DIGEST_TMP/fallback.txt" \
+    cargo run -q -p lorafusion-bench --bin bench_gemm
+  BENCH_GEMM_SIZE=128 BENCH_GEMM_WRITE=0 BENCH_GEMM_DIGEST="$DIGEST_TMP/default.txt" \
+    cargo run -q -p lorafusion-bench --bin bench_gemm
+fi
+diff "$DIGEST_TMP/fallback.txt" "$DIGEST_TMP/default.txt"
+
 # Module-level gate: bench_lora asserts in-binary that the fused executor's
 # forward output is bitwise-equal to the reference multi-pass baseline, its
 # gradients agree to tolerance, and the fused step is bitwise reproducible
@@ -71,7 +94,7 @@ fi
 # malformed event or if no counter tracks made it into the file).
 step "trace emission + validation gate"
 TRACE_TMP="$(mktemp -d)"
-trap 'rm -rf "$TRACE_TMP"' EXIT
+trap 'rm -rf "$TRACE_TMP" "$DIGEST_TMP"' EXIT
 if [[ "$QUICK" -eq 0 ]]; then
   LORAFUSION_TRACE="$TRACE_TMP/trace.json" BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 \
     cargo run --release -q -p lorafusion-bench --bin bench_lora
