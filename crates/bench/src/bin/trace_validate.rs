@@ -2,7 +2,11 @@
 //! `lorafusion-trace` (or any conforming trace-event file).
 //!
 //! Usage: `trace_validate <trace.json> [--require-counters N]
-//! [--require-sim] [--require-idle]`
+//! [--require-counter NAME]... [--require-sim] [--require-idle]`
+//!
+//! `--require-counter` is repeatable and fails the run unless a counter
+//! track with exactly that name made it into the file — CI uses it to
+//! pin the `scheduler.repack.*` ladder counters to the export.
 //!
 //! Parses the file with the in-tree JSON parser, checks every event
 //! against the trace-event schema (`ph`/`ts`/`dur`/`pid`/`tid`, counter
@@ -18,6 +22,7 @@ use lorafusion_trace::validate::validate_trace_file;
 fn main() -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut require_counters = 0usize;
+    let mut require_named: Vec<String> = Vec::new();
     let mut require_sim = false;
     let mut require_idle = false;
 
@@ -30,12 +35,16 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--require-counters takes an integer");
             }
+            "--require-counter" => {
+                require_named.push(args.next().expect("--require-counter takes a name"));
+            }
             "--require-sim" => require_sim = true,
             "--require-idle" => require_idle = true,
             "--help" | "-h" => {
                 println!(
                     "usage: trace_validate <trace.json> \
-                     [--require-counters N] [--require-sim] [--require-idle]"
+                     [--require-counters N] [--require-counter NAME]... \
+                     [--require-sim] [--require-idle]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -78,6 +87,12 @@ fn main() -> ExitCode {
             stats.counter_tracks
         );
         failed = true;
+    }
+    for name in &require_named {
+        if !stats.counter_names.contains(name) {
+            eprintln!("FAIL: required counter track {name:?} not in trace");
+            failed = true;
+        }
     }
     if require_sim && stats.sim_kernel_events == 0 {
         eprintln!("FAIL: no simulated kernel events");

@@ -1,0 +1,222 @@
+//! Seeded job event streams for the online scheduler.
+//!
+//! The streaming scheduler (`lorafusion-sched`'s `online` module) and its
+//! bench need one deterministic workload source so quality, latency and
+//! determinism claims are all made against the same events. This module
+//! generates arrival / finish / cancel streams over the existing
+//! length-distribution presets: arrivals draw a job length from a
+//! [`LengthDistribution`] and an adapter from a bounded pool; departures
+//! retire a uniformly chosen live job. All randomness comes from one
+//! [`Pcg32`], so a `(seed, config)` pair fully determines the stream.
+
+use lorafusion_tensor::Pcg32;
+
+use crate::distributions::LengthDistribution;
+
+/// One event in a job stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// A new fine-tuning job enters the queue.
+    Arrive {
+        /// Unique job id (monotonically increasing from 0).
+        id: u64,
+        /// Adapter the job trains.
+        adapter: usize,
+        /// Token length of the job's microbatch contribution.
+        len: usize,
+    },
+    /// A running job completes and leaves the packing.
+    Finish {
+        /// Id of the departing job.
+        id: u64,
+    },
+    /// A queued job is cancelled before completion.
+    Cancel {
+        /// Id of the cancelled job.
+        id: u64,
+    },
+}
+
+impl JobEvent {
+    /// The job id this event concerns.
+    pub fn id(&self) -> u64 {
+        match *self {
+            JobEvent::Arrive { id, .. } | JobEvent::Finish { id } | JobEvent::Cancel { id } => id,
+        }
+    }
+}
+
+/// Configuration of a generated event stream.
+#[derive(Debug, Clone)]
+pub struct EventStreamConfig {
+    /// Number of events to generate.
+    pub num_events: usize,
+    /// Distinct adapters jobs may train.
+    pub num_adapters: usize,
+    /// Length distribution for arriving jobs.
+    pub lengths: LengthDistribution,
+    /// Lengths are clamped to `[1, max_len]` so every job fits a bin.
+    pub max_len: usize,
+    /// Probability (per mille) that a non-arrival departure is a cancel
+    /// rather than a finish.
+    pub cancel_per_mille: u32,
+    /// Target number of live jobs: below it events are always arrivals,
+    /// above it departures grow more likely, so the stream hovers around
+    /// a steady-state queue of roughly this size.
+    pub target_live: usize,
+}
+
+impl Default for EventStreamConfig {
+    fn default() -> Self {
+        Self {
+            num_events: 1024,
+            num_adapters: 8,
+            lengths: LengthDistribution::LogNormal {
+                mu: 5.5,
+                sigma: 0.6,
+                min: 16,
+                max: 4096,
+            },
+            max_len: 4096,
+            cancel_per_mille: 100,
+            target_live: 256,
+        }
+    }
+}
+
+/// Generates a deterministic event stream.
+///
+/// Every id referenced by a `Finish`/`Cancel` was previously introduced
+/// by an `Arrive` and not yet retired; the first events are always
+/// arrivals. The same `(config, seed)` yields the same stream on every
+/// platform and thread count (the generator is pure single-threaded
+/// `Pcg32`).
+pub fn generate_events(config: &EventStreamConfig, seed: u64) -> Vec<JobEvent> {
+    let mut rng = Pcg32::seeded(seed);
+    let mut events = Vec::with_capacity(config.num_events);
+    // Live job ids, in arrival order; removal picks a uniform index.
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    let target = config.target_live.max(1);
+
+    while events.len() < config.num_events {
+        // P(arrival) interpolates from 1 at an empty queue to 1/2 at the
+        // target size and keeps falling beyond it, holding the live count
+        // near the target without ever deadlocking.
+        let arrive = if live.is_empty() {
+            true
+        } else {
+            let p_num = target as u64;
+            let p_den = (target + live.len()) as u64;
+            (rng.next_u32() as u64 * p_den) < (p_num << 32)
+        };
+        if arrive {
+            let len = (config.lengths.sample(&mut rng).max(1)).min(config.max_len.max(1));
+            let adapter = (rng.next_u32() as usize) % config.num_adapters.max(1);
+            let id = next_id;
+            next_id += 1;
+            live.push(id);
+            events.push(JobEvent::Arrive { id, adapter, len });
+        } else {
+            let idx = (rng.next_u32() as usize) % live.len();
+            let id = live.swap_remove(idx);
+            let cancel = rng.next_u32() % 1000 < config.cancel_per_mille;
+            events.push(if cancel {
+                JobEvent::Cancel { id }
+            } else {
+                JobEvent::Finish { id }
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let config = EventStreamConfig {
+            num_events: 500,
+            ..EventStreamConfig::default()
+        };
+        let a = generate_events(&config, 42);
+        let b = generate_events(&config, 42);
+        assert_eq!(a, b);
+        let c = generate_events(&config, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn departures_reference_live_jobs() {
+        let config = EventStreamConfig {
+            num_events: 2000,
+            target_live: 50,
+            ..EventStreamConfig::default()
+        };
+        let events = generate_events(&config, 7);
+        assert_eq!(events.len(), 2000);
+        let mut live: BTreeSet<u64> = BTreeSet::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for e in &events {
+            match *e {
+                JobEvent::Arrive { id, adapter, len } => {
+                    assert!(seen.insert(id), "id {id} reused");
+                    assert!(adapter < config.num_adapters);
+                    assert!(len >= 1 && len <= config.max_len);
+                    live.insert(id);
+                }
+                JobEvent::Finish { id } | JobEvent::Cancel { id } => {
+                    assert!(live.remove(&id), "departure of non-live job {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_count_hovers_near_target() {
+        let config = EventStreamConfig {
+            num_events: 10_000,
+            target_live: 100,
+            ..EventStreamConfig::default()
+        };
+        let events = generate_events(&config, 1);
+        let mut live = 0i64;
+        let mut max_live = 0i64;
+        for e in &events {
+            match e {
+                JobEvent::Arrive { .. } => live += 1,
+                _ => live -= 1,
+            }
+            max_live = max_live.max(live);
+        }
+        // The queue reaches the target and does not blow far past it.
+        assert!(max_live >= 100, "never reached target: {max_live}");
+        assert!(max_live < 400, "queue ran away: {max_live}");
+    }
+
+    #[test]
+    fn mixes_finishes_and_cancels() {
+        let config = EventStreamConfig {
+            num_events: 5000,
+            target_live: 50,
+            cancel_per_mille: 300,
+            ..EventStreamConfig::default()
+        };
+        let events = generate_events(&config, 3);
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Finish { .. }))
+            .count();
+        let cancels = events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Cancel { .. }))
+            .count();
+        assert!(finishes > 0 && cancels > 0);
+        // Roughly 30% of departures cancel.
+        let frac = cancels as f64 / (finishes + cancels) as f64;
+        assert!((0.2..0.4).contains(&frac), "cancel fraction {frac}");
+    }
+}

@@ -18,10 +18,12 @@
 
 pub mod dataset;
 pub mod distributions;
+pub mod events;
 pub mod packing;
 pub mod stats;
 
 pub use dataset::{Dataset, Sample};
 pub use distributions::{DatasetPreset, LengthDistribution};
+pub use events::{generate_events, EventStreamConfig, JobEvent};
 pub use packing::{pack_on_the_fly, pack_padded, pack_prepacked, PackedBatch};
 pub use stats::LengthStats;

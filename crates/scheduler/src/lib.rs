@@ -25,6 +25,7 @@ pub mod binpack;
 pub mod bubble;
 pub mod grouping;
 pub mod merge;
+pub mod online;
 pub mod profiler;
 pub mod schedule;
 pub mod types;
@@ -32,5 +33,8 @@ pub mod types;
 pub use binpack::{greedy_packing, two_stage_milp_packing, PackOutcome};
 pub use bubble::{fix_with_noops, verify_bubble_lemma, BubbleViolation};
 pub use grouping::group_adapters;
+pub use online::{cold_solve, Job, OnlineConfig, OnlineScheduler};
 pub use schedule::{schedule_jobs, Schedule, ScheduleStats};
-pub use types::{AdapterJob, Microbatch, MicrobatchEntry, SchedulerConfig, SchedulerError};
+pub use types::{
+    AdapterJob, AdapterLoads, Microbatch, MicrobatchEntry, SchedulerConfig, SchedulerError,
+};

@@ -95,6 +95,133 @@ impl Microbatch {
     }
 }
 
+/// Incremental per-adapter padded-load tracker for one bin.
+///
+/// The padded size of a bin is separable per adapter
+/// (`Σ_a ceil(tokens_a / P) * P`), so adding or removing one sample only
+/// changes its own adapter's term. This tracker maintains the running
+/// padded total under single-sample updates in `O(log A)` lookups plus an
+/// `O(A)` shift on adapter insert/remove — versus recomputing the whole
+/// bin (`O(entries)`) per trial placement as the original
+/// first-fit loop did. Both the offline greedy packer and the online
+/// scheduler's repair path run on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdapterLoads {
+    /// Padding multiple `P` (fixed at construction; ≥ 1).
+    padding: usize,
+    /// `(adapter, raw token sum)` pairs, sorted by adapter, no zeros.
+    loads: Vec<(usize, usize)>,
+    /// Cached `Σ_a ceil(tokens_a / P) * P`.
+    padded_total: usize,
+}
+
+impl AdapterLoads {
+    /// An empty tracker with padding multiple `padding` (clamped to ≥ 1).
+    pub fn new(padding: usize) -> Self {
+        Self {
+            padding: padding.max(1),
+            loads: Vec::new(),
+            padded_total: 0,
+        }
+    }
+
+    fn pad(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.padding) * self.padding
+    }
+
+    /// The padding multiple this tracker rounds to.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Current padded total `Σ_a ceil(tokens_a / P) * P`.
+    pub fn padded_total(&self) -> usize {
+        self.padded_total
+    }
+
+    /// Raw tokens currently attributed to `adapter`.
+    pub fn adapter_tokens(&self, adapter: usize) -> usize {
+        match self.loads.binary_search_by_key(&adapter, |&(a, _)| a) {
+            Ok(i) => self.loads[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// True when no adapter holds tokens.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Number of distinct adapters with tokens.
+    pub fn num_adapters(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Padded-total increase if `len` tokens of `adapter` were added —
+    /// the bubble-lemma cost of a trial placement, without mutating.
+    pub fn delta_add(&self, adapter: usize, len: usize) -> usize {
+        let cur = self.adapter_tokens(adapter);
+        self.pad(cur + len) - self.pad(cur)
+    }
+
+    /// Adds `len` tokens of `adapter`.
+    pub fn add(&mut self, adapter: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        match self.loads.binary_search_by_key(&adapter, |&(a, _)| a) {
+            Ok(i) => {
+                let cur = self.loads[i].1;
+                self.padded_total += self.pad(cur + len) - self.pad(cur);
+                self.loads[i].1 = cur + len;
+            }
+            Err(i) => {
+                self.padded_total += self.pad(len);
+                self.loads.insert(i, (adapter, len));
+            }
+        }
+    }
+
+    /// Removes `len` tokens of `adapter`.
+    ///
+    /// # Panics
+    /// If the adapter holds fewer than `len` tokens (an accounting bug).
+    pub fn remove(&mut self, adapter: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let i = self
+            .loads
+            .binary_search_by_key(&adapter, |&(a, _)| a)
+            .unwrap_or_else(|_| panic!("removing {len} tokens from absent adapter {adapter}"));
+        let cur = self.loads[i].1;
+        assert!(
+            cur >= len,
+            "removing {len} tokens from adapter {adapter} holding {cur}"
+        );
+        self.padded_total -= self.pad(cur) - self.pad(cur - len);
+        if cur == len {
+            self.loads.remove(i);
+        } else {
+            self.loads[i].1 = cur - len;
+        }
+    }
+
+    /// `(adapter, raw tokens)` pairs in ascending adapter order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.loads.iter().copied()
+    }
+
+    /// Rebuilds the tracker from a full entry slice (for cross-checks).
+    pub fn from_entries(entries: &[MicrobatchEntry], padding: usize) -> Self {
+        let mut loads = Self::new(padding);
+        for e in entries {
+            loads.add(e.adapter, e.sample.len);
+        }
+        loads
+    }
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
@@ -238,5 +365,72 @@ mod tests {
         assert!(mb.noop);
         assert_eq!(mb.real_tokens(), 0);
         assert_eq!(mb.padded_tokens(64), 0);
+    }
+
+    #[test]
+    fn adapter_loads_tracks_padded_total() {
+        let mut loads = AdapterLoads::new(64);
+        assert!(loads.is_empty());
+        assert_eq!(loads.delta_add(0, 100), 128);
+        loads.add(0, 100);
+        assert_eq!(loads.padded_total(), 128);
+        // 100 + 30 = 130 still pads to 192: delta is 64.
+        assert_eq!(loads.delta_add(0, 30), 64);
+        loads.add(0, 30);
+        assert_eq!(loads.padded_total(), 192);
+        loads.add(1, 65);
+        assert_eq!(loads.padded_total(), 192 + 128);
+        assert_eq!(loads.num_adapters(), 2);
+        assert_eq!(loads.adapter_tokens(0), 130);
+
+        loads.remove(0, 30);
+        assert_eq!(loads.padded_total(), 128 + 128);
+        loads.remove(1, 65);
+        assert_eq!(loads.num_adapters(), 1);
+        assert_eq!(loads.padded_total(), 128);
+    }
+
+    #[test]
+    fn adapter_loads_matches_microbatch_padding() {
+        // The incremental total must equal `Microbatch::padded_tokens` for
+        // any entry multiset (the separability the online path relies on).
+        let entries = vec![
+            MicrobatchEntry {
+                adapter: 2,
+                global_batch: 0,
+                sample: sample(0, 100),
+            },
+            MicrobatchEntry {
+                adapter: 0,
+                global_batch: 0,
+                sample: sample(1, 30),
+            },
+            MicrobatchEntry {
+                adapter: 2,
+                global_batch: 0,
+                sample: sample(2, 65),
+            },
+            MicrobatchEntry {
+                adapter: 1,
+                global_batch: 0,
+                sample: sample(3, 1),
+            },
+        ];
+        let mb = Microbatch {
+            entries: entries.clone(),
+            noop: false,
+        };
+        for padding in [1, 7, 64] {
+            let loads = AdapterLoads::from_entries(&entries, padding);
+            assert_eq!(loads.padded_total(), mb.padded_tokens(padding));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "removing")]
+    fn adapter_loads_remove_underflow_panics() {
+        let mut loads = AdapterLoads::new(1);
+        loads.add(0, 5);
+        loads.remove(0, 6);
     }
 }

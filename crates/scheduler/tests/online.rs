@@ -1,0 +1,109 @@
+//! Online scheduler contracts (ISSUE 7): packing quality stays within ε
+//! of a cold re-solve after every event on randomized streams, and a full
+//! event replay is bitwise-identical at every `LORAFUSION_THREADS`.
+//!
+//! Quality ε: the online bin count must stay within 25% of the cold
+//! best-fit-decreasing re-solve (the configured `drift_threshold`), plus
+//! one bin of slack for mid-repair states. The max-bin bubble cost is
+//! bounded by capacity on both sides, so bin count is the comparable
+//! quality axis.
+
+use lorafusion_data::{generate_events, EventStreamConfig, JobEvent};
+use lorafusion_sched::{cold_solve, Job, OnlineConfig, OnlineScheduler};
+use lorafusion_tensor::pool::{with_pool, Pool};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn stream(seed: u64, num_events: usize, num_adapters: usize) -> Vec<JobEvent> {
+    generate_events(
+        &EventStreamConfig {
+            num_events,
+            num_adapters,
+            target_live: 100,
+            max_len: 1500,
+            ..EventStreamConfig::default()
+        },
+        seed,
+    )
+}
+
+fn config() -> OnlineConfig {
+    OnlineConfig {
+        capacity: 2048,
+        padding_multiple: 64,
+        ..OnlineConfig::default()
+    }
+}
+
+/// Replays `events` and returns the final digest, validating invariants
+/// along the way.
+fn replay_digest(events: &[JobEvent]) -> u64 {
+    let mut s = OnlineScheduler::new(config()).unwrap();
+    for (i, e) in events.iter().enumerate() {
+        s.apply(e).unwrap();
+        if i % 97 == 0 {
+            s.validate().unwrap();
+        }
+    }
+    s.validate().unwrap();
+    s.digest()
+}
+
+#[test]
+fn quality_stays_within_epsilon_of_cold_resolve() {
+    // Property over randomized streams: after EVERY event the incumbent
+    // bin count is within ε = 25% (+1 bin slack) of the cold BFD
+    // re-solve on the same live set.
+    for seed in [3u64, 17, 41] {
+        let events = stream(seed, 700, 6);
+        let mut s = OnlineScheduler::new(config()).unwrap();
+        let mut live: Vec<Job> = Vec::new();
+        for e in &events {
+            s.apply(e).unwrap();
+            match *e {
+                JobEvent::Arrive { id, adapter, len } => live.push(Job { id, adapter, len }),
+                JobEvent::Finish { id } | JobEvent::Cancel { id } => live.retain(|j| j.id != id),
+            }
+            let cold = cold_solve(&live, 2048, 64);
+            let bound = (cold.len() as f64 * 1.25).ceil() as usize + 1;
+            assert!(
+                s.num_bins() <= bound,
+                "seed {seed}: online {} bins vs cold {} (bound {bound})",
+                s.num_bins(),
+                cold.len()
+            );
+            assert_eq!(s.num_jobs(), live.len(), "seed {seed}: job count drift");
+        }
+        // Packed content matches the live multiset exactly.
+        let mut packed: Vec<u64> = s
+            .microbatches()
+            .iter()
+            .flat_map(|m| m.entries.iter().map(|e| e.sample.id))
+            .collect();
+        packed.sort_unstable();
+        let mut expect: Vec<u64> = live.iter().map(|j| j.id).collect();
+        expect.sort_unstable();
+        assert_eq!(packed, expect, "seed {seed}: sample multiset drift");
+    }
+}
+
+#[test]
+fn replay_is_bitwise_identical_across_thread_counts() {
+    // The online path is serial by construction, but it calls into the
+    // solver and trace layers that ARE thread-aware; this sweep pins the
+    // whole stack. The digest covers bin membership and padded loads.
+    let events = stream(29, 900, 8);
+    let reference = with_pool(&Pool::new(1), || replay_digest(&events));
+    for threads in THREAD_SWEEP {
+        let got = with_pool(&Pool::new(threads), || replay_digest(&events));
+        assert_eq!(got, reference, "replay digest differs at {threads} threads");
+    }
+}
+
+#[test]
+fn repeated_replay_is_stable() {
+    // Same stream, same process, back to back: the digest must not
+    // depend on global state left behind by the first run.
+    let events = stream(5, 600, 4);
+    assert_eq!(replay_digest(&events), replay_digest(&events));
+}

@@ -8,8 +8,8 @@
 
 use std::time::{Duration, Instant};
 
-use crate::model::{Problem, Solution, SolverError, Status, VarId};
-use crate::simplex::solve_lp;
+use crate::model::{Problem, Solution, SolverError, Status};
+use crate::simplex::{solve_lp_scratch, LpScratch};
 
 const INT_TOL: f64 = 1e-6;
 
@@ -20,7 +20,10 @@ pub struct MilpOptions {
     /// [`Status::TimedOut`] (Algorithm 1's greedy fallback then kicks in at
     /// the scheduler level).
     pub timeout: Duration,
-    /// Hard cap on explored nodes (second safety valve).
+    /// Hard cap on explored nodes (second safety valve). Unlike the
+    /// wall-clock timeout this limit is deterministic, so callers that
+    /// need replayable results (the online scheduler) set a generous
+    /// timeout and rely on `max_nodes` as the binding budget.
     pub max_nodes: usize,
     /// Optional warm-start assignment; if feasible it seeds the incumbent,
     /// letting the tree prune immediately.
@@ -41,7 +44,58 @@ impl Default for MilpOptions {
     }
 }
 
-/// Solves a mixed-integer linear program by branch-and-bound.
+/// One branch-and-bound node: a single bound tightening on top of the
+/// parent's bounds. The full node bounds are reconstructed by walking the
+/// parent chain, so pushing a node costs one fixed-size struct instead of
+/// a cloned bounds vector (or, as before, a cloned [`Problem`]).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Index of the parent node in [`MilpScratch::nodes`];
+    /// `usize::MAX` for the root.
+    parent: usize,
+    /// Variable whose bound this node tightens (`usize::MAX` at the root).
+    var: usize,
+    /// New lower bound (`-inf` when only the upper moved).
+    lower: f64,
+    /// New upper bound (`+inf` when only the lower moved).
+    upper: f64,
+    /// LP bound inherited from the parent relaxation.
+    lp_bound: f64,
+}
+
+/// Reusable working storage for [`solve_milp_scratch`].
+///
+/// Holds the LP scratch (flat tableau), the node arena, the DFS stack,
+/// the per-node bound vectors and the incumbent buffer. Once warmed on a
+/// problem, repeat solves perform a small constant number of heap
+/// allocations (the returned [`Solution::values`] vector) regardless of
+/// how many nodes the tree explores — `solver/tests/zero_alloc.rs`
+/// enforces this with a counting global allocator.
+#[derive(Debug, Default)]
+pub struct MilpScratch {
+    lp: LpScratch,
+    /// Node arena; nodes reference parents by index.
+    nodes: Vec<Node>,
+    /// DFS stack of node indices.
+    stack: Vec<usize>,
+    /// Effective bounds of the node being expanded.
+    lowers: Vec<f64>,
+    uppers: Vec<f64>,
+    /// Best integer-feasible assignment found so far.
+    incumbent: Vec<f64>,
+    /// Candidate assignment being integrality-checked.
+    candidate: Vec<f64>,
+}
+
+impl MilpScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Solves a mixed-integer linear program by branch-and-bound, allocating
+/// fresh scratch storage.
 ///
 /// Returns the best integer-feasible solution found. `status` is
 /// [`Status::Optimal`] when the tree was exhausted (or the gap target met),
@@ -49,6 +103,20 @@ impl Default for MilpOptions {
 /// node cap expired first, and [`Status::Infeasible`] when no feasible
 /// point was found.
 pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, SolverError> {
+    let mut scratch = MilpScratch::new();
+    solve_milp_scratch(problem, options, &mut scratch)
+}
+
+/// Solves a MILP reusing caller-owned scratch storage across solves.
+///
+/// Identical results to [`solve_milp`]; repeated solves on a warmed
+/// scratch do not reallocate the tableau or node storage, which is what
+/// makes per-event warm-started re-solves cheap in the online scheduler.
+pub fn solve_milp_scratch(
+    problem: &Problem,
+    options: &MilpOptions,
+    scratch: &mut MilpScratch,
+) -> Result<Solution, SolverError> {
     let _span = lorafusion_trace::span!(
         "solver.milp",
         vars = problem.num_vars(),
@@ -56,27 +124,52 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, 
     );
     problem.validate()?;
     let deadline = Instant::now() + options.timeout;
+    let n = problem.num_vars();
 
-    let mut incumbent: Option<Solution> = None;
+    let MilpScratch {
+        lp,
+        nodes,
+        stack,
+        lowers,
+        uppers,
+        incumbent,
+        candidate,
+    } = scratch;
+    lp.reserve_for(problem);
+
+    // Incumbent state. `incumbent_from_warm` distinguishes prunes earned
+    // by the caller-provided warm start from prunes against incumbents the
+    // tree found itself (the `solver.bb.warm_start_prunes` counter).
+    let mut incumbent_obj = f64::INFINITY;
+    let mut have_incumbent = false;
+    let mut incumbent_from_warm = false;
+    incumbent.clear();
     if let Some(ws) = &options.warm_start {
         if problem.is_feasible(ws, 1e-6) {
-            incumbent = Some(Solution {
-                status: Status::TimedOut,
-                objective: problem.objective_value(ws),
-                values: ws.clone(),
-            });
+            incumbent.extend_from_slice(ws);
+            incumbent_obj = problem.objective_value(ws);
+            have_incumbent = true;
+            incumbent_from_warm = true;
         }
     }
 
     // Root relaxation.
-    let root = solve_lp(problem)?;
+    let root = solve_lp_scratch(problem, None, lp)?;
     match root.status {
         Status::Infeasible => {
-            return Ok(incumbent.unwrap_or(Solution {
-                status: Status::Infeasible,
-                objective: 0.0,
-                values: vec![],
-            }))
+            return Ok(if have_incumbent {
+                Solution {
+                    status: Status::TimedOut,
+                    objective: incumbent_obj,
+                    values: incumbent.clone(),
+                }
+            } else {
+                Solution {
+                    status: Status::Infeasible,
+                    objective: 0.0,
+                    values: vec![],
+                }
+            })
         }
         Status::Unbounded => {
             // With a feasible incumbent the MILP itself may still be
@@ -91,61 +184,79 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, 
         _ => {}
     }
 
-    // DFS over bound adjustments. Each node stores the modified bounds.
-    struct Node {
-        bounds: Vec<(usize, f64, f64)>,
-        lp_bound: f64,
-    }
-    let mut stack = vec![Node {
-        bounds: Vec::new(),
+    let (nodes_counter, warm_prunes_counter) = {
+        use std::sync::OnceLock;
+        static CELLS: OnceLock<(
+            lorafusion_trace::metrics::Counter,
+            lorafusion_trace::metrics::Counter,
+        )> = OnceLock::new();
+        *CELLS.get_or_init(|| {
+            (
+                lorafusion_trace::metrics::counter("solver.bb.nodes"),
+                lorafusion_trace::metrics::counter("solver.bb.warm_start_prunes"),
+            )
+        })
+    };
+
+    nodes.clear();
+    stack.clear();
+    nodes.push(Node {
+        parent: usize::MAX,
+        var: usize::MAX,
+        lower: f64::NEG_INFINITY,
+        upper: f64::INFINITY,
         lp_bound: root.objective,
-    }];
+    });
+    stack.push(0);
     let mut explored = 0usize;
     let mut timed_out = false;
 
-    while let Some(node) = stack.pop() {
+    while let Some(node_idx) = stack.pop() {
         if Instant::now() >= deadline || explored >= options.max_nodes {
             timed_out = true;
             break;
         }
         explored += 1;
-        {
-            use std::sync::OnceLock;
-            static NODES: OnceLock<lorafusion_trace::metrics::Counter> = OnceLock::new();
-            NODES
-                .get_or_init(|| lorafusion_trace::metrics::counter("solver.bb.nodes"))
-                .incr();
-        }
+        nodes_counter.incr();
 
-        // Prune by bound.
-        if let Some(inc) = &incumbent {
-            if node.lp_bound >= inc.objective - options.absolute_gap {
-                continue;
+        // Prune by the bound inherited from the parent relaxation.
+        if have_incumbent && nodes[node_idx].lp_bound >= incumbent_obj - options.absolute_gap {
+            if incumbent_from_warm {
+                warm_prunes_counter.incr();
             }
-        }
-
-        // Apply bound changes and solve the relaxation.
-        let mut local = problem.clone();
-        for &(var, lo, hi) in &node.bounds {
-            let v = local.variable(VarId(var));
-            local.set_bounds(VarId(var), v.lower.max(lo), v.upper.min(hi));
-            let v = local.variable(VarId(var));
-            if v.lower > v.upper {
-                // Empty domain: prune.
-                continue;
-            }
-        }
-        if local.variables().iter().any(|v| v.lower > v.upper) {
             continue;
         }
-        let relax = solve_lp(&local)?;
+
+        // Reconstruct the node's bounds: base bounds, then every
+        // tightening on the path back to the root (max/min are
+        // order-independent).
+        lowers.clear();
+        uppers.clear();
+        for v in problem.variables() {
+            lowers.push(v.lower);
+            uppers.push(v.upper);
+        }
+        let mut cur = node_idx;
+        while nodes[cur].parent != usize::MAX {
+            let nd = nodes[cur];
+            lowers[nd.var] = lowers[nd.var].max(nd.lower);
+            uppers[nd.var] = uppers[nd.var].min(nd.upper);
+            cur = nd.parent;
+        }
+        if lowers.iter().zip(uppers.iter()).any(|(l, u)| l > u) {
+            // Empty domain: prune.
+            continue;
+        }
+
+        let relax = solve_lp_scratch(problem, Some((lowers, uppers)), lp)?;
         if relax.status != Status::Optimal {
             continue;
         }
-        if let Some(inc) = &incumbent {
-            if relax.objective >= inc.objective - options.absolute_gap {
-                continue;
+        if have_incumbent && relax.objective >= incumbent_obj - options.absolute_gap {
+            if incumbent_from_warm {
+                warm_prunes_counter.incr();
             }
+            continue;
         }
 
         // Find the most fractional integer variable.
@@ -153,7 +264,7 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, 
         let mut best_frac = INT_TOL;
         for (j, v) in problem.variables().iter().enumerate() {
             if v.integer {
-                let x = relax.values[j];
+                let x = lp.values()[j];
                 let frac = (x - x.round()).abs();
                 if frac > best_frac {
                     best_frac = frac;
@@ -165,74 +276,78 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, 
         match branch_var {
             None => {
                 // Integer feasible: round off numerical fuzz and accept.
-                let mut values = relax.values.clone();
+                candidate.clear();
+                candidate.extend_from_slice(lp.values());
                 for (j, v) in problem.variables().iter().enumerate() {
                     if v.integer {
-                        values[j] = values[j].round();
+                        candidate[j] = candidate[j].round();
                     }
                 }
-                let objective = problem.objective_value(&values);
-                let better = incumbent
-                    .as_ref()
-                    .is_none_or(|inc| objective < inc.objective);
-                if better && problem.is_feasible(&values, 1e-5) {
-                    incumbent = Some(Solution {
-                        status: Status::Optimal,
-                        objective,
-                        values,
-                    });
+                let objective = problem.objective_value(candidate);
+                let better = !have_incumbent || objective < incumbent_obj;
+                if better && problem.is_feasible(candidate, 1e-5) {
+                    incumbent.clear();
+                    incumbent.extend_from_slice(candidate);
+                    incumbent_obj = objective;
+                    have_incumbent = true;
+                    incumbent_from_warm = false;
                 }
             }
             Some((j, x)) => {
                 // Branch: explore the side closer to the LP value first
                 // (pushed last so it pops first).
                 let floor = x.floor();
-                let mut down = node.bounds.clone();
-                down.push((j, f64::NEG_INFINITY, floor));
-                let mut up = node.bounds.clone();
-                up.push((j, floor + 1.0, f64::INFINITY));
-                let down_node = Node {
-                    bounds: down,
+                let down = Node {
+                    parent: node_idx,
+                    var: j,
+                    lower: f64::NEG_INFINITY,
+                    upper: floor,
                     lp_bound: relax.objective,
                 };
-                let up_node = Node {
-                    bounds: up,
+                let up = Node {
+                    parent: node_idx,
+                    var: j,
+                    lower: floor + 1.0,
+                    upper: f64::INFINITY,
                     lp_bound: relax.objective,
                 };
+                let down_idx = nodes.len();
+                nodes.push(down);
+                let up_idx = nodes.len();
+                nodes.push(up);
                 if x - floor > 0.5 {
-                    stack.push(down_node);
-                    stack.push(up_node);
+                    stack.push(down_idx);
+                    stack.push(up_idx);
                 } else {
-                    stack.push(up_node);
-                    stack.push(down_node);
+                    stack.push(up_idx);
+                    stack.push(down_idx);
                 }
             }
         }
     }
 
-    Ok(match incumbent {
-        Some(mut sol) => {
-            sol.status = if timed_out {
+    debug_assert!(incumbent.is_empty() || incumbent.len() == n);
+    Ok(if have_incumbent {
+        Solution {
+            status: if timed_out {
                 Status::TimedOut
             } else {
                 Status::Optimal
-            };
-            sol
+            },
+            objective: incumbent_obj,
+            values: incumbent.clone(),
         }
-        None => {
-            if timed_out {
-                Solution {
-                    status: Status::TimedOut,
-                    objective: f64::INFINITY,
-                    values: vec![],
-                }
-            } else {
-                Solution {
-                    status: Status::Infeasible,
-                    objective: 0.0,
-                    values: vec![],
-                }
-            }
+    } else if timed_out {
+        Solution {
+            status: Status::TimedOut,
+            objective: f64::INFINITY,
+            values: vec![],
+        }
+    } else {
+        Solution {
+            status: Status::Infeasible,
+            objective: 0.0,
+            values: vec![],
         }
     })
 }
@@ -240,7 +355,7 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<Solution, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::Sense;
+    use crate::model::{Sense, VarId};
 
     #[test]
     fn solves_knapsack_exactly() {
@@ -368,5 +483,52 @@ mod tests {
         let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
         assert_eq!(sol.status, Status::Optimal);
         assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solves() {
+        // The same scratch reused across different problems must give the
+        // same answers as fresh solves.
+        let mut scratch = MilpScratch::new();
+
+        let mut p1 = Problem::new();
+        let a = p1.add_bin_var(-10.0);
+        let b = p1.add_bin_var(-13.0);
+        let c = p1.add_bin_var(-7.0);
+        p1.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0);
+
+        let mut p2 = Problem::new();
+        let x = p2.add_int_var(-1.0, 0.0, 10.0);
+        p2.add_constraint(vec![(x, 2.0)], Sense::Le, 3.0);
+
+        for _ in 0..3 {
+            let s1 = solve_milp_scratch(&p1, &MilpOptions::default(), &mut scratch).unwrap();
+            assert_eq!(s1.status, Status::Optimal);
+            assert!((s1.objective + 20.0).abs() < 1e-6);
+            let s2 = solve_milp_scratch(&p2, &MilpOptions::default(), &mut scratch).unwrap();
+            assert_eq!(s2.status, Status::Optimal);
+            assert_eq!(s2.values[0].round() as i64, 1);
+        }
+    }
+
+    #[test]
+    fn warm_start_prunes_are_counted() {
+        // Seeding the optimum as a warm start must let the tree prune
+        // against it (counter strictly increases).
+        let before = lorafusion_trace::metrics::counter("solver.bb.warm_start_prunes").get();
+        let mut p = Problem::new();
+        let a = p.add_bin_var(-10.0);
+        let b = p.add_bin_var(-13.0);
+        let c = p.add_bin_var(-7.0);
+        p.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Sense::Le, 6.0);
+        let options = MilpOptions {
+            warm_start: Some(vec![0.0, 1.0, 1.0]),
+            ..MilpOptions::default()
+        };
+        let sol = solve_milp(&p, &options).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective + 20.0).abs() < 1e-6);
+        let after = lorafusion_trace::metrics::counter("solver.bb.warm_start_prunes").get();
+        assert!(after > before, "warm-start prunes not counted");
     }
 }

@@ -1,0 +1,129 @@
+//! Steady-state allocation gate for the branch-and-bound core (ISSUE 7).
+//!
+//! A MILP solve through [`MilpScratch`] must not touch the heap per node
+//! once warmed: the simplex tableau lives in a flat reusable buffer,
+//! nodes go into an arena that records one bound tightening each, and
+//! per-node bound vectors are rebuilt in place by walking the parent
+//! chain. This test installs a counting global allocator, warms the
+//! scratch with one solve, then asserts a repeat solve — exploring
+//! dozens of nodes — performs only the constant-size allocations of the
+//! returned [`Solution`] (its `values` vector), independent of tree size.
+//!
+//! It lives in its own test binary so the global allocator cannot count
+//! unrelated tests running on sibling threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lorafusion_solver::{solve_milp_scratch, MilpOptions, MilpScratch, Problem, Sense, Status};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method delegates to `System`, adding only a relaxed
+// counter bump; layout and pointer contracts are forwarded unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`; `layout` is forwarded.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: our caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero layout), which is exactly what `System` requires.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same contract as `System::alloc_zeroed`, forwarded.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller-supplied layout forwarded verbatim to `System`.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: same contract as `System::realloc`, forwarded.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` came from this allocator (which is `System`
+        // underneath) with `layout`, per the caller's contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: same contract as `System::dealloc`, forwarded.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` via this wrapper with
+        // the same `layout`, per the caller's contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A bin-packing MILP hard enough to force real tree search: 9 items
+/// into up to 4 bins of capacity 17, minimizing used bins, with no
+/// symmetry breaking so branch-and-bound explores many equivalent
+/// assignments (~80 nodes to prove optimality).
+fn branching_heavy_problem() -> Problem {
+    let items = [9.0f64, 8.0, 7.0, 6.0, 5.0, 5.0, 4.0, 4.0, 3.0];
+    let bins = 4usize;
+    let cap = 17.0;
+    let mut p = Problem::new();
+    let x: Vec<Vec<_>> = items
+        .iter()
+        .map(|_| (0..bins).map(|_| p.add_bin_var(0.0)).collect())
+        .collect();
+    let z: Vec<_> = (0..bins).map(|_| p.add_bin_var(1.0)).collect();
+    for xi in &x {
+        p.add_constraint(xi.iter().map(|&v| (v, 1.0)).collect(), Sense::Eq, 1.0);
+    }
+    for (b, &zb) in z.iter().enumerate() {
+        let mut terms: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (x[i][b], w))
+            .collect();
+        terms.push((zb, -cap));
+        p.add_constraint(terms, Sense::Le, 0.0);
+    }
+    p
+}
+
+#[test]
+fn warmed_milp_solve_allocates_constant_not_per_node() {
+    // Tracing must be off: this gate covers the disabled path that every
+    // production solve takes when LORAFUSION_TRACE is unset.
+    lorafusion_trace::disable();
+    assert!(!lorafusion_trace::enabled());
+
+    let p = branching_heavy_problem();
+    let options = MilpOptions::default();
+    let mut scratch = MilpScratch::new();
+    let nodes_counter = lorafusion_trace::metrics::counter("solver.bb.nodes");
+
+    // Warm up: the first solve sizes the tableau, the node arena, and the
+    // bound vectors, and pays the one-time trace counter registration.
+    let warm = solve_milp_scratch(&p, &options, &mut scratch).unwrap();
+    assert_eq!(warm.status, Status::Optimal);
+
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let nodes_before = nodes_counter.get();
+
+    let sol = solve_milp_scratch(&p, &options, &mut scratch).unwrap();
+
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let nodes = nodes_counter.get() - nodes_before;
+
+    assert_eq!(sol.status, Status::Optimal);
+    // Total weight 51, capacity 17: 3 bins necessary and sufficient.
+    assert_eq!(sol.objective.round() as i64, 3);
+    assert!(
+        nodes >= 50,
+        "problem too easy to exercise per-node reuse: {nodes} nodes"
+    );
+    // The only permitted allocations are the returned Solution's `values`
+    // clone — a small constant independent of the {nodes}-node tree. The
+    // bound of 4 leaves headroom for allocator-internal bookkeeping.
+    assert!(
+        allocs <= 4,
+        "warmed MILP solve allocated {allocs} times across {nodes} nodes"
+    );
+}

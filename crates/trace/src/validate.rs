@@ -271,6 +271,10 @@ pub struct TraceStats {
     pub sim_kernel_events: usize,
     /// Distinct counter-track names.
     pub counter_tracks: usize,
+    /// The counter-track names themselves, so gates can require a
+    /// *specific* counter (e.g. `scheduler.repack.warm_solves`) made it
+    /// into the export, not just "some counters".
+    pub counter_names: BTreeSet<String>,
     pub pids: BTreeSet<u64>,
     /// Distinct `(pid, tid)` tracks carrying complete events.
     pub tids: BTreeSet<(u64, u64)>,
@@ -305,7 +309,6 @@ pub fn validate_trace_str(text: &str) -> Result<TraceStats, String> {
     let events = events.as_arr().ok_or("\"traceEvents\" must be an array")?;
 
     let mut stats = TraceStats::default();
-    let mut counter_names = BTreeSet::new();
     for (index, event) in events.iter().enumerate() {
         if !matches!(event, Value::Obj(_)) {
             return Err(format!("event {index}: not an object"));
@@ -344,7 +347,7 @@ pub fn validate_trace_str(text: &str) -> Result<TraceStats, String> {
                 if !ok {
                     return Err(format!("event {index}: counter args must be numeric"));
                 }
-                counter_names.insert(name.to_owned());
+                stats.counter_names.insert(name.to_owned());
                 stats.counter_events += 1;
             }
             "M" => {
@@ -363,7 +366,7 @@ pub fn validate_trace_str(text: &str) -> Result<TraceStats, String> {
             }
         }
     }
-    stats.counter_tracks = counter_names.len();
+    stats.counter_tracks = stats.counter_names.len();
     Ok(stats)
 }
 
@@ -409,6 +412,7 @@ mod tests {
         assert_eq!(stats.idle_events, 1);
         assert_eq!(stats.sim_kernel_events, 1);
         assert_eq!(stats.counter_tracks, 1);
+        assert!(stats.counter_names.contains("gemm.calls"));
         assert_eq!(stats.pids.len(), 2);
     }
 

@@ -107,4 +107,31 @@ else
     "$TRACE_TMP/trace.json" --require-counters 5
 fi
 
+# Online-scheduler gate: bench_scheduler asserts in-binary that a full
+# event-stream replay is digest-identical run to run and that the final
+# packing stays within the documented ε of a cold re-solve. The 512-event
+# invocation keeps it fast; tracing is armed so the emitted trace can be
+# checked for the repair-ladder counter tracks (scheduler.repack.* and
+# the solver's warm-start prunes) by name.
+step "bench_scheduler determinism + quality gate (512 events)"
+if [[ "$QUICK" -eq 0 ]]; then
+  LORAFUSION_TRACE="$TRACE_TMP/sched_trace.json" BENCH_SCHED_JOBS=128 BENCH_SCHED_EVENTS=512 \
+    BENCH_SCHED_WRITE=0 cargo run --release -q -p lorafusion-bench --bin bench_scheduler
+  cargo run --release -q -p lorafusion-bench --bin trace_validate -- \
+    "$TRACE_TMP/sched_trace.json" \
+    --require-counter scheduler.repack.local_repair \
+    --require-counter scheduler.repack.warm_solves \
+    --require-counter scheduler.repack.cold_solves \
+    --require-counter solver.bb.warm_start_prunes
+else
+  LORAFUSION_TRACE="$TRACE_TMP/sched_trace.json" BENCH_SCHED_JOBS=128 BENCH_SCHED_EVENTS=512 \
+    BENCH_SCHED_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_scheduler
+  cargo run -q -p lorafusion-bench --bin trace_validate -- \
+    "$TRACE_TMP/sched_trace.json" \
+    --require-counter scheduler.repack.local_repair \
+    --require-counter scheduler.repack.warm_solves \
+    --require-counter scheduler.repack.cold_solves \
+    --require-counter solver.bb.warm_start_prunes
+fi
+
 step "CI OK"
