@@ -36,10 +36,14 @@ use std::time::Instant;
 use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_data::{generate_events, EventStreamConfig, JobEvent};
 use lorafusion_sched::{cold_solve, Job, OnlineConfig, OnlineScheduler};
+use lorafusion_tensor::{pool, simd};
 use lorafusion_trace::metrics;
 
 struct Row {
     queued_jobs: usize,
+    host_cores: usize,
+    detected_features: String,
+    simd_path: String,
     num_events: usize,
     final_live: usize,
     online_bins: usize,
@@ -60,6 +64,9 @@ struct Row {
 }
 lorafusion_bench::impl_to_json!(Row {
     queued_jobs,
+    host_cores,
+    detected_features,
+    simd_path,
     num_events,
     final_live,
     online_bins,
@@ -138,6 +145,9 @@ fn main() {
         .and_then(|v| v.parse().ok());
 
     let config = OnlineConfig::default();
+    let host_cores = pool::host_parallelism();
+    let detected_features = simd::detected_features().to_string();
+    let simd_path = simd::active_path().tag().to_string();
     let mut rows: Vec<Row> = Vec::new();
     for &queued_jobs in &scales {
         // Ramping to the target queue takes a few multiples of the
@@ -212,6 +222,9 @@ fn main() {
 
         rows.push(Row {
             queued_jobs,
+            host_cores,
+            detected_features: detected_features.clone(),
+            simd_path: simd_path.clone(),
             num_events,
             final_live: sched.num_jobs(),
             online_bins: sched.num_bins(),

@@ -20,7 +20,7 @@ use std::sync::{Mutex, OnceLock};
 use lorafusion_trace::metrics::{counter, Counter};
 
 use lorafusion_gpu::{CostModel, DeviceSpec, KernelClass, KernelProfile};
-use lorafusion_kernels::{frozen, fused, reference, Shape, TrafficModel};
+use lorafusion_kernels::{frozen, fused, loss, reference, Shape, TrafficModel};
 
 use crate::model_config::TransformerConfig;
 
@@ -165,25 +165,27 @@ fn layer_misc_profiles(
 }
 
 /// LM-head + cross-entropy profiles (last stage only).
+///
+/// The fused strategies run the Liger-style chunked linear+CE lowering
+/// ([`loss::fused_profiles`]) at the roofline-neutral
+/// [`loss::SIM_CHUNK_TOKENS`] chunk size; the unfused strategies
+/// materialize full logits ([`loss::unfused_profiles`]). Every byte is
+/// routed through the [`TrafficModel`] — there are no hand-written byte
+/// counts here.
 fn lm_head_profiles(
     cfg: &TransformerConfig,
+    strategy: KernelStrategy,
     tokens: usize,
     t: &TrafficModel,
 ) -> (Vec<KernelProfile>, Vec<KernelProfile>) {
-    let shape = Shape::new(tokens, cfg.hidden, cfg.vocab, 0);
-    let mut fwd = frozen::forward_profiles(shape, t);
-    fwd[0].name = "lm_head_fwd".into();
-    let ce = KernelProfile {
-        name: "cross_entropy".into(),
-        class: KernelClass::Reduction,
-        flops: (tokens * cfg.vocab) as f64,
-        bytes_read: (tokens * cfg.vocab) as u64 * 2,
-        bytes_written: tokens as u64 * 4,
-    };
-    fwd.push(ce);
-    let mut bwd = frozen::backward_profiles(shape, t);
-    bwd[0].name = "lm_head_bwd".into();
-    (fwd, bwd)
+    match strategy {
+        KernelStrategy::FusedLora | KernelStrategy::FusedMultiLora { .. } => {
+            loss::fused_profiles(tokens, cfg.hidden, cfg.vocab, loss::SIM_CHUNK_TOKENS, t)
+        }
+        KernelStrategy::Frozen | KernelStrategy::TorchLora => {
+            loss::unfused_profiles(tokens, cfg.hidden, cfg.vocab, t)
+        }
+    }
 }
 
 /// Key of the memoized per-layer seconds: everything [`microbatch_cost`]
@@ -323,7 +325,7 @@ fn compute_cached_seconds(
         linear_fwd_profiles.extend(f);
         linear_bwd_profiles.extend(b);
     }
-    let (hf, hb) = lm_head_profiles(cfg, tokens, traffic);
+    let (hf, hb) = lm_head_profiles(cfg, strategy, tokens, traffic);
     CachedSeconds {
         linear_fwd: cost.sequence_seconds(device, &linear_fwd_profiles),
         linear_bwd: cost.sequence_seconds(device, &linear_bwd_profiles),
@@ -551,7 +553,7 @@ mod tests {
                     / (device.bandwidth_bytes() * cost.elementwise_mem_efficiency);
             }
             if stage.has_lm_head {
-                let (hf, hb) = lm_head_profiles(cfg, tokens, traffic);
+                let (hf, hb) = lm_head_profiles(cfg, strategy, tokens, traffic);
                 f += cost.sequence_seconds(device, &hf);
                 b += cost.sequence_seconds(device, &hb);
             }

@@ -22,6 +22,43 @@ pub const ACT_BYTES_PER_TOKEN_PER_LAYER_FACTOR: u64 = 3;
 /// Fixed framework overhead (CUDA context, workspace, fragmentation).
 pub const FRAMEWORK_OVERHEAD_BYTES: u64 = 6 * 1024 * 1024 * 1024;
 
+/// How the LM-head + cross-entropy loss is lowered on the last stage.
+///
+/// The unfused lowering materializes the full `[microbatch_tokens x vocab]`
+/// logits tensor *and* its gradient; the chunked fused lowering
+/// (`lorafusion_kernels::loss`) only ever holds one `[chunk x vocab]`
+/// logits buffer. Either way the buffer is a *fixed* reservation sized by
+/// the loss schedule, not a per-token activation cost — which is exactly
+/// why fusing it raises [`MemoryPlan::max_tokens_in_flight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossMode {
+    /// Full logits + dlogits materialized for a microbatch of this many
+    /// tokens.
+    Unfused {
+        /// Tokens per microbatch on the last stage.
+        microbatch_tokens: u64,
+    },
+    /// Liger-style chunked fused linear+CE: one live `[chunk x vocab]`
+    /// logits buffer, reused across chunks.
+    Chunked {
+        /// Tokens per loss chunk.
+        chunk_tokens: u64,
+    },
+}
+
+impl LossMode {
+    /// Bytes of live logits-space buffers this mode reserves (bf16).
+    pub fn buffer_bytes(&self, vocab: u64) -> u64 {
+        match *self {
+            // Logits and dlogits both live across the backward.
+            LossMode::Unfused { microbatch_tokens } => 2 * microbatch_tokens * vocab * FROZEN_BYTES,
+            // One chunk buffer, transformed in place by the softmax-grad
+            // prologue on the second GEMM.
+            LossMode::Chunked { chunk_tokens } => chunk_tokens * vocab * FROZEN_BYTES,
+        }
+    }
+}
+
 /// Memory plan of one GPU in a training configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryPlan {
@@ -31,6 +68,9 @@ pub struct MemoryPlan {
     pub adapter_bytes: u64,
     /// Activation bytes per token *in flight* on this GPU.
     pub activation_bytes_per_token: u64,
+    /// Fixed logits-space reservation for the loss lowering (see
+    /// [`LossMode`]); zero when this GPU does not host the LM head.
+    pub loss_buffer_bytes: u64,
 }
 
 impl MemoryPlan {
@@ -60,6 +100,16 @@ impl MemoryPlan {
             activation_bytes_per_token: layers_here
                 * cfg.hidden as u64
                 * ACT_BYTES_PER_TOKEN_PER_LAYER_FACTOR,
+            loss_buffer_bytes: 0,
+        }
+    }
+
+    /// Returns the plan with the loss lowering's fixed logits reservation
+    /// applied (for the GPU hosting the LM head).
+    pub fn with_loss(self, cfg: &TransformerConfig, mode: LossMode) -> Self {
+        Self {
+            loss_buffer_bytes: mode.buffer_bytes(cfg.vocab as u64),
+            ..self
         }
     }
 
@@ -67,6 +117,7 @@ impl MemoryPlan {
     pub fn total_bytes(&self, tokens_in_flight: u64) -> u64 {
         self.frozen_bytes
             + self.adapter_bytes
+            + self.loss_buffer_bytes
             + self.activation_bytes_per_token * tokens_in_flight
             + FRAMEWORK_OVERHEAD_BYTES
     }
@@ -78,7 +129,10 @@ impl MemoryPlan {
 
     /// Largest token count in flight that still fits on `device`.
     pub fn max_tokens_in_flight(&self, device: &DeviceSpec) -> u64 {
-        let fixed = self.frozen_bytes + self.adapter_bytes + FRAMEWORK_OVERHEAD_BYTES;
+        let fixed = self.frozen_bytes
+            + self.adapter_bytes
+            + self.loss_buffer_bytes
+            + FRAMEWORK_OVERHEAD_BYTES;
         device
             .memory_bytes()
             .saturating_sub(fixed)
@@ -142,6 +196,69 @@ mod tests {
         assert!(
             delta < one.frozen_bytes / 10,
             "adapter states must stay far below frozen weights"
+        );
+    }
+
+    #[test]
+    fn max_tokens_is_monotone_in_device_memory() {
+        let cfg = ModelPreset::Llama8b.config();
+        let plan = MemoryPlan::for_gpu(&cfg, 4, 16, 1, 1).with_loss(
+            &cfg,
+            LossMode::Unfused {
+                microbatch_tokens: 16384,
+            },
+        );
+        let mut caps: Vec<u64> = [
+            DeviceKind::Rtx3090.spec(),
+            DeviceKind::A100Sxm.spec(),
+            DeviceKind::H100Sxm.spec(),
+        ]
+        .iter()
+        .map(|d| plan.max_tokens_in_flight(d))
+        .collect();
+        let sorted = {
+            let mut s = caps.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(caps, sorted, "capacity must not decrease with HBM");
+        caps.dedup();
+        assert!(caps.len() > 1, "capacities must actually differ");
+    }
+
+    #[test]
+    fn fused_loss_raises_token_capacity_for_llama8b() {
+        // Llama-3.1-8B: vocab 128256 x 16384-token microbatch of bf16
+        // logits + dlogits is ~8 GiB of fixed reservation; the chunked
+        // fused lowering holds one 4096-token chunk instead.
+        let cfg = ModelPreset::Llama8b.config();
+        let h100 = DeviceKind::H100Sxm.spec();
+        let base = MemoryPlan::for_gpu(&cfg, 4, 16, 1, 1);
+        let unfused = base
+            .with_loss(
+                &cfg,
+                LossMode::Unfused {
+                    microbatch_tokens: 16384,
+                },
+            )
+            .max_tokens_in_flight(&h100);
+        let fused = base
+            .with_loss(&cfg, LossMode::Chunked { chunk_tokens: 4096 })
+            .max_tokens_in_flight(&h100);
+        assert!(
+            fused > unfused,
+            "chunked fused loss must raise capacity: fused {fused} vs unfused {unfused}"
+        );
+        // The freed headroom is the difference of the two reservations.
+        let freed = LossMode::Unfused {
+            microbatch_tokens: 16384,
+        }
+        .buffer_bytes(cfg.vocab as u64)
+            - LossMode::Chunked { chunk_tokens: 4096 }.buffer_bytes(cfg.vocab as u64);
+        assert_eq!(
+            fused - unfused,
+            freed / base.activation_bytes_per_token,
+            "capacity gain must equal freed logits bytes over per-token cost"
         );
     }
 

@@ -1,0 +1,812 @@
+//! Fused RMSNorm- and SwiGLU-style elementwise chains, with unfused
+//! multi-pass references for the bitwise gates.
+//!
+//! The transformer block is bracketed by memory-bound elementwise chains:
+//! RMSNorm before each projection pair and the SwiGLU gate inside the MLP.
+//! Eager lowerings run them as separate full-tensor kernels — every
+//! intermediate (`sum-of-squares`, `x * inv`, `sigmoid(g)`, `silu(g)`)
+//! makes a DRAM round-trip. The fused versions here evaluate each chain in
+//! a single pass per output tensor (Liger-style), and the reference
+//! versions materialize every intermediate exactly as the eager lowering
+//! would.
+//!
+//! **Bitwise contract.** Both versions call the same `#[inline]` scalar
+//! helpers in the same order, and the reference's intermediates only park
+//! values in `f32` buffers between passes — an exact store/load — so fused
+//! and unfused results are bit-identical at every thread count. Rows are
+//! partitioned with `pool::parallel_chunks_mut` on whole-row boundaries;
+//! each row's reduction (the RMS sum of squares, the RMSNorm backward dot)
+//! is one ascending chain owned by one task.
+//!
+//! **No weight gradients.** Norm weights are frozen under LoRA fine-tuning
+//! (only adapters train), so the backward passes produce `dx` terms only —
+//! the same convention as `frozen` and `loss`.
+
+use lorafusion_gpu::{KernelClass, KernelProfile};
+use lorafusion_tensor::pool;
+use lorafusion_tensor::{Matrix, TensorError};
+
+use crate::traffic::TrafficModel;
+use crate::Result;
+
+/// Logistic sigmoid — shared by every SwiGLU spelling.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Ascending-index sum of squares of one row; the RMS reduction chain.
+#[inline]
+fn row_sum_sq(row: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &v in row {
+        acc += v * v;
+    }
+    acc
+}
+
+/// Inverse RMS from a parked sum of squares.
+#[inline]
+fn inv_rms(sum_sq: f32, cols: usize, eps: f32) -> f32 {
+    1.0 / (sum_sq / cols as f32 + eps).sqrt()
+}
+
+/// Ascending-index RMSNorm backward dot: `sum_j dy_j * w_j * x_j`.
+#[inline]
+fn rms_backward_dot(dy: &[f32], w: &[f32], x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for j in 0..dy.len() {
+        acc += dy[j] * w[j] * x[j];
+    }
+    acc
+}
+
+fn check_rows_cols(op: &'static str, a: &Matrix, b: &Matrix) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+fn check_weight(op: &'static str, x: &Matrix, w: &[f32]) -> Result<()> {
+    if w.len() != x.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: x.shape(),
+            rhs: (1, w.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Row-parallel sweep over `out`, one whole-row range per task.
+fn for_each_row(out: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let (rows, cols) = out.shape();
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let p = pool::current();
+    let rows_per_task = rows.div_ceil(p.threads().max(1)).max(1);
+    pool::parallel_chunks_mut(p, out.as_mut_slice(), rows_per_task * cols, |t, chunk| {
+        let row0 = t * rows_per_task;
+        for (i, row) in chunk.chunks_mut(cols).enumerate() {
+            f(row0 + i, row);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// RMSNorm
+// ---------------------------------------------------------------------------
+
+/// Fused RMSNorm forward: `y[i][j] = (x[i][j] * inv_i) * w[j]` with
+/// `inv_i = 1 / sqrt(mean(x_i^2) + eps)`, one pass over the row. `inv` is
+/// resized to one slot per row and filled for the backward pass.
+pub fn rmsnorm_forward_fused(
+    x: &Matrix,
+    w: &[f32],
+    eps: f32,
+    y: &mut Matrix,
+    inv: &mut Vec<f32>,
+) -> Result<()> {
+    check_weight("rmsnorm", x, w)?;
+    let (rows, cols) = x.shape();
+    y.resize(rows, cols);
+    inv.resize(rows, 0.0);
+    let _span = lorafusion_trace::span!("chains.rmsnorm_fwd_fused", rows = rows);
+    chain_metrics().0.incr();
+    // Per-row inv first (tiny, serial: one f32 per row), then the fused
+    // normalize+weight pass.
+    for (i, slot) in inv.iter_mut().enumerate() {
+        *slot = inv_rms(
+            row_sum_sq(&x.as_slice()[i * cols..(i + 1) * cols]),
+            cols,
+            eps,
+        );
+    }
+    let inv_ref: &[f32] = inv;
+    for_each_row(y, |i, row| {
+        let src = &x.as_slice()[i * cols..(i + 1) * cols];
+        let r = inv_ref[i];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = (src[j] * r) * w[j];
+        }
+    });
+    Ok(())
+}
+
+/// Unfused multi-pass RMSNorm forward: materializes the sum-of-squares
+/// vector, the `inv` vector, the normalized matrix `x * inv`, and only
+/// then applies the weight — four passes, two of them full-tensor.
+pub fn rmsnorm_forward_reference(
+    x: &Matrix,
+    w: &[f32],
+    eps: f32,
+    y: &mut Matrix,
+    inv: &mut Vec<f32>,
+) -> Result<()> {
+    check_weight("rmsnorm", x, w)?;
+    let (rows, cols) = x.shape();
+    y.resize(rows, cols);
+    inv.resize(rows, 0.0);
+    let _span = lorafusion_trace::span!("chains.rmsnorm_fwd_reference", rows = rows);
+    chain_metrics().1.incr();
+    // Pass 1: materialized sum of squares.
+    let mut sum_sq = vec![0.0f32; rows];
+    for (i, s) in sum_sq.iter_mut().enumerate() {
+        *s = row_sum_sq(&x.as_slice()[i * cols..(i + 1) * cols]);
+    }
+    // Pass 2: inv from the parked sums.
+    for (i, slot) in inv.iter_mut().enumerate() {
+        *slot = inv_rms(sum_sq[i], cols, eps);
+    }
+    // Pass 3: materialized normalized tensor.
+    let mut normalized = Matrix::zeros(rows, cols);
+    let inv_ref: &[f32] = inv;
+    for_each_row(&mut normalized, |i, row| {
+        let src = &x.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = src[j] * inv_ref[i];
+        }
+    });
+    // Pass 4: weight multiply into the output.
+    for_each_row(y, |i, row| {
+        let src = &normalized.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = src[j] * w[j];
+        }
+    });
+    Ok(())
+}
+
+/// Fused RMSNorm backward (`dx` only; norm weights are frozen):
+/// `dx_j = dy_j * w_j * inv - x_j * c` with
+/// `c = (dot / cols) * inv^3`, `dot = sum_j dy_j * w_j * x_j` — one pass
+/// per row after the row's dot reduction.
+pub fn rmsnorm_backward_fused(
+    x: &Matrix,
+    w: &[f32],
+    inv: &[f32],
+    dy: &Matrix,
+    dx: &mut Matrix,
+) -> Result<()> {
+    check_weight("rmsnorm_bwd", x, w)?;
+    check_rows_cols("rmsnorm_bwd", x, dy)?;
+    if inv.len() != x.rows() {
+        return Err(TensorError::LengthMismatch {
+            expected: x.rows(),
+            actual: inv.len(),
+        });
+    }
+    let (rows, cols) = x.shape();
+    dx.resize(rows, cols);
+    let _span = lorafusion_trace::span!("chains.rmsnorm_bwd_fused", rows = rows);
+    chain_metrics().0.incr();
+    for_each_row(dx, |i, row| {
+        let xs = &x.as_slice()[i * cols..(i + 1) * cols];
+        let dys = &dy.as_slice()[i * cols..(i + 1) * cols];
+        let r = inv[i];
+        let dot = rms_backward_dot(dys, w, xs);
+        let c = (dot / cols as f32) * (r * r * r);
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = dys[j] * w[j] * r - xs[j] * c;
+        }
+    });
+    Ok(())
+}
+
+/// Unfused multi-pass RMSNorm backward: materializes `t = dy * w`, the dot
+/// vector, the `c` vector, the `t * inv` term, and subtracts `x * c` in a
+/// final pass — five passes, three full-tensor.
+pub fn rmsnorm_backward_reference(
+    x: &Matrix,
+    w: &[f32],
+    inv: &[f32],
+    dy: &Matrix,
+    dx: &mut Matrix,
+) -> Result<()> {
+    check_weight("rmsnorm_bwd", x, w)?;
+    check_rows_cols("rmsnorm_bwd", x, dy)?;
+    if inv.len() != x.rows() {
+        return Err(TensorError::LengthMismatch {
+            expected: x.rows(),
+            actual: inv.len(),
+        });
+    }
+    let (rows, cols) = x.shape();
+    dx.resize(rows, cols);
+    let _span = lorafusion_trace::span!("chains.rmsnorm_bwd_reference", rows = rows);
+    chain_metrics().1.incr();
+    // Pass 1: materialized t = dy ⊙ w.
+    let mut t = Matrix::zeros(rows, cols);
+    for_each_row(&mut t, |i, row| {
+        let dys = &dy.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = dys[j] * w[j];
+        }
+    });
+    // Pass 2: materialized per-row dot. The fused spelling computes
+    // `dy*w*x` elementwise, which associates as `(dy*w)*x` — exactly
+    // `t * x` on the parked pass-1 values.
+    let mut dot = vec![0.0f32; rows];
+    for (i, d) in dot.iter_mut().enumerate() {
+        let ts = &t.as_slice()[i * cols..(i + 1) * cols];
+        let xs = &x.as_slice()[i * cols..(i + 1) * cols];
+        let mut acc = 0.0f32;
+        for j in 0..cols {
+            acc += ts[j] * xs[j];
+        }
+        *d = acc;
+    }
+    // Pass 3: c vector.
+    let mut c = vec![0.0f32; rows];
+    for (i, ci) in c.iter_mut().enumerate() {
+        let r = inv[i];
+        *ci = (dot[i] / cols as f32) * (r * r * r);
+    }
+    // Pass 4: dx = t * inv.
+    let t_ref = &t;
+    let inv_ref: &[f32] = inv;
+    for_each_row(dx, |i, row| {
+        let ts = &t_ref.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = ts[j] * inv_ref[i];
+        }
+    });
+    // Pass 5: dx -= x * c.
+    let c_ref: &[f32] = &c;
+    for_each_row(dx, |i, row| {
+        let xs = &x.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out -= xs[j] * c_ref[i];
+        }
+    });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SwiGLU
+// ---------------------------------------------------------------------------
+
+/// Fused SwiGLU forward: `h = silu(g) * u` in one pass
+/// (`silu(g) = g * sigmoid(g)`).
+pub fn swiglu_forward_fused(g: &Matrix, u: &Matrix, h: &mut Matrix) -> Result<()> {
+    check_rows_cols("swiglu", g, u)?;
+    let (rows, cols) = g.shape();
+    h.resize(rows, cols);
+    let _span = lorafusion_trace::span!("chains.swiglu_fwd_fused", rows = rows);
+    chain_metrics().0.incr();
+    for_each_row(h, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        let us = &u.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            let s = sigmoid(gs[j]);
+            let sil = gs[j] * s;
+            *out = sil * us[j];
+        }
+    });
+    Ok(())
+}
+
+/// Unfused multi-pass SwiGLU forward: materializes `sigmoid(g)` and
+/// `silu(g)` before the final product — three full-tensor passes.
+pub fn swiglu_forward_reference(g: &Matrix, u: &Matrix, h: &mut Matrix) -> Result<()> {
+    check_rows_cols("swiglu", g, u)?;
+    let (rows, cols) = g.shape();
+    h.resize(rows, cols);
+    let _span = lorafusion_trace::span!("chains.swiglu_fwd_reference", rows = rows);
+    chain_metrics().1.incr();
+    let mut s = Matrix::zeros(rows, cols);
+    for_each_row(&mut s, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = sigmoid(gs[j]);
+        }
+    });
+    let mut sil = Matrix::zeros(rows, cols);
+    let s_ref = &s;
+    for_each_row(&mut sil, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        let ss = &s_ref.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = gs[j] * ss[j];
+        }
+    });
+    let sil_ref = &sil;
+    for_each_row(h, |i, row| {
+        let sils = &sil_ref.as_slice()[i * cols..(i + 1) * cols];
+        let us = &u.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = sils[j] * us[j];
+        }
+    });
+    Ok(())
+}
+
+/// Fused SwiGLU backward: `dg = (dh * u) * dsilu(g)` and
+/// `du = dh * silu(g)`, one pass per output
+/// (`dsilu(g) = s + (g * s) * (1 - s)` with `s = sigmoid(g)`).
+pub fn swiglu_backward_fused(
+    g: &Matrix,
+    u: &Matrix,
+    dh: &Matrix,
+    dg: &mut Matrix,
+    du: &mut Matrix,
+) -> Result<()> {
+    check_rows_cols("swiglu_bwd", g, u)?;
+    check_rows_cols("swiglu_bwd", g, dh)?;
+    let (rows, cols) = g.shape();
+    dg.resize(rows, cols);
+    du.resize(rows, cols);
+    let _span = lorafusion_trace::span!("chains.swiglu_bwd_fused", rows = rows);
+    chain_metrics().0.incr();
+    for_each_row(dg, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        let us = &u.as_slice()[i * cols..(i + 1) * cols];
+        let dhs = &dh.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            let s = sigmoid(gs[j]);
+            let sil = gs[j] * s;
+            let dsil = s + sil * (1.0 - s);
+            *out = (dhs[j] * us[j]) * dsil;
+        }
+    });
+    for_each_row(du, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        let dhs = &dh.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            let s = sigmoid(gs[j]);
+            let sil = gs[j] * s;
+            *out = dhs[j] * sil;
+        }
+    });
+    Ok(())
+}
+
+/// Unfused multi-pass SwiGLU backward: materializes `sigmoid(g)`,
+/// `silu(g)`, and `dsilu(g)` before the two gradient products — five
+/// full-tensor passes.
+pub fn swiglu_backward_reference(
+    g: &Matrix,
+    u: &Matrix,
+    dh: &Matrix,
+    dg: &mut Matrix,
+    du: &mut Matrix,
+) -> Result<()> {
+    check_rows_cols("swiglu_bwd", g, u)?;
+    check_rows_cols("swiglu_bwd", g, dh)?;
+    let (rows, cols) = g.shape();
+    dg.resize(rows, cols);
+    du.resize(rows, cols);
+    let _span = lorafusion_trace::span!("chains.swiglu_bwd_reference", rows = rows);
+    chain_metrics().1.incr();
+    let mut s = Matrix::zeros(rows, cols);
+    for_each_row(&mut s, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = sigmoid(gs[j]);
+        }
+    });
+    let mut sil = Matrix::zeros(rows, cols);
+    let s_ref = &s;
+    for_each_row(&mut sil, |i, row| {
+        let gs = &g.as_slice()[i * cols..(i + 1) * cols];
+        let ss = &s_ref.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = gs[j] * ss[j];
+        }
+    });
+    let mut dsil = Matrix::zeros(rows, cols);
+    let sil_ref = &sil;
+    for_each_row(&mut dsil, |i, row| {
+        let ss = &s_ref.as_slice()[i * cols..(i + 1) * cols];
+        let sils = &sil_ref.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = ss[j] + sils[j] * (1.0 - ss[j]);
+        }
+    });
+    let dsil_ref = &dsil;
+    for_each_row(dg, |i, row| {
+        let us = &u.as_slice()[i * cols..(i + 1) * cols];
+        let dhs = &dh.as_slice()[i * cols..(i + 1) * cols];
+        let ds = &dsil_ref.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = (dhs[j] * us[j]) * ds[j];
+        }
+    });
+    for_each_row(du, |i, row| {
+        let sils = &sil_ref.as_slice()[i * cols..(i + 1) * cols];
+        let dhs = &dh.as_slice()[i * cols..(i + 1) * cols];
+        for (j, out) in row.iter_mut().enumerate() {
+            *out = dhs[j] * sils[j];
+        }
+    });
+    Ok(())
+}
+
+/// Chain-call counters: `(fused, reference)`.
+fn chain_metrics() -> &'static (
+    lorafusion_trace::metrics::Counter,
+    lorafusion_trace::metrics::Counter,
+) {
+    use lorafusion_trace::metrics::counter;
+    static METRICS: std::sync::OnceLock<(
+        lorafusion_trace::metrics::Counter,
+        lorafusion_trace::metrics::Counter,
+    )> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            counter("chains.fused_calls"),
+            counter("chains.reference_calls"),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Kernel lowerings
+// ---------------------------------------------------------------------------
+
+/// RMSNorm forward+backward lowering over a `rows x cols` activation:
+/// fused = one elementwise kernel per direction; unfused = the multi-pass
+/// sequence with every intermediate round-tripping through DRAM.
+pub fn rmsnorm_profiles(
+    rows: usize,
+    cols: usize,
+    fused: bool,
+    t: &TrafficModel,
+) -> Vec<KernelProfile> {
+    let elems = rows * cols;
+    let flops = 4.0 * elems as f64;
+    if fused {
+        return vec![
+            KernelProfile {
+                name: "rmsnorm_fwd_fused".into(),
+                class: KernelClass::Elementwise { tensors: 2 },
+                flops,
+                bytes_read: t.read_cold(elems) + t.bytes(cols),
+                bytes_written: t.write(elems) + t.bytes(rows),
+            },
+            KernelProfile {
+                name: "rmsnorm_bwd_fused".into(),
+                class: KernelClass::Elementwise { tensors: 3 },
+                flops: 2.0 * flops,
+                bytes_read: t.read_cold(2 * elems) + t.bytes(cols + rows),
+                bytes_written: t.write(elems),
+            },
+        ];
+    }
+    vec![
+        KernelProfile {
+            name: "rmsnorm_fwd_sumsq".into(),
+            class: KernelClass::Reduction,
+            flops: 2.0 * elems as f64,
+            bytes_read: t.read_cold(elems),
+            bytes_written: t.bytes(rows),
+        },
+        KernelProfile {
+            name: "rmsnorm_fwd_normalize".into(),
+            class: KernelClass::Elementwise { tensors: 2 },
+            flops: elems as f64,
+            bytes_read: t.read_hot(elems) + t.bytes(rows),
+            bytes_written: t.write(elems),
+        },
+        // The weight pass re-reads the freshly written normalized tensor.
+        KernelProfile {
+            name: "rmsnorm_fwd_weight".into(),
+            class: KernelClass::Elementwise { tensors: 2 },
+            flops: elems as f64,
+            bytes_read: t.read_hot(elems) + t.bytes(cols),
+            bytes_written: t.write(elems),
+        },
+        KernelProfile {
+            name: "rmsnorm_bwd_dot".into(),
+            class: KernelClass::Reduction,
+            flops: 2.0 * elems as f64,
+            bytes_read: t.read_cold(3 * elems),
+            bytes_written: t.bytes(rows),
+        },
+        KernelProfile {
+            name: "rmsnorm_bwd_dx".into(),
+            class: KernelClass::Elementwise { tensors: 4 },
+            flops: 3.0 * elems as f64,
+            bytes_read: t.read_hot(3 * elems) + t.bytes(2 * rows),
+            bytes_written: t.write(elems),
+        },
+    ]
+}
+
+/// SwiGLU forward+backward lowering: fused = one kernel forward, two
+/// backward; unfused = the five-pass sequence.
+pub fn swiglu_profiles(
+    rows: usize,
+    cols: usize,
+    fused: bool,
+    t: &TrafficModel,
+) -> Vec<KernelProfile> {
+    let elems = rows * cols;
+    if fused {
+        return vec![
+            KernelProfile {
+                name: "swiglu_fwd_fused".into(),
+                class: KernelClass::Elementwise { tensors: 3 },
+                flops: 5.0 * elems as f64,
+                bytes_read: t.read_cold(2 * elems),
+                bytes_written: t.write(elems),
+            },
+            KernelProfile {
+                name: "swiglu_bwd_fused".into(),
+                class: KernelClass::Elementwise { tensors: 5 },
+                flops: 9.0 * elems as f64,
+                bytes_read: t.read_cold(3 * elems),
+                bytes_written: t.write(2 * elems),
+            },
+        ];
+    }
+    vec![
+        KernelProfile {
+            name: "swiglu_fwd_sigmoid".into(),
+            class: KernelClass::Elementwise { tensors: 2 },
+            flops: 3.0 * elems as f64,
+            bytes_read: t.read_cold(elems),
+            bytes_written: t.write(elems),
+        },
+        KernelProfile {
+            name: "swiglu_fwd_silu".into(),
+            class: KernelClass::Elementwise { tensors: 3 },
+            flops: elems as f64,
+            bytes_read: t.read_hot(2 * elems),
+            bytes_written: t.write(elems),
+        },
+        KernelProfile {
+            name: "swiglu_fwd_mul".into(),
+            class: KernelClass::Elementwise { tensors: 3 },
+            flops: elems as f64,
+            bytes_read: t.read_hot(2 * elems),
+            bytes_written: t.write(elems),
+        },
+        KernelProfile {
+            name: "swiglu_bwd_dsilu".into(),
+            class: KernelClass::Elementwise { tensors: 3 },
+            flops: 3.0 * elems as f64,
+            bytes_read: t.read_hot(2 * elems),
+            bytes_written: t.write(elems),
+        },
+        KernelProfile {
+            name: "swiglu_bwd_dg".into(),
+            class: KernelClass::Elementwise { tensors: 4 },
+            flops: 2.0 * elems as f64,
+            bytes_read: t.read_hot(3 * elems),
+            bytes_written: t.write(elems),
+        },
+        KernelProfile {
+            name: "swiglu_bwd_du".into(),
+            class: KernelClass::Elementwise { tensors: 3 },
+            flops: elems as f64,
+            bytes_read: t.read_hot(2 * elems),
+            bytes_written: t.write(elems),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorafusion_tensor::{Pcg32, Pool};
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Fused and reference RMSNorm (forward and backward) must agree bit
+    /// for bit at every thread count.
+    #[test]
+    fn rmsnorm_fused_matches_reference_bitwise() {
+        let (rows, cols) = (23, 49);
+        let mut rng = Pcg32::seeded(61);
+        let x = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+        let w: Vec<f32> = (0..cols).map(|_| 0.5 + rng.next_f32()).collect();
+        let dy = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+        let eps = 1e-5;
+
+        let mut y_ref = Matrix::zeros(0, 0);
+        let mut inv_ref = Vec::new();
+        rmsnorm_forward_reference(&x, &w, eps, &mut y_ref, &mut inv_ref).unwrap();
+        let mut dx_ref = Matrix::zeros(0, 0);
+        rmsnorm_backward_reference(&x, &w, &inv_ref, &dy, &mut dx_ref).unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let p = Pool::new(threads);
+            pool::with_pool(&p, || {
+                let mut y = Matrix::zeros(0, 0);
+                let mut inv = Vec::new();
+                rmsnorm_forward_fused(&x, &w, eps, &mut y, &mut inv).unwrap();
+                assert_eq!(bits(&y), bits(&y_ref), "fwd t={threads}");
+                assert_eq!(
+                    inv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    inv_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                );
+                let mut dx = Matrix::zeros(0, 0);
+                rmsnorm_backward_fused(&x, &w, &inv, &dy, &mut dx).unwrap();
+                assert_eq!(bits(&dx), bits(&dx_ref), "bwd t={threads}");
+            });
+        }
+    }
+
+    /// Fused and reference SwiGLU must agree bit for bit at every thread
+    /// count.
+    #[test]
+    fn swiglu_fused_matches_reference_bitwise() {
+        let (rows, cols) = (17, 65);
+        let mut rng = Pcg32::seeded(62);
+        let g = Matrix::random_gaussian(rows, cols, 1.5, &mut rng);
+        let u = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+        let dh = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+
+        let mut h_ref = Matrix::zeros(0, 0);
+        swiglu_forward_reference(&g, &u, &mut h_ref).unwrap();
+        let (mut dg_ref, mut du_ref) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        swiglu_backward_reference(&g, &u, &dh, &mut dg_ref, &mut du_ref).unwrap();
+
+        for threads in [1usize, 2, 4] {
+            let p = Pool::new(threads);
+            pool::with_pool(&p, || {
+                let mut h = Matrix::zeros(0, 0);
+                swiglu_forward_fused(&g, &u, &mut h).unwrap();
+                assert_eq!(bits(&h), bits(&h_ref), "fwd t={threads}");
+                let (mut dg, mut du) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+                swiglu_backward_fused(&g, &u, &dh, &mut dg, &mut du).unwrap();
+                assert_eq!(bits(&dg), bits(&dg_ref), "dg t={threads}");
+                assert_eq!(bits(&du), bits(&du_ref), "du t={threads}");
+            });
+        }
+    }
+
+    /// RMSNorm backward must agree with finite differences of a scalar
+    /// probe `sum(y)`.
+    #[test]
+    fn rmsnorm_backward_matches_finite_differences() {
+        let (rows, cols) = (3, 7);
+        let mut rng = Pcg32::seeded(63);
+        let x = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+        let w: Vec<f32> = (0..cols).map(|_| 0.5 + rng.next_f32()).collect();
+        let dy = Matrix::full(rows, cols, 1.0); // d(sum(y))/dy = 1
+        let eps = 1e-5;
+
+        let mut y = Matrix::zeros(0, 0);
+        let mut inv = Vec::new();
+        rmsnorm_forward_fused(&x, &w, eps, &mut y, &mut inv).unwrap();
+        let mut dx = Matrix::zeros(0, 0);
+        rmsnorm_backward_fused(&x, &w, &inv, &dy, &mut dx).unwrap();
+
+        let probe = |m: &Matrix| -> f64 {
+            let mut yy = Matrix::zeros(0, 0);
+            let mut ii = Vec::new();
+            rmsnorm_forward_fused(m, &w, eps, &mut yy, &mut ii).unwrap();
+            yy.as_slice().iter().map(|&v| v as f64).sum()
+        };
+        let fd = 1e-3f32;
+        for &(i, j) in &[(0usize, 0usize), (1, 4), (2, 6)] {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j).unwrap() + fd).unwrap();
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j).unwrap() - fd).unwrap();
+            let numeric = ((probe(&xp) - probe(&xm)) / (2.0 * fd as f64)) as f32;
+            let analytic = dx.get(i, j).unwrap();
+            assert!(
+                (numeric - analytic).abs() <= 1e-2 * (1.0 + analytic.abs()),
+                "d/dx[{i},{j}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// SwiGLU backward must agree with finite differences of `sum(h)`.
+    #[test]
+    fn swiglu_backward_matches_finite_differences() {
+        let (rows, cols) = (3, 5);
+        let mut rng = Pcg32::seeded(64);
+        let g = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+        let u = Matrix::random_gaussian(rows, cols, 1.0, &mut rng);
+        let dh = Matrix::full(rows, cols, 1.0);
+
+        let (mut dg, mut du) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        swiglu_backward_fused(&g, &u, &dh, &mut dg, &mut du).unwrap();
+
+        let probe = |gg: &Matrix, uu: &Matrix| -> f64 {
+            let mut hh = Matrix::zeros(0, 0);
+            swiglu_forward_fused(gg, uu, &mut hh).unwrap();
+            hh.as_slice().iter().map(|&v| v as f64).sum()
+        };
+        let fd = 1e-3f32;
+        for &(i, j) in &[(0usize, 1usize), (2, 3)] {
+            let mut gp = g.clone();
+            gp.set(i, j, g.get(i, j).unwrap() + fd).unwrap();
+            let mut gm = g.clone();
+            gm.set(i, j, g.get(i, j).unwrap() - fd).unwrap();
+            let numeric = ((probe(&gp, &u) - probe(&gm, &u)) / (2.0 * fd as f64)) as f32;
+            let analytic = dg.get(i, j).unwrap();
+            assert!(
+                (numeric - analytic).abs() <= 1e-2 * (1.0 + analytic.abs()),
+                "d/dg[{i},{j}]: {numeric} vs {analytic}"
+            );
+
+            let mut up = u.clone();
+            up.set(i, j, u.get(i, j).unwrap() + fd).unwrap();
+            let mut um = u.clone();
+            um.set(i, j, u.get(i, j).unwrap() - fd).unwrap();
+            let numeric = ((probe(&g, &up) - probe(&g, &um)) / (2.0 * fd as f64)) as f32;
+            let analytic = du.get(i, j).unwrap();
+            assert!(
+                (numeric - analytic).abs() <= 1e-2 * (1.0 + analytic.abs()),
+                "d/du[{i},{j}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    /// The fused lowering must read and write fewer DRAM bytes than the
+    /// unfused multi-pass one.
+    #[test]
+    fn fused_lowerings_save_traffic() {
+        let t = TrafficModel::for_device(&lorafusion_gpu::DeviceKind::H100Sxm.spec());
+        let (rows, cols) = (16384, 4096);
+        for (name, fused, unfused) in [
+            (
+                "rmsnorm",
+                rmsnorm_profiles(rows, cols, true, &t),
+                rmsnorm_profiles(rows, cols, false, &t),
+            ),
+            (
+                "swiglu",
+                swiglu_profiles(rows, cols, true, &t),
+                swiglu_profiles(rows, cols, false, &t),
+            ),
+        ] {
+            let total = |ps: &[KernelProfile]| {
+                ps.iter()
+                    .map(|p| p.bytes_read + p.bytes_written)
+                    .sum::<u64>()
+            };
+            assert!(
+                total(&fused) < total(&unfused),
+                "{name}: fused {} >= unfused {}",
+                total(&fused),
+                total(&unfused)
+            );
+        }
+    }
+
+    /// Shape validation errors.
+    #[test]
+    fn mismatched_shapes_are_rejected() {
+        let a = Matrix::zeros(4, 8);
+        let b = Matrix::zeros(4, 9);
+        let mut out = Matrix::zeros(0, 0);
+        assert!(swiglu_forward_fused(&a, &b, &mut out).is_err());
+        let w = vec![1.0f32; 7];
+        let mut inv = Vec::new();
+        assert!(rmsnorm_forward_fused(&a, &w, 1e-5, &mut out, &mut inv).is_err());
+    }
+}

@@ -356,6 +356,7 @@ impl PlannedWorkspace {
                     &mut self.s,
                     Prologue {
                         dropout,
+                        softmax_grad: None,
                         emit: Some(self.x_hat.as_mut_slice()),
                     },
                     Epilogue::Overwrite,
@@ -382,6 +383,7 @@ impl PlannedWorkspace {
                     &mut self.y,
                     Prologue {
                         dropout,
+                        softmax_grad: None,
                         emit: Some(self.x_hat.as_mut_slice()),
                     },
                     Epilogue::AddScaled(cfg.alpha),

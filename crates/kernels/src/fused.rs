@@ -253,6 +253,7 @@ impl Workspace {
             &mut self.s,
             Prologue {
                 dropout: (!spec.is_identity()).then_some(spec),
+                softmax_grad: None,
                 emit: Some(self.x_hat.as_mut_slice()),
             },
             Epilogue::Overwrite,

@@ -42,14 +42,22 @@
 //! * [`qlora`] — the Section 7 quantization extension: block-wise 4-bit
 //!   base weights with the two-step dequantize-then-fuse scheme;
 //! * [`variants`] — the Section 7 LoRA-variant extension: prologue/epilogue
-//!   hooks around the fused core, instantiated for VeRA and DoRA.
+//!   hooks around the fused core, instantiated for VeRA and DoRA;
+//! * [`loss`] — chunked fused linear + cross-entropy (Liger-style): the
+//!   LM-head GEMM runs chunk-by-chunk through the microkernel's row-max
+//!   sink and softmax-grad pack prologue, so the `[tokens x vocab]` logits
+//!   tensor is never materialized;
+//! * [`chains`] — fused RMSNorm and SwiGLU elementwise chains with
+//!   multi-pass references for the bitwise gates.
 
 pub mod autotune;
+pub mod chains;
 pub mod contraction;
 pub mod frozen;
 pub mod full_fusion;
 pub mod fused;
 pub mod lora;
+pub mod loss;
 pub mod multi;
 pub mod qlora;
 pub mod reference;

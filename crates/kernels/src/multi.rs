@@ -378,6 +378,7 @@ pub fn forward(
             cfg.rank,
             Prologue {
                 dropout: (!spec.is_identity()).then_some(spec),
+                softmax_grad: None,
                 emit: Some(x_hat.as_mut_slice()),
             },
             Epilogue::Overwrite,

@@ -24,6 +24,7 @@
 pub mod arena;
 pub mod dropout;
 pub mod error;
+pub mod loss;
 pub mod matmul;
 pub mod microkernel;
 pub mod ops;

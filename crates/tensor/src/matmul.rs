@@ -32,7 +32,7 @@ use crate::Result;
 use lorafusion_trace::metrics::{counter, histogram, Counter, Histogram};
 use lorafusion_trace::span::{span_guard, Cat, SpanGuard};
 
-pub use crate::microkernel::{Epilogue, Layout, Prologue, KC, MC, MR, NC, NR};
+pub use crate::microkernel::{Epilogue, Layout, Prologue, SoftmaxGradSpec, KC, MC, MR, NC, NR};
 
 /// Opens the per-call GEMM span and bumps the registry metrics. One
 /// `OnceLock` resolve plus two relaxed atomic adds; the span guard is
@@ -100,8 +100,15 @@ impl From<Accumulate> for Epilogue {
 }
 
 /// Validates the fusion hooks of a GEMM call: dropout probabilities in
-/// range, and the emit buffer exactly as long as the `A` operand.
-fn check_fusion(prologue: &Prologue<'_>, epilogue: &Epilogue, a_len: usize) -> Result<()> {
+/// range, the emit buffer exactly as long as the `A` operand, and the
+/// softmax-grad tables sized to the logical `m x k` operand.
+fn check_fusion(
+    prologue: &Prologue<'_>,
+    epilogue: &Epilogue,
+    a_len: usize,
+    m: usize,
+    k: usize,
+) -> Result<()> {
     if let Some(spec) = &prologue.dropout {
         spec.validate()?;
     }
@@ -113,6 +120,32 @@ fn check_fusion(prologue: &Prologue<'_>, epilogue: &Epilogue, a_len: usize) -> R
             return Err(TensorError::LengthMismatch {
                 expected: a_len,
                 actual: emit.len(),
+            });
+        }
+    }
+    if let Some(sg) = &prologue.softmax_grad {
+        if prologue.dropout.is_some() {
+            return Err(TensorError::InvalidParameter {
+                name: "softmax_grad",
+                reason: "softmax-grad and dropout prologues are mutually exclusive",
+            });
+        }
+        if sg.lse.len() != m {
+            return Err(TensorError::LengthMismatch {
+                expected: m,
+                actual: sg.lse.len(),
+            });
+        }
+        if sg.targets.len() != m {
+            return Err(TensorError::LengthMismatch {
+                expected: m,
+                actual: sg.targets.len(),
+            });
+        }
+        if sg.targets.iter().any(|&t| t as usize >= k) {
+            return Err(TensorError::InvalidParameter {
+                name: "softmax_grad.targets",
+                reason: "target class index out of vocabulary range",
             });
         }
     }
@@ -220,7 +253,7 @@ pub fn gemm_fused_on_path(
         ),
     };
     check_shapes(op, out_op, a, b, c, (k, kb), (m, n))?;
-    check_fusion(&prologue, &epilogue, a.len())?;
+    check_fusion(&prologue, &epilogue, a.len(), m, k)?;
     let _span = gemm_trace(layout, m, k, n);
     count_dispatch(path);
     microkernel::gemm(
@@ -236,6 +269,7 @@ pub fn gemm_fused_on_path(
         n,
         prologue,
         epilogue,
+        None,
     );
     Ok(())
 }
@@ -284,12 +318,110 @@ pub fn gemm_windows_on(
             });
         }
     }
-    check_fusion(&prologue, &epilogue, a.len())?;
+    check_fusion(&prologue, &epilogue, a.len(), m, k)?;
     let _span = gemm_trace(layout, m, k, n);
     let path = simd::active_path();
     count_dispatch(path);
     microkernel::gemm(
-        pool, path, layout, alpha, a, b, c, m, k, n, prologue, epilogue,
+        pool, path, layout, alpha, a, b, c, m, k, n, prologue, epilogue, None,
+    );
+    Ok(())
+}
+
+/// Length of the row-max partials buffer for an `m x n` GEMM:
+/// one slot per (output row, [`NC`]-column block) pair.
+pub fn rowmax_partials_len(m: usize, n: usize) -> usize {
+    n.div_ceil(NC) * m
+}
+
+/// Merges `[j_blocks x m]` row-max partials (as produced by
+/// [`gemm_windows_rowmax_on`]) into per-row maxima, folding blocks in
+/// ascending `j`-block order from [`f32::NEG_INFINITY`].
+///
+/// `max` is an exact selection, so for NaN-free data the result is
+/// bitwise-identical to a linear scan of each full output row (see
+/// `crate::loss` for the chunk-merge contract).
+pub fn fold_rowmax_partials(partials: &[f32], m: usize, n: usize, out: &mut [f32]) -> Result<()> {
+    let j_blocks = n.div_ceil(NC);
+    if partials.len() != j_blocks * m {
+        return Err(TensorError::LengthMismatch {
+            expected: j_blocks * m,
+            actual: partials.len(),
+        });
+    }
+    if out.len() != m {
+        return Err(TensorError::LengthMismatch {
+            expected: m,
+            actual: out.len(),
+        });
+    }
+    for o in out.iter_mut() {
+        *o = f32::NEG_INFINITY;
+    }
+    for bj in 0..j_blocks {
+        let col = &partials[bj * m..(bj + 1) * m];
+        for (o, &p) in out.iter_mut().zip(col) {
+            *o = o.max(p);
+        }
+    }
+    Ok(())
+}
+
+/// [`gemm_windows_on`] that additionally folds the per-row maximum of the
+/// stored output into `rowmax_partials` while each tile is register-hot —
+/// the streaming-max hook of the chunked fused linear+cross-entropy
+/// (the logits GEMM produces its own row-max reduction for free, so the
+/// LSE pass reads each logits row once instead of twice).
+///
+/// `rowmax_partials` must have exactly [`rowmax_partials_len`]`(m, n)`
+/// elements; every cell is (re)written by the call. Merge with
+/// [`fold_rowmax_partials`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_windows_rowmax_on(
+    pool: &Pool,
+    layout: Layout,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    prologue: Prologue<'_>,
+    epilogue: Epilogue,
+    rowmax_partials: &mut [f32],
+) -> Result<()> {
+    for (len, want) in [
+        (a.len(), m * k),
+        (b.len(), k * n),
+        (c.len(), m * n),
+        (rowmax_partials.len(), rowmax_partials_len(m, n)),
+    ] {
+        if len != want {
+            return Err(TensorError::LengthMismatch {
+                expected: want,
+                actual: len,
+            });
+        }
+    }
+    check_fusion(&prologue, &epilogue, a.len(), m, k)?;
+    let _span = gemm_trace(layout, m, k, n);
+    let path = simd::active_path();
+    count_dispatch(path);
+    microkernel::gemm(
+        pool,
+        path,
+        layout,
+        alpha,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n,
+        prologue,
+        epilogue,
+        Some(rowmax_partials),
     );
     Ok(())
 }
@@ -535,6 +667,193 @@ mod tests {
         let c = matmul_tn(&a.transpose(), &b).unwrap();
         assert!(c.get(0, 0).unwrap().is_nan());
         assert!(c.get(0, 1).unwrap().is_nan());
+    }
+
+    /// The row-max sink must reproduce a linear scan of each output row,
+    /// bit for bit, at every thread count and for non-block-multiple
+    /// shapes.
+    #[test]
+    fn rowmax_sink_matches_linear_scan() {
+        let shapes = [(5usize, 9usize, 17usize), (65, 33, NC + 13), (1, 4, 2 * NC)];
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            for (seed, &(m, k, n)) in shapes.iter().enumerate() {
+                let mut rng = Pcg32::seeded(300 + seed as u64);
+                let a = Matrix::random_gaussian(m, k, 1.0, &mut rng);
+                let b = Matrix::random_gaussian(k, n, 1.0, &mut rng);
+                let mut c = vec![0.0f32; m * n];
+                let mut partials = vec![f32::NAN; rowmax_partials_len(m, n)];
+                gemm_windows_rowmax_on(
+                    &pool,
+                    Layout::Nn,
+                    1.0,
+                    a.as_slice(),
+                    b.as_slice(),
+                    &mut c,
+                    m,
+                    k,
+                    n,
+                    Prologue::none(),
+                    Epilogue::Overwrite,
+                    &mut partials,
+                )
+                .unwrap();
+                let mut maxes = vec![0.0f32; m];
+                fold_rowmax_partials(&partials, m, n, &mut maxes).unwrap();
+                for i in 0..m {
+                    let want = crate::loss::row_max(&c[i * n..(i + 1) * n]);
+                    assert_eq!(
+                        maxes[i].to_bits(),
+                        want.to_bits(),
+                        "{m}x{k}x{n} row {i} t={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The softmax-grad prologue must pack exactly what the shared scalar
+    /// helper computes on the materialized operand, in both the row-major
+    /// (`NT`) and transposed (`TN`) gathers.
+    #[test]
+    fn softmax_grad_prologue_matches_materialized_transform() {
+        let (m, v, h) = (MR + 3, 37, 11);
+        let mut rng = Pcg32::seeded(91);
+        let logits = Matrix::random_gaussian(m, v, 1.0, &mut rng);
+        let w = Matrix::random_gaussian(v, h, 1.0, &mut rng);
+        let lse: Vec<f32> = (0..m)
+            .map(|i| {
+                let row = &logits.as_slice()[i * v..(i + 1) * v];
+                let mx = crate::loss::row_max(row);
+                crate::loss::log_sum_exp(mx, crate::loss::row_sum_exp(row, mx))
+            })
+            .collect();
+        let targets: Vec<u32> = (0..m).map(|i| ((i * 7) % v) as u32).collect();
+        let scale = 0.125f32;
+
+        // Materialized dlogits through the same scalar helper.
+        let mut dlogits = Matrix::zeros(m, v);
+        for i in 0..m {
+            for j in 0..v {
+                let g = crate::loss::softmax_grad(
+                    logits.get(i, j).unwrap(),
+                    lse[i],
+                    targets[i] as usize == j,
+                    scale,
+                );
+                dlogits.set(i, j, g).unwrap();
+            }
+        }
+        let want = matmul_nn(&dlogits, &w).unwrap();
+
+        let pool = Pool::new(2);
+        let spec = SoftmaxGradSpec {
+            lse: &lse,
+            targets: &targets,
+            scale,
+        };
+        // NN (row-major gather): dlogits @ W fused from the logits.
+        let mut got = Matrix::zeros(m, h);
+        gemm_fused_on(
+            &pool,
+            Layout::Nn,
+            1.0,
+            &logits,
+            &w,
+            &mut got,
+            Prologue::softmax_grad(spec),
+            Epilogue::Overwrite,
+        )
+        .unwrap();
+        assert!(bitwise_eq(&want, &got), "nn gather");
+
+        // TN (transposed gather): the same product from logitsᵀ.
+        let logits_t = logits.transpose();
+        let mut got_t = Matrix::zeros(m, h);
+        gemm_fused_on(
+            &pool,
+            Layout::Tn,
+            1.0,
+            &logits_t,
+            &w,
+            &mut got_t,
+            Prologue::softmax_grad(spec),
+            Epilogue::Overwrite,
+        )
+        .unwrap();
+        assert!(bitwise_eq(&want, &got_t), "tn gather");
+    }
+
+    /// Softmax-grad validation: wrong table lengths, out-of-range targets,
+    /// and combination with dropout must all be rejected.
+    #[test]
+    fn softmax_grad_validation_rejects_bad_specs() {
+        let m = 4;
+        let v = 8;
+        let mut rng = Pcg32::seeded(92);
+        let logits = Matrix::random_gaussian(m, v, 1.0, &mut rng);
+        let w = Matrix::random_gaussian(v, 3, 1.0, &mut rng);
+        let mut c = Matrix::zeros(m, 3);
+        let lse = vec![0.0f32; m];
+        let targets = vec![0u32; m];
+        let pool = Pool::new(1);
+
+        let short_lse = vec![0.0f32; m - 1];
+        let bad = Prologue::softmax_grad(SoftmaxGradSpec {
+            lse: &short_lse,
+            targets: &targets,
+            scale: 1.0,
+        });
+        assert!(gemm_fused_on(
+            &pool,
+            Layout::Nn,
+            1.0,
+            &logits,
+            &w,
+            &mut c,
+            bad,
+            Epilogue::Overwrite
+        )
+        .is_err());
+
+        let oob = vec![v as u32; m];
+        let bad = Prologue::softmax_grad(SoftmaxGradSpec {
+            lse: &lse,
+            targets: &oob,
+            scale: 1.0,
+        });
+        assert!(gemm_fused_on(
+            &pool,
+            Layout::Nn,
+            1.0,
+            &logits,
+            &w,
+            &mut c,
+            bad,
+            Epilogue::Overwrite
+        )
+        .is_err());
+
+        let both = Prologue {
+            dropout: Some(crate::dropout::DropoutSpec::new(0.5, 1)),
+            softmax_grad: Some(SoftmaxGradSpec {
+                lse: &lse,
+                targets: &targets,
+                scale: 1.0,
+            }),
+            emit: None,
+        };
+        assert!(gemm_fused_on(
+            &pool,
+            Layout::Nn,
+            1.0,
+            &logits,
+            &w,
+            &mut c,
+            both,
+            Epilogue::Overwrite
+        )
+        .is_err());
     }
 
     /// Parallel GEMMs must be bitwise-identical to the 1-thread path for

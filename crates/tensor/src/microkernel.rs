@@ -164,23 +164,65 @@ pub enum Epilogue {
     AddMasked(DropoutSpec),
 }
 
+/// Softmax-gradient pack transform: replaces each logical-`A` element
+/// `v` at `(row, col)` with
+/// `scale * (exp(v - lse[row]) - onehot(col == targets[row]))` while the
+/// panel is gathered (see [`crate::loss::softmax_grad`]).
+///
+/// This is the dlogits producer of the chunked fused linear+cross-entropy:
+/// the backward GEMM packs the *logits* chunk through this transform, so
+/// the `[chunk x vocab]` gradient matrix is never materialized. The
+/// transform is a pure function of `(v, row, col)` and the per-row `lse`
+/// / `targets` tables, so *where* it is evaluated (which strip, which
+/// thread, row-major or transposed gather) cannot change a bit.
+#[derive(Clone, Copy)]
+pub struct SoftmaxGradSpec<'a> {
+    /// Per-logical-row log-sum-exp of the `A` operand; length `m`.
+    pub lse: &'a [f32],
+    /// Per-logical-row target class index; length `m`, each `< k`.
+    pub targets: &'a [u32],
+    /// Loss scale folded into the gradient (for mean reduction,
+    /// `1 / total_tokens`).
+    pub scale: f32,
+}
+
+impl SoftmaxGradSpec<'_> {
+    /// Transform of one logical-`A` element at `(row, col)`.
+    #[inline]
+    fn apply(&self, v: f32, row: usize, col: usize) -> f32 {
+        crate::loss::softmax_grad(
+            v,
+            self.lse[row],
+            self.targets[row] as usize == col,
+            self.scale,
+        )
+    }
+}
+
 /// Pack-prologue applied to the `A` operand while its panels are gathered.
 ///
 /// * `dropout` multiplies each element by its counter-based mask value
 ///   (`spec.scale()` or `0.0`) in the *source* matrix's coordinates, so the
 ///   packed operand is bitwise-identical to `hadamard(A, mask)` without a
 ///   mask matrix or an extra pass.
-/// * `emit` additionally writes the post-dropout (pre-`alpha`) operand to a
-///   buffer with the same layout and length as the `A` source. This is how
-///   the fused LoRA forward saves `X̂` for the backward pass during the K1
-///   pack. Strips write disjoint regions, so parallel packing stays safe
-///   and deterministic.
+/// * `softmax_grad` rewrites each element through
+///   [`crate::loss::softmax_grad`] in *logical* `A` coordinates (row of
+///   the `m x k` operand, column along `k`), turning a logits operand
+///   into its cross-entropy gradient in-flight. Mutually exclusive with
+///   `dropout` (enforced by `matmul::check_fusion`).
+/// * `emit` additionally writes the post-transform (pre-`alpha`) operand
+///   to a buffer with the same layout and length as the `A` source. This
+///   is how the fused LoRA forward saves `X̂` for the backward pass during
+///   the K1 pack. Strips write disjoint regions, so parallel packing stays
+///   safe and deterministic.
 #[derive(Default)]
 pub struct Prologue<'a> {
     /// Counter-based dropout applied to `A` during packing.
     pub dropout: Option<DropoutSpec>,
-    /// Second destination receiving the post-dropout `A` operand; must have
-    /// exactly the length of the `A` source slice.
+    /// Softmax-gradient transform applied to `A` during packing.
+    pub softmax_grad: Option<SoftmaxGradSpec<'a>>,
+    /// Second destination receiving the post-transform `A` operand; must
+    /// have exactly the length of the `A` source slice.
     pub emit: Option<&'a mut [f32]>,
 }
 
@@ -194,6 +236,16 @@ impl<'a> Prologue<'a> {
     pub fn dropout(spec: DropoutSpec) -> Self {
         Self {
             dropout: Some(spec),
+            softmax_grad: None,
+            emit: None,
+        }
+    }
+
+    /// Softmax-gradient-only prologue.
+    pub fn softmax_grad(spec: SoftmaxGradSpec<'a>) -> Self {
+        Self {
+            dropout: None,
+            softmax_grad: Some(spec),
             emit: None,
         }
     }
@@ -229,15 +281,17 @@ impl SendPtr {
 
 /// Per-strip view of the prologue, capturable by `Sync` pack closures.
 #[derive(Clone, Copy)]
-struct PackFusion {
+struct PackFusion<'a> {
     dropout: Option<DropoutSpec>,
+    softmax_grad: Option<SoftmaxGradSpec<'a>>,
     emit: Option<*const SendPtr>,
 }
 
-impl PackFusion {
+impl PackFusion<'_> {
     #[cfg(test)]
-    const NONE: PackFusion = PackFusion {
+    const NONE: PackFusion<'static> = PackFusion {
         dropout: None,
+        softmax_grad: None,
         emit: None,
     };
 
@@ -247,26 +301,38 @@ impl PackFusion {
         // local in `gemm`, which blocks until packing completes).
         self.emit.map(|p| unsafe { (*p).get() })
     }
+
+    /// Applies the softmax-grad transform at *logical* `A` coordinates
+    /// `(row, col)` — the coordinates of the `m x k` operand the GEMM
+    /// multiplies, regardless of which gather packed it.
+    #[inline]
+    fn softmax(&self, x: f32, row: usize, col: usize) -> f32 {
+        match self.softmax_grad {
+            Some(sg) => sg.apply(x, row, col),
+            None => x,
+        }
+    }
 }
 
 // SAFETY: `emit` points at a `SendPtr` owned by the submitting `gemm` call,
 // which outlives the packing job; the target regions written through it are
 // pairwise disjoint per strip.
-unsafe impl Send for PackFusion {}
+unsafe impl Send for PackFusion<'_> {}
 // SAFETY: same argument as `Send` above — shared references only read the
 // configuration fields; all writes through `emit` target disjoint strips.
-unsafe impl Sync for PackFusion {}
+unsafe impl Sync for PackFusion<'_> {}
 
 /// Packs one `MR`-row strip of a row-major `m x k` matrix, folding `alpha`
-/// and applying the pack fusion (dropout in source coordinates, optional
-/// emission of the post-dropout value at the source element's offset).
+/// and applying the pack fusion (dropout in source coordinates, then the
+/// softmax-grad transform in logical coordinates, then optional emission
+/// of the post-transform value at the source element's offset).
 fn pack_a_strip_rowmajor_fused(
     av: &[f32],
     m: usize,
     k: usize,
     alpha: f32,
     i0: usize,
-    fusion: PackFusion,
+    fusion: PackFusion<'_>,
     out: &mut [f32],
 ) {
     let emit = fusion.emit_ptr();
@@ -279,6 +345,7 @@ fn pack_a_strip_rowmajor_fused(
                     Some(spec) => v * spec.mask_value(row, kk, k),
                     None => v,
                 };
+                let x = fusion.softmax(x, row, kk);
                 if let Some(e) = emit {
                     // SAFETY: offset `row*k + kk` is in-bounds of the
                     // emit buffer (length == av.len() == m*k) and owned by
@@ -304,14 +371,15 @@ fn pack_a_strip_rowmajor(av: &[f32], m: usize, k: usize, alpha: f32, i0: usize, 
 
 /// Packs one `MR`-row strip of the *transpose* of a row-major `k x m`
 /// matrix (the `TN` left operand), folding `alpha` and the pack fusion.
-/// Dropout and emission use the source's own `(kk, col)` coordinates.
+/// Dropout and emission use the source's own `(kk, col)` coordinates;
+/// the softmax-grad transform uses the *logical* (transposed) ones.
 fn pack_a_strip_transposed_fused(
     av: &[f32],
     m: usize,
     k: usize,
     alpha: f32,
     i0: usize,
-    fusion: PackFusion,
+    fusion: PackFusion<'_>,
     out: &mut [f32],
 ) {
     let emit = fusion.emit_ptr();
@@ -328,6 +396,7 @@ fn pack_a_strip_transposed_fused(
                 Some(spec) => src[i0 + r] * spec.mask_value(kk, i0 + r, m),
                 None => src[i0 + r],
             };
+            let x = fusion.softmax(x, i0 + r, kk);
             if let Some(e) = emit {
                 // SAFETY: offset `kk*m + i0 + r` is in-bounds of the emit
                 // buffer (length == av.len() == k*m) and owned by this
@@ -497,10 +566,20 @@ fn run_microkernel(path: SimdPath, apanel: &[f32], bpanel: &[f32], acc: &mut [[f
 /// into `C` at `(i0, j0)` through `epilogue`. Runs exactly once per output
 /// element per GEMM call.
 ///
+/// When `rowmax_slot` is set, the maximum of each *stored* row segment is
+/// folded into the per-row slot at `rowmax_slot + i0 + r` while the values
+/// are still hot: the first `j`-tile of the macro-tile initializes the
+/// slot, later tiles merge with [`f32::max`]. Column order within the
+/// macro-tile is ascending `j0`, and `max` is an exact selection, so the
+/// folded value equals a linear scan of the macro-tile's column range (the
+/// chunk-merge contract in [`crate::loss`]).
+///
 /// # Safety
 ///
 /// The caller must guarantee the `rows x cols` region at `(i0, j0)` of the
-/// `.. x n` matrix at `cbase` is in-bounds and not concurrently accessed.
+/// `.. x n` matrix at `cbase` is in-bounds and not concurrently accessed,
+/// and that `rowmax_slot`, when set, points at storage where indices
+/// `i0 .. i0 + rows` are in-bounds and owned by this macro-tile alone.
 #[allow(clippy::too_many_arguments)]
 unsafe fn store_tile(
     acc: &[[f32; NR]; MR],
@@ -511,12 +590,21 @@ unsafe fn store_tile(
     rows: usize,
     cols: usize,
     epilogue: Epilogue,
+    rowmax_slot: Option<*mut f32>,
+    first_jtile: bool,
 ) {
     for (r, acc_row) in acc.iter().enumerate().take(rows) {
         // SAFETY: per this function's contract the `rows x cols` region at
         // `(i0, j0)` is in-bounds and unaliased, so row `i0 + r` has `cols`
-        // valid, exclusively-owned elements starting at column `j0`.
-        let dst = unsafe { std::slice::from_raw_parts_mut(cbase.add((i0 + r) * n + j0), cols) };
+        // valid, exclusively-owned elements starting at column `j0`; and
+        // the row-max slot at `i0 + r`, when requested, is in-bounds and
+        // owned by this macro-tile.
+        let (dst, mslot) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(cbase.add((i0 + r) * n + j0), cols),
+                rowmax_slot.map(|p| &mut *p.add(i0 + r)),
+            )
+        };
         match epilogue {
             Epilogue::Overwrite => dst.copy_from_slice(&acc_row[..cols]),
             Epilogue::Add => {
@@ -541,6 +629,16 @@ unsafe fn store_tile(
                     *d += v * spec.mask_value(i0 + r, j0 + c, n);
                 }
             }
+        }
+        if let Some(slot) = mslot {
+            // Max over the values as *stored* (post-epilogue), folded in
+            // ascending column order within the tile row.
+            let tile_max = dst.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
+            *slot = if first_jtile {
+                tile_max
+            } else {
+                slot.max(tile_max)
+            };
         }
     }
 }
@@ -574,6 +672,7 @@ fn macro_tile(
     i_range: std::ops::Range<usize>,
     j_range: std::ops::Range<usize>,
     epilogue: Epilogue,
+    rowmax_slot: Option<*mut f32>,
 ) {
     let mut accbuf = [[[0.0f32; NR]; MR]; ACC_TILES];
     let mut kb = 0;
@@ -607,8 +706,9 @@ fn macro_tile(
             let rows = MR.min(i_range.end - i0);
             let ti = (i0 - i_range.start) / MR;
             // SAFETY: this macro-tile exclusively owns the
-            // `i_range x j_range` region of `C`, and `(i0, j0)` plus
-            // `rows x cols` stays inside it.
+            // `i_range x j_range` region of `C` and rows `i_range` of its
+            // row-max partial column, and `(i0, j0)` plus `rows x cols`
+            // stays inside it.
             unsafe {
                 store_tile(
                     &accbuf[ti * ACC_TILES_J + tj],
@@ -619,6 +719,8 @@ fn macro_tile(
                     rows,
                     cols,
                     epilogue,
+                    rowmax_slot,
+                    j0 == j_range.start,
                 )
             };
             i0 += MR;
@@ -636,6 +738,15 @@ fn macro_tile(
 /// the normal path: empty panels leave every accumulator tile zero, and
 /// the epilogue is still applied (`Overwrite` clears, `Add` is a no-op in
 /// value but keeps the composition's `c + 0.0` semantics).
+///
+/// `rowmax`, when present, is a `[j_blocks x m]` partials buffer
+/// (`j_blocks = n.div_ceil(NC)`): cell `bj * m + row` receives the max of
+/// the *stored* values of output row `row` within column block `bj`,
+/// computed in the store epilogue while the tile is register-hot. Each
+/// cell is written by exactly one macro-tile task, and
+/// `matmul::fold_rowmax_partials` merges the blocks in ascending order —
+/// max is grouping-free, so the result equals a linear row scan at every
+/// thread count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     pool: &Pool,
@@ -650,6 +761,7 @@ pub(crate) fn gemm(
     n: usize,
     prologue: Prologue<'_>,
     epilogue: Epilogue,
+    rowmax: Option<&mut [f32]>,
 ) {
     if m == 0 || n == 0 {
         return;
@@ -657,6 +769,12 @@ pub(crate) fn gemm(
     debug_assert!(
         prologue.emit.as_ref().is_none_or(|e| e.len() == av.len()),
         "prologue emit buffer must match the A operand length"
+    );
+    debug_assert!(
+        rowmax
+            .as_ref()
+            .is_none_or(|r| r.len() == n.div_ceil(NC) * m),
+        "rowmax partials buffer must be j_blocks x m"
     );
 
     let a_strips = m.div_ceil(MR);
@@ -669,6 +787,7 @@ pub(crate) fn gemm(
     let emit_holder = prologue.emit.map(|e| SendPtr(e.as_mut_ptr()));
     let fusion = PackFusion {
         dropout: prologue.dropout,
+        softmax_grad: prologue.softmax_grad,
         emit: emit_holder.as_ref().map(|h| h as *const SendPtr),
     };
 
@@ -695,6 +814,8 @@ pub(crate) fn gemm(
     let bpack = bpack.as_slice();
     let cbase = SendPtr(cv.as_mut_ptr());
     let cbase = &cbase;
+    let rowmax_holder = rowmax.map(|r| SendPtr(r.as_mut_ptr()));
+    let rowmax_holder = &rowmax_holder;
     pool.run(i_blocks * j_blocks, &|t| {
         let bi = t / j_blocks;
         let bj = t % j_blocks;
@@ -713,6 +834,9 @@ pub(crate) fn gemm(
             i_lo..(i_lo + MC).min(m),
             j_lo..(j_lo + NC).min(n),
             epilogue,
+            // Partial column `bj` of the `[j_blocks x m]` buffer; this
+            // task owns rows `i_lo..i_hi` of it exclusively.
+            rowmax_holder.as_ref().map(|h| h.get().wrapping_add(bj * m)),
         );
     });
 }
@@ -800,6 +924,7 @@ mod tests {
         let holder = SendPtr(emit.as_mut_ptr());
         let fusion = PackFusion {
             dropout: Some(spec),
+            softmax_grad: None,
             emit: Some(&holder as *const SendPtr),
         };
         for s in 0..m.div_ceil(MR) {
@@ -826,6 +951,7 @@ mod tests {
         let holder_t = SendPtr(emit_t.as_mut_ptr());
         let fusion_t = PackFusion {
             dropout: Some(spec),
+            softmax_grad: None,
             emit: Some(&holder_t as *const SendPtr),
         };
         for s in 0..tm.div_ceil(MR) {
@@ -921,6 +1047,7 @@ mod tests {
             3,
             Prologue::none(),
             Epilogue::Overwrite,
+            None,
         );
         assert!(c.iter().all(|&v| v == 0.0));
         let mut c = vec![5.0f32; 6];
@@ -937,6 +1064,7 @@ mod tests {
             3,
             Prologue::none(),
             Epilogue::Add,
+            None,
         );
         assert!(c.iter().all(|&v| v == 5.0));
     }

@@ -311,6 +311,7 @@ fn check_fused_paths(pool: &Pool, m: usize, k: usize, n: usize, seed: u64) {
             &mut got,
             Prologue {
                 dropout: Some(spec),
+                softmax_grad: None,
                 emit: Some(&mut emit),
             },
             Epilogue::Overwrite,

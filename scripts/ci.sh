@@ -107,6 +107,35 @@ else
     "$TRACE_TMP/trace.json" --require-counters 5
 fi
 
+# Fused-loss gate: bench_loss asserts in-binary that the chunked fused
+# linear+cross-entropy path is bitwise-equal to the unfused reference for
+# every chunk size in its sweep (including a ragged non-divisor) and at
+# 1/2/4/8 threads, that peak live logits memory shrinks by at least
+# tokens/chunk, that the fused RMSNorm/SwiGLU chains match their
+# multi-pass references bitwise, and that the chunked loss raises the
+# Llama-8B memory-plan token capacity. Tracing is armed so the loss.*
+# counter tracks can be checked by name.
+step "bench_loss chunked fused linear+CE gate (96x64x512)"
+if [[ "$QUICK" -eq 0 ]]; then
+  LORAFUSION_TRACE="$TRACE_TMP/loss_trace.json" BENCH_LOSS_TOKENS=96 BENCH_LOSS_HIDDEN=64 \
+    BENCH_LOSS_VOCAB=512 BENCH_LOSS_WRITE=0 cargo run --release -q -p lorafusion-bench --bin bench_loss
+  cargo run --release -q -p lorafusion-bench --bin trace_validate -- \
+    "$TRACE_TMP/loss_trace.json" \
+    --require-counter loss.fused_calls \
+    --require-counter loss.reference_calls \
+    --require-counter loss.chunks \
+    --require-counter chains.fused_calls
+else
+  LORAFUSION_TRACE="$TRACE_TMP/loss_trace.json" BENCH_LOSS_TOKENS=96 BENCH_LOSS_HIDDEN=64 \
+    BENCH_LOSS_VOCAB=512 BENCH_LOSS_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_loss
+  cargo run -q -p lorafusion-bench --bin trace_validate -- \
+    "$TRACE_TMP/loss_trace.json" \
+    --require-counter loss.fused_calls \
+    --require-counter loss.reference_calls \
+    --require-counter loss.chunks \
+    --require-counter chains.fused_calls
+fi
+
 # Online-scheduler gate: bench_scheduler asserts in-binary that a full
 # event-stream replay is digest-identical run to run and that the final
 # packing stays within the documented ε of a cold re-solve. The 512-event
