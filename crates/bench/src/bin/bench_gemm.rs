@@ -35,8 +35,8 @@ use std::time::Instant;
 use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_tensor::matmul::{gemm_nn_on, gemm_nt_on, gemm_tn_on, Accumulate};
 use lorafusion_tensor::microkernel::Layout;
-use lorafusion_tensor::pool::{self, Pool};
-use lorafusion_tensor::{simd, Matrix, Pcg32};
+use lorafusion_tensor::pool::Pool;
+use lorafusion_tensor::{Matrix, Pcg32};
 
 struct Row {
     layout: String,
@@ -153,7 +153,8 @@ fn main() {
 
     // Mirror the global pool's sizing: LORAFUSION_THREADS, else the
     // machine's available parallelism.
-    let host_cores = pool::host_parallelism();
+    let host = lorafusion_bench::host::host_info();
+    let host_cores = host.host_cores;
     let default_threads = std::env::var("LORAFUSION_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -171,8 +172,7 @@ fn main() {
         sweep.push(default_threads);
     }
     let pools: Vec<Pool> = sweep.iter().map(|&t| Pool::new(t)).collect();
-    let detected_features = simd::detected_features();
-    let simd_path = simd::active_path().tag();
+    let (detected_features, simd_path) = (host.detected_features, host.simd_path);
     let digest_path = std::env::var("BENCH_GEMM_DIGEST")
         .ok()
         .filter(|p| !p.is_empty());

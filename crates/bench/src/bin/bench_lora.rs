@@ -37,8 +37,8 @@ use lorafusion_gpu::DeviceKind;
 use lorafusion_kernels::contraction::{self, ContractionPlan, PlannedWorkspace};
 use lorafusion_kernels::{fused, reference, LoraConfig, LoraLayer, Shape, TrafficModel};
 use lorafusion_tensor::ops::all_close;
-use lorafusion_tensor::pool::{self, with_pool};
-use lorafusion_tensor::{simd, Matrix, Pcg32, Pool};
+use lorafusion_tensor::pool::with_pool;
+use lorafusion_tensor::{Matrix, Pcg32, Pool};
 
 struct Row {
     executor: String,
@@ -114,9 +114,9 @@ fn main() {
     let mut rng = Pcg32::seeded(0x10AD);
     let layer = LoraLayer::init_nonzero(k, n, cfg, &mut rng);
 
-    let host_cores = pool::host_parallelism();
-    let detected_features = simd::detected_features().to_string();
-    let simd_path = simd::active_path().tag().to_string();
+    let host = lorafusion_bench::host::host_info();
+    let (host_cores, detected_features, simd_path) =
+        (host.host_cores, host.detected_features, host.simd_path);
     let row = |executor: String, shape: &str, threads, seconds, speedup, bitwise| Row {
         executor,
         shape: shape.to_string(),

@@ -35,8 +35,8 @@ use lorafusion_kernels::loss::{
     self, fused_linear_ce_into, reference_linear_ce_into, LinearCeWorkspace,
 };
 use lorafusion_kernels::{chains, TrafficModel};
-use lorafusion_tensor::pool::{self, with_pool};
-use lorafusion_tensor::{simd, Matrix, Pcg32, Pool};
+use lorafusion_tensor::pool::with_pool;
+use lorafusion_tensor::{Matrix, Pcg32, Pool};
 
 struct Row {
     kind: String,
@@ -130,9 +130,9 @@ fn main() {
     let w = Matrix::random_uniform(hidden, vocab, 0.5, &mut rng);
     let targets: Vec<u32> = (0..tokens).map(|_| rng.next_u32() % vocab as u32).collect();
 
-    let host_cores = pool::host_parallelism();
-    let detected_features = simd::detected_features().to_string();
-    let simd_path = simd::active_path().tag().to_string();
+    let host = lorafusion_bench::host::host_info();
+    let (host_cores, detected_features, simd_path) =
+        (host.host_cores, host.detected_features, host.simd_path);
     let row = |kind: String, chunk, threads, seconds, peak, ratio, bitwise| Row {
         kind,
         shape: shape.clone(),

@@ -1,0 +1,157 @@
+//! Bench-regression gate: diff `results/BENCH_*.json` against the
+//! checked-in baselines in `results/baselines/` using
+//! `lorafusion_trace::regress`.
+//!
+//! Usage: `bench_regress [--results DIR] [--baselines DIR]
+//! [--tolerance REL] [--out VERDICT.json]`
+//!
+//! Every `BENCH_*.json` in the baselines directory must have a
+//! counterpart in the results directory; rows are joined on their
+//! identity fields, perf metrics (seconds, `*_ns`, GFLOP/s, rates) get
+//! a direction-aware relative tolerance band (default 0.5 — a 50%
+//! worsening fails, any improvement passes), and everything else —
+//! bin counts, rung hits, bitwise flags, digests — must match exactly
+//! per the repo's determinism contract. The verdict is printed and
+//! written as machine-readable JSON; the exit code is the gate.
+//!
+//! CI runs this over the *committed* results and baselines, so the
+//! gate is deterministic there; regenerating `results/` on a slower
+//! or faster change is what gives it teeth.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lorafusion_trace::regress::{compare_results, render_verdict, FileReport};
+
+fn main() -> ExitCode {
+    let mut results_dir = PathBuf::from("results");
+    let mut baselines_dir = PathBuf::from("results/baselines");
+    let mut tolerance = 0.5f64;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--results" => results_dir = PathBuf::from(args.next().expect("--results DIR")),
+            "--baselines" => baselines_dir = PathBuf::from(args.next().expect("--baselines DIR")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance takes a float");
+            }
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out PATH"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_regress [--results DIR] [--baselines DIR] \
+                     [--tolerance REL] [--out VERDICT.json]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_regress: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut baseline_files: Vec<PathBuf> = match std::fs::read_dir(&baselines_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("bench_regress: read {}: {e}", baselines_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    baseline_files.sort();
+    if baseline_files.is_empty() {
+        eprintln!(
+            "bench_regress: no BENCH_*.json baselines in {}",
+            baselines_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut reports: Vec<FileReport> = Vec::new();
+    let mut failed = false;
+    for baseline_path in &baseline_files {
+        let name = baseline_path.file_name().unwrap().to_string_lossy();
+        let current_path = results_dir.join(name.as_ref());
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_regress: read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let current_text = match std::fs::read_to_string(&current_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "bench_regress: {name}: baseline exists but current results missing \
+                     ({}: {e})",
+                    current_path.display()
+                );
+                failed = true;
+                continue;
+            }
+        };
+        match compare_results(&name, &baseline_text, &current_text, tolerance) {
+            Ok(report) => {
+                let status = if report.ok() { "ok" } else { "REGRESSED" };
+                println!(
+                    "{name}: {status} ({} rows, {} checks, {} failures, {} missing rows)",
+                    report.rows,
+                    report.checks.len(),
+                    report.failures().len(),
+                    report.missing_rows.len()
+                );
+                for c in report.failures() {
+                    eprintln!(
+                        "  FAIL {} [{}]: baseline {} -> current {} (rel {:+.3}, {:?})",
+                        c.field, c.row_key, c.baseline, c.current, c.rel_delta, c.class
+                    );
+                }
+                for m in &report.missing_rows {
+                    eprintln!("  FAIL missing row [{m}]");
+                }
+                failed |= !report.ok();
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("bench_regress: {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let verdict = render_verdict(&reports, tolerance);
+    if let Some(out) = out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&out, &verdict) {
+            Ok(()) => println!("verdict written to {}", out.display()),
+            Err(e) => {
+                eprintln!("bench_regress: write {}: {e}", out.display());
+                failed = true;
+            }
+        }
+    }
+    println!(
+        "bench_regress: {} file(s), tolerance {tolerance}: {}",
+        reports.len(),
+        if failed { "FAIL" } else { "PASS" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

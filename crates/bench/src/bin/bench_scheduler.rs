@@ -36,7 +36,6 @@ use std::time::Instant;
 use lorafusion_bench::{fmt, print_table, report, write_json};
 use lorafusion_data::{generate_events, EventStreamConfig, JobEvent};
 use lorafusion_sched::{cold_solve, Job, OnlineConfig, OnlineScheduler};
-use lorafusion_tensor::{pool, simd};
 use lorafusion_trace::metrics;
 
 struct Row {
@@ -145,9 +144,9 @@ fn main() {
         .and_then(|v| v.parse().ok());
 
     let config = OnlineConfig::default();
-    let host_cores = pool::host_parallelism();
-    let detected_features = simd::detected_features().to_string();
-    let simd_path = simd::active_path().tag().to_string();
+    let host = lorafusion_bench::host::host_info();
+    let (host_cores, detected_features, simd_path) =
+        (host.host_cores, host.detected_features, host.simd_path);
     let mut rows: Vec<Row> = Vec::new();
     for &queued_jobs in &scales {
         // Ramping to the target queue takes a few multiples of the

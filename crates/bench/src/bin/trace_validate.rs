@@ -1,28 +1,40 @@
 //! Validates a Chrome/Perfetto `trace.json` produced by
-//! `lorafusion-trace` (or any conforming trace-event file).
+//! `lorafusion-trace` (or any conforming trace-event file), and
+//! optionally the `<trace stem>.metrics.json` snapshot next to it.
 //!
 //! Usage: `trace_validate <trace.json> [--require-counters N]
-//! [--require-counter NAME]... [--require-sim] [--require-idle]`
+//! [--require-counter NAME]... [--require-histogram NAME]...
+//! [--require-sim] [--require-idle] [--metrics PATH]`
 //!
 //! `--require-counter` is repeatable and fails the run unless a counter
 //! track with exactly that name made it into the file — CI uses it to
 //! pin the `scheduler.repack.*` ladder counters to the export.
 //!
+//! `--require-histogram` is repeatable and validates the metrics
+//! snapshot (`--metrics PATH`, defaulting to `<trace
+//! stem>.metrics.json`): the snapshot must parse, every histogram must
+//! satisfy the schema (ascending bounds, total == bucket sum, numeric
+//! quantiles), every metric name must satisfy the labeled-metric
+//! grammar, and each required histogram must be present.
+//!
 //! Parses the file with the in-tree JSON parser, checks every event
 //! against the trace-event schema (`ph`/`ts`/`dur`/`pid`/`tid`, counter
-//! `args`, metadata `args.name`), prints the track/event census and
-//! exits nonzero on any violation — `scripts/ci.sh` runs it over the
-//! trace emitted by the `bench_lora` gate.
+//! `args`, metadata `args.name`) — counter-track names are also checked
+//! against the label grammar — prints the track/event census and exits
+//! nonzero on any violation. `scripts/ci.sh` runs it over the traces
+//! emitted by the bench gates.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lorafusion_trace::validate::validate_trace_file;
+use lorafusion_trace::validate::{validate_metrics_file, validate_trace_file};
 
 fn main() -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut require_counters = 0usize;
     let mut require_named: Vec<String> = Vec::new();
+    let mut require_histograms: Vec<String> = Vec::new();
+    let mut metrics_path: Option<PathBuf> = None;
     let mut require_sim = false;
     let mut require_idle = false;
 
@@ -38,12 +50,19 @@ fn main() -> ExitCode {
             "--require-counter" => {
                 require_named.push(args.next().expect("--require-counter takes a name"));
             }
+            "--require-histogram" => {
+                require_histograms.push(args.next().expect("--require-histogram takes a name"));
+            }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(args.next().expect("--metrics takes a path")));
+            }
             "--require-sim" => require_sim = true,
             "--require-idle" => require_idle = true,
             "--help" | "-h" => {
                 println!(
                     "usage: trace_validate <trace.json> \
                      [--require-counters N] [--require-counter NAME]... \
+                     [--require-histogram NAME]... [--metrics PATH] \
                      [--require-sim] [--require-idle]"
                 );
                 return ExitCode::SUCCESS;
@@ -102,6 +121,28 @@ fn main() -> ExitCode {
         eprintln!("FAIL: no idle events");
         failed = true;
     }
+
+    if !require_histograms.is_empty() || metrics_path.is_some() {
+        let metrics_path = metrics_path.unwrap_or_else(|| path.with_extension("metrics.json"));
+        match validate_metrics_file(&metrics_path) {
+            Ok(mstats) => {
+                println!("{}: valid metrics snapshot", metrics_path.display());
+                println!("  scalar metrics    {}", mstats.scalar_names.len());
+                println!("  histograms        {}", mstats.histogram_names.len());
+                for name in &require_histograms {
+                    if !mstats.histogram_names.contains(name) {
+                        eprintln!("FAIL: required histogram {name:?} not in snapshot");
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: INVALID: {e}", metrics_path.display());
+                failed = true;
+            }
+        }
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {

@@ -13,6 +13,7 @@ use lorafusion_data::{Dataset, DatasetPreset};
 use lorafusion_sched::AdapterJob;
 
 pub mod harness;
+pub mod host;
 pub mod json;
 pub mod report;
 

@@ -21,6 +21,7 @@
 
 use std::path::Path;
 
+use lorafusion_trace::hist;
 use lorafusion_trace::metrics::{self, gauge, intern, Kind};
 
 use crate::json::Json;
@@ -97,7 +98,10 @@ pub fn init_guard(bin: &'static str) -> RunGuard {
 }
 
 /// The full metrics registry as a JSON object (name → value, histograms
-/// as `{total, buckets: [[upper_bound, count], ...]}`).
+/// as `{total, p50, p95, p99, buckets: [[upper_bound, count], ...]}`).
+/// The quantiles follow the deterministic `lorafusion_trace::hist`
+/// contract, so they are bitwise-identical across thread counts and
+/// across merge orders.
 pub fn metrics_json() -> Json {
     let fields = metrics::metrics_snapshot()
         .into_iter()
@@ -105,6 +109,18 @@ pub fn metrics_json() -> Json {
             let value = match m.kind {
                 Kind::Histogram => Json::Obj(vec![
                     ("total".into(), Json::num(m.value)),
+                    (
+                        "p50".into(),
+                        Json::num(hist::quantile_from_buckets(&m.buckets, 0.50) as f64),
+                    ),
+                    (
+                        "p95".into(),
+                        Json::num(hist::quantile_from_buckets(&m.buckets, 0.95) as f64),
+                    ),
+                    (
+                        "p99".into(),
+                        Json::num(hist::quantile_from_buckets(&m.buckets, 0.99) as f64),
+                    ),
                     (
                         "buckets".into(),
                         Json::Arr(

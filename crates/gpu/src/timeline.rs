@@ -244,6 +244,22 @@ mod tests {
     }
 
     #[test]
+    fn idle_ratios_of_empty_timeline_are_zero() {
+        // Regression guard: both idle-ratio spellings must return 0 (not
+        // NaN from 0/0) on a timeline whose cursor never advanced, and
+        // agree with each other once it has.
+        let t = Timeline::new();
+        assert_eq!(t.idle_ratio(), 0.0);
+        assert_eq!(t.idle_ratio_from_events(), 0.0);
+
+        let mut t = Timeline::new();
+        t.push("a", 1.0);
+        t.wait_until(4.0);
+        assert!((t.idle_ratio_from_events() - t.idle_ratio()).abs() < 1e-12);
+        assert!((t.idle_ratio_from_events() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
     fn wait_until_never_rewinds() {
         let mut t = Timeline::new();
         t.push("a", 2.0);

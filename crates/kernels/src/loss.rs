@@ -174,28 +174,47 @@ fn mean_loss(losses: &[f32]) -> f64 {
     }
 }
 
-/// Trace counters for the loss kernels, resolved once.
-fn loss_metrics() -> &'static (
-    lorafusion_trace::metrics::Counter,
-    lorafusion_trace::metrics::Counter,
-    lorafusion_trace::metrics::Counter,
-    lorafusion_trace::metrics::Histogram,
-) {
-    use lorafusion_trace::metrics::{counter, histogram};
-    static METRICS: std::sync::OnceLock<(
-        lorafusion_trace::metrics::Counter,
-        lorafusion_trace::metrics::Counter,
-        lorafusion_trace::metrics::Counter,
-        lorafusion_trace::metrics::Histogram,
-    )> = std::sync::OnceLock::new();
+/// Trace metrics for the loss kernels, resolved once. The last element
+/// labels fused calls by problem size (`loss.fused_calls{class=…}`,
+/// `tokens * vocab` below 2^20 → `small`, at or above 2^26 → `large`).
+struct LossMetrics {
+    fused_calls: lorafusion_trace::metrics::Counter,
+    reference_calls: lorafusion_trace::metrics::Counter,
+    chunks: lorafusion_trace::metrics::Counter,
+    chunk_tokens: lorafusion_trace::metrics::Histogram,
+    fused_by_class: [lorafusion_trace::metrics::Counter; 3],
+}
+
+fn loss_metrics() -> &'static LossMetrics {
+    use lorafusion_trace::label::Scope;
+    use lorafusion_trace::metrics::{counter, quantile_histogram};
+    static METRICS: std::sync::OnceLock<LossMetrics> = std::sync::OnceLock::new();
     METRICS.get_or_init(|| {
-        (
-            counter("loss.fused_calls"),
-            counter("loss.reference_calls"),
-            counter("loss.chunks"),
-            histogram("loss.chunk.tokens", &[64, 256, 1024, 4096, 16384]),
-        )
+        let class = |v| Scope::new(&[("class", v)]);
+        LossMetrics {
+            fused_calls: counter("loss.fused_calls"),
+            reference_calls: counter("loss.reference_calls"),
+            chunks: counter("loss.chunks"),
+            chunk_tokens: quantile_histogram("loss.chunk.tokens"),
+            fused_by_class: [
+                class("small").counter("loss.fused_calls"),
+                class("medium").counter("loss.fused_calls"),
+                class("large").counter("loss.fused_calls"),
+            ],
+        }
     })
+}
+
+/// Size-class index for `loss.fused_calls{class=…}`.
+fn loss_class(tokens: usize, vocab: usize) -> usize {
+    let cells = tokens as u128 * vocab as u128;
+    if cells < 1 << 20 {
+        0
+    } else if cells < 1 << 26 {
+        1
+    } else {
+        2
+    }
 }
 
 /// Chunked fused linear+cross-entropy: loss, per-token LSE, and `dX` of
@@ -222,8 +241,9 @@ pub fn fused_linear_ce_into(
     let (m, h) = x.shape();
     let v = w.cols();
     let _span = lorafusion_trace::span!("loss.fused_linear_ce", tokens = m, chunk = chunk_tokens);
-    let (fused_calls, _, chunks_counter, chunk_hist) = loss_metrics();
-    fused_calls.incr();
+    let metrics = loss_metrics();
+    metrics.fused_calls.incr();
+    metrics.fused_by_class[loss_class(m, v)].incr();
 
     let chunk = chunk_tokens.min(m.max(1));
     ws.logits.resize(chunk, v);
@@ -238,8 +258,8 @@ pub fn fused_linear_ce_into(
     let mut c0 = 0;
     while c0 < m {
         let rows = chunk.min(m - c0);
-        chunks_counter.incr();
-        chunk_hist.record(rows as u64);
+        metrics.chunks.incr();
+        metrics.chunk_tokens.record(rows as u64);
         let logits = &mut ws.logits.as_mut_slice()[..rows * v];
         let partials = &mut ws.partials[..rowmax_partials_len(rows, v)];
 
@@ -309,7 +329,7 @@ pub fn reference_linear_ce_into(
     let (m, h) = x.shape();
     let v = w.cols();
     let _span = lorafusion_trace::span!("loss.reference_linear_ce", tokens = m);
-    let (_, reference_calls, _, _) = loss_metrics();
+    let reference_calls = loss_metrics().reference_calls;
     reference_calls.incr();
 
     ws.logits.resize(m, v);

@@ -1,0 +1,23 @@
+// Negative fixture: observability code reads the flight recorder only
+// through its public surface — enable/disable, notes, the snapshot
+// struct, and panic-armed dumps. None of these name ring internals.
+
+pub fn arm(path: &std::path::Path) {
+    lorafusion_trace::flight::dump_on_panic(path);
+}
+
+pub fn progress(step: u64) {
+    if lorafusion_trace::flight::enabled() {
+        lorafusion_trace::flight::note("fixture.progress", step);
+    }
+}
+
+// A `ring` identifier that is not a flight-recorder internal stays fine;
+// only the `flight_ring` / `FlightRing` prefixes are confined.
+pub struct RingBuffer {
+    pub ring: Vec<u64>,
+}
+
+pub fn drain(buf: &mut RingBuffer) -> u64 {
+    buf.ring.drain(..).sum()
+}

@@ -1,0 +1,15 @@
+// Positive fixture: core code reaching into the flight-recorder ring
+// internals instead of going through the public snapshot/dump API.
+// Every `FlightRing*` / `flight_ring_*` mention below must fire.
+
+pub fn steal_events() -> usize {
+    // Naming the ring type outside `trace::flight` is a violation.
+    let ring: FlightRing = FlightRing::default();
+    // So is calling the push/snapshot helpers directly.
+    flight_ring_push(make_event());
+    flight_ring_snapshot().len() + ring.len()
+}
+
+fn make_event() -> u64 {
+    0
+}

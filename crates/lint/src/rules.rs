@@ -1,4 +1,4 @@
-//! The rule engine: seven invariants, each one a machine-checked version
+//! The rule engine: eight invariants, each one a machine-checked version
 //! of a determinism or soundness argument the repo's tests rely on.
 //!
 //! | rule | invariant guarded |
@@ -10,9 +10,10 @@
 //! | `simd-confinement` | only `tensor::simd` may detect CPU features, use `core::arch`, or read the SIMD override — dispatch stays a pure function of one module's decision |
 //! | `dep-freeze` | manifests declare only workspace-path or feature-gated deps; the offline zero-dep build stays true |
 //! | `unsafe-budget` | the per-crate `unsafe` count cannot grow without a reviewed `lint-budget.toml` bump |
+//! | `flight-ring-encapsulation` | flight-recorder rings are drained only through the public snapshot/dump API — the ring internals (`FlightRing*`, `flight_ring_*`) stay confined to `trace::flight` |
 //!
-//! Rules 2–5 skip `#[cfg(test)]`/`#[test]` regions and files under a
-//! `tests/` directory (tests may time themselves, use scratch maps and
+//! Rules 2–5 and 8 skip `#[cfg(test)]`/`#[test]` regions and files under
+//! a `tests/` directory (tests may time themselves, use scratch maps and
 //! force dispatch paths); rule 1 applies everywhere — an unsound test is
 //! still unsound.
 
@@ -27,7 +28,7 @@ use crate::toml_lite;
 
 /// Every rule id, in documentation order. `pragma` diagnostics (malformed
 /// suppressions) are reported by the engine itself and cannot be allowed.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "undocumented-unsafe",
     "nondeterministic-iteration",
     "wall-clock-in-core",
@@ -35,6 +36,7 @@ pub const RULES: [&str; 7] = [
     "simd-confinement",
     "dep-freeze",
     "unsafe-budget",
+    "flight-ring-encapsulation",
 ];
 
 /// One violation.
@@ -226,6 +228,22 @@ pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
                         ));
                     }
                 }
+                name if (name.starts_with("flight_ring") || name.starts_with("FlightRing"))
+                    && !flight_module_allowed(rel_path)
+                    && !exempt(tok.line)
+                    && !pragmas.allows("flight-ring-encapsulation") =>
+                {
+                    diags.push(Diag::new(
+                        rel_path,
+                        tok.line,
+                        "flight-ring-encapsulation",
+                        &format!(
+                            "`{name}` outside `trace::flight`: the flight-recorder rings \
+                             must be drained only through the public snapshot/dump API so \
+                             every reader sees the same deterministically ordered events",
+                        ),
+                    ));
+                }
                 _ => {}
             },
             TokKind::Str
@@ -273,6 +291,12 @@ fn thread_count_allowed(rel_path: &str, krate: &str) -> bool {
 /// the SIMD override: the confined dispatch module.
 fn simd_allowed(rel_path: &str) -> bool {
     rel_path.ends_with("crates/tensor/src/simd.rs") || rel_path == "crates/tensor/src/simd.rs"
+}
+
+/// The one file allowed to name the flight-recorder ring internals: the
+/// recorder module itself.
+fn flight_module_allowed(rel_path: &str) -> bool {
+    rel_path.ends_with("crates/trace/src/flight.rs") || rel_path == "crates/trace/src/flight.rs"
 }
 
 /// Is an `unsafe` token at `line` covered by a safety comment?
@@ -484,6 +508,21 @@ mod tests {
         // A bare `arch` identifier is not an intrinsics path.
         let bare = "mod arch {}\nfn f() { let arch = 0usize; }\n";
         assert!(check_rust_file("crates/kernels/src/fused.rs", bare)
+            .0
+            .is_empty());
+    }
+
+    #[test]
+    fn flight_ring_encapsulation_scoping() {
+        let src = "fn f() { let r = FlightRing::default(); flight_ring_push(e); }\n";
+        assert!(check_rust_file("crates/trace/src/flight.rs", src)
+            .0
+            .is_empty());
+        let (diags, _) = check_rust_file("crates/trace/src/metrics.rs", src);
+        assert_eq!(diags.len(), 2, "type and helper: {diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "flight-ring-encapsulation"));
+        // Test files may poke at ring internals.
+        assert!(check_rust_file("crates/trace/tests/flight.rs", src)
             .0
             .is_empty());
     }

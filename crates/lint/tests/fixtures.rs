@@ -152,6 +152,33 @@ fn simd_confinement_negative_is_clean() {
 }
 
 #[test]
+fn flight_ring_positive_fires_and_recorder_module_is_exempt() {
+    let diags = check_as_core("flight_ring_pos.rs");
+    assert_eq!(rules_fired(&diags), vec!["flight-ring-encapsulation"]);
+    assert_eq!(
+        diags.len(),
+        4,
+        "FlightRing x2, flight_ring_push, flight_ring_snapshot: {diags:?}"
+    );
+    // The same file inside the recorder module is allowed.
+    let flight = check_rust_file("crates/trace/src/flight.rs", &fixture("flight_ring_pos.rs")).0;
+    assert!(flight.is_empty(), "{flight:?}");
+    // Test files may poke at ring internals.
+    let test = check_rust_file(
+        "crates/trace/tests/flight_ring_pos.rs",
+        &fixture("flight_ring_pos.rs"),
+    )
+    .0;
+    assert!(test.is_empty(), "{test:?}");
+}
+
+#[test]
+fn flight_ring_negative_is_clean() {
+    let diags = check_as_core("flight_ring_neg.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn reasonless_pragma_fails_and_does_not_suppress() {
     let diags = check_as_core("pragma_missing_reason_pos.rs");
     assert!(

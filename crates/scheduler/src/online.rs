@@ -133,19 +133,81 @@ pub struct OnlineScheduler {
     evicted: Vec<Job>,
 }
 
+/// Distinct `adapter=` label values before placements collapse into the
+/// `adapter=other` bucket — keeps the metric cardinality bounded on
+/// fleets with thousands of adapters.
+const ADAPTER_LABEL_CAP: usize = 64;
+
 struct Counters {
     local_repair: lorafusion_trace::metrics::Counter,
     warm_solves: lorafusion_trace::metrics::Counter,
     cold_solves: lorafusion_trace::metrics::Counter,
+    /// `scheduler.events{class=…}`: one counter per event class.
+    arrive: lorafusion_trace::metrics::Counter,
+    finish: lorafusion_trace::metrics::Counter,
+    cancel: lorafusion_trace::metrics::Counter,
+    /// `scheduler.event.padded_tokens{class=…}`: the *logical* cost of
+    /// each event (padded segment length) as a deterministic quantile
+    /// histogram — the scheduler records no wall-clock (its per-event
+    /// latency histograms live bench-side, see `bench_scheduler`).
+    arrive_padded: lorafusion_trace::metrics::Histogram,
+    depart_padded: lorafusion_trace::metrics::Histogram,
+    /// `scheduler.repair.moved_jobs{rung=…}`: how many jobs each repair
+    /// rung touched per invocation.
+    moved_local: lorafusion_trace::metrics::Histogram,
+    moved_warm: lorafusion_trace::metrics::Histogram,
+    moved_cold: lorafusion_trace::metrics::Histogram,
+    /// `solver.bb.warm_start_prunes{rung=warm}`: prunes attributable to
+    /// the scheduler's warm rung (delta of the solver's global counter
+    /// around each warm solve).
+    warm_rung_prunes: lorafusion_trace::metrics::Counter,
+    /// Handle on the solver's unlabeled prune total, for the delta.
+    solver_prunes_total: lorafusion_trace::metrics::Counter,
+    /// `scheduler.placements{adapter=…}`: dynamic labels, interned on
+    /// first observation per adapter and cached here so steady-state
+    /// placements stay allocation-free.
+    placements: std::sync::Mutex<BTreeMap<usize, lorafusion_trace::metrics::Counter>>,
+}
+
+impl Counters {
+    fn placement(&self, adapter: usize) -> lorafusion_trace::metrics::Counter {
+        let key = adapter.min(ADAPTER_LABEL_CAP);
+        let mut map = self.placements.lock().unwrap();
+        *map.entry(key).or_insert_with(|| {
+            let value = if key == ADAPTER_LABEL_CAP {
+                "other".to_owned()
+            } else {
+                key.to_string()
+            };
+            lorafusion_trace::label::Scope::new(&[("adapter", &value)])
+                .counter("scheduler.placements")
+        })
+    }
 }
 
 fn counters() -> &'static Counters {
+    use lorafusion_trace::label::Scope;
     use std::sync::OnceLock;
     static CELLS: OnceLock<Counters> = OnceLock::new();
-    CELLS.get_or_init(|| Counters {
-        local_repair: lorafusion_trace::metrics::counter("scheduler.repack.local_repair"),
-        warm_solves: lorafusion_trace::metrics::counter("scheduler.repack.warm_solves"),
-        cold_solves: lorafusion_trace::metrics::counter("scheduler.repack.cold_solves"),
+    CELLS.get_or_init(|| {
+        let class = |v: &str| Scope::new(&[("class", v)]);
+        let rung = |v: &str| Scope::new(&[("rung", v)]);
+        Counters {
+            local_repair: lorafusion_trace::metrics::counter("scheduler.repack.local_repair"),
+            warm_solves: lorafusion_trace::metrics::counter("scheduler.repack.warm_solves"),
+            cold_solves: lorafusion_trace::metrics::counter("scheduler.repack.cold_solves"),
+            arrive: class("arrive").counter("scheduler.events"),
+            finish: class("finish").counter("scheduler.events"),
+            cancel: class("cancel").counter("scheduler.events"),
+            arrive_padded: class("arrive").quantile_histogram("scheduler.event.padded_tokens"),
+            depart_padded: class("depart").quantile_histogram("scheduler.event.padded_tokens"),
+            moved_local: rung("local").quantile_histogram("scheduler.repair.moved_jobs"),
+            moved_warm: rung("warm").quantile_histogram("scheduler.repair.moved_jobs"),
+            moved_cold: rung("cold").quantile_histogram("scheduler.repair.moved_jobs"),
+            warm_rung_prunes: rung("warm").counter("solver.bb.warm_start_prunes"),
+            solver_prunes_total: lorafusion_trace::metrics::counter("solver.bb.warm_start_prunes"),
+            placements: std::sync::Mutex::new(BTreeMap::new()),
+        }
     })
 }
 
@@ -249,6 +311,9 @@ impl OnlineScheduler {
                     return Err(SchedulerError::InvalidConfig("duplicate job id in stream"));
                 }
                 let job = Job { id, adapter, len };
+                let c = counters();
+                c.arrive.incr();
+                c.arrive_padded.record(self.pad(len) as u64);
                 self.adapter_totals.add(adapter, len);
                 self.place(job);
             }
@@ -258,7 +323,13 @@ impl OnlineScheduler {
                         "departure of a job not in the packing",
                     ));
                 };
+                let c = counters();
+                match event {
+                    JobEvent::Finish { .. } => c.finish.incr(),
+                    _ => c.cancel.incr(),
+                }
                 let job = self.remove_job(id, slot);
+                c.depart_padded.record(self.pad(job.len) as u64);
                 self.adapter_totals.remove(job.adapter, job.len);
             }
         }
@@ -316,6 +387,7 @@ impl OnlineScheduler {
                     Some(s) => self.insert_job(job, s),
                     None => self.open_bin(job),
                 }
+                let moved = evicted.len() as u64 + 1;
                 while let Some(e) = evicted.pop() {
                     match self.find_slot(e) {
                         Some(s) => self.insert_job(e, s),
@@ -323,6 +395,8 @@ impl OnlineScheduler {
                     }
                 }
                 self.evicted = evicted;
+                c.moved_local.record(moved);
+                lorafusion_trace::flight::note("scheduler.repair.local", moved);
                 return;
             }
         }
@@ -384,6 +458,7 @@ impl OnlineScheduler {
         self.by_headroom.insert((new_headroom, slot));
         self.affinity.entry(job.adapter).or_default().insert(slot);
         self.job_bin.insert(job.id, slot);
+        counters().placement(job.adapter).incr();
     }
 
     /// Opens a fresh bin holding only `job`.
@@ -405,6 +480,7 @@ impl OnlineScheduler {
         self.by_headroom.insert((headroom, slot));
         self.affinity.entry(job.adapter).or_default().insert(slot);
         self.job_bin.insert(job.id, slot);
+        counters().placement(job.adapter).incr();
     }
 
     /// Removes job `id` from live bin `slot`, maintaining every index;
@@ -510,6 +586,10 @@ impl OnlineScheduler {
         let c = counters();
         c.warm_solves.incr();
         self.events_since_warm = 0;
+        // Warm-rung prune attribution: the solver counts every
+        // warm-start prune globally; the delta around this solve is what
+        // this rung's incumbent bought us.
+        let prunes_before = c.solver_prunes_total.get();
 
         let mut adapters: Vec<usize> = entries.iter().map(|e| e.adapter).collect();
         adapters.sort_unstable();
@@ -545,7 +625,10 @@ impl OnlineScheduler {
             // cheap enough for the per-event path.
             absolute_gap: 0.999,
         };
-        let Ok(sol) = solve_milp_scratch(&model.problem, &options, &mut self.scratch) else {
+        let sol = solve_milp_scratch(&model.problem, &options, &mut self.scratch);
+        c.warm_rung_prunes
+            .add(c.solver_prunes_total.get() - prunes_before);
+        let Ok(sol) = sol else {
             return;
         };
         if !matches!(sol.status, Status::Optimal | Status::TimedOut) || sol.values.is_empty() {
@@ -581,6 +664,8 @@ impl OnlineScheduler {
                 }
             }
         }
+        c.moved_warm.record(entries.len() as u64);
+        lorafusion_trace::flight::note("scheduler.repair.warm", entries.len() as u64);
     }
 
     /// Rung 3: full best-fit-decreasing re-pack of every live job over a
@@ -594,6 +679,8 @@ impl OnlineScheduler {
             .flatten()
             .flat_map(|b| b.jobs.iter().copied())
             .collect();
+        c.moved_cold.record(jobs.len() as u64);
+        lorafusion_trace::flight::note("scheduler.repair.cold", jobs.len() as u64);
         let packed = cold_pack(
             &mut jobs,
             self.config.capacity,

@@ -184,16 +184,17 @@ pub fn solve_milp_scratch(
         _ => {}
     }
 
-    let (nodes_counter, warm_prunes_counter) = {
+    let (nodes_counter, warm_prunes_counter, warm_nodes_counter, cold_nodes_counter) = {
         use std::sync::OnceLock;
-        static CELLS: OnceLock<(
-            lorafusion_trace::metrics::Counter,
-            lorafusion_trace::metrics::Counter,
-        )> = OnceLock::new();
+        type C = lorafusion_trace::metrics::Counter;
+        static CELLS: OnceLock<(C, C, C, C)> = OnceLock::new();
         *CELLS.get_or_init(|| {
+            let start = |v| lorafusion_trace::label::Scope::new(&[("start", v)]);
             (
                 lorafusion_trace::metrics::counter("solver.bb.nodes"),
                 lorafusion_trace::metrics::counter("solver.bb.warm_start_prunes"),
+                start("warm").counter("solver.bb.nodes"),
+                start("cold").counter("solver.bb.nodes"),
             )
         })
     };
@@ -208,6 +209,9 @@ pub fn solve_milp_scratch(
         lp_bound: root.objective,
     });
     stack.push(0);
+    // `incumbent_from_warm` flips once a better cold incumbent is found;
+    // the per-start node attribution goes by how the solve *started*.
+    let started_warm = incumbent_from_warm;
     let mut explored = 0usize;
     let mut timed_out = false;
 
@@ -324,6 +328,12 @@ pub fn solve_milp_scratch(
                 }
             }
         }
+    }
+
+    if started_warm {
+        warm_nodes_counter.add(explored as u64);
+    } else {
+        cold_nodes_counter.add(explored as u64);
     }
 
     debug_assert!(incumbent.is_empty() || incumbent.len() == n);

@@ -29,26 +29,49 @@ use crate::simd::{self, SimdPath};
 use crate::tensor::Matrix;
 use crate::Result;
 
-use lorafusion_trace::metrics::{counter, histogram, Counter, Histogram};
+use lorafusion_trace::metrics::{counter, Counter, Histogram};
 use lorafusion_trace::span::{span_guard, Cat, SpanGuard};
 
 pub use crate::microkernel::{Epilogue, Layout, Prologue, SoftmaxGradSpec, KC, MC, MR, NC, NR};
 
+/// FLOP classes labelling `gemm.calls{class=…}`: `small` below 2^24
+/// FLOPs (rank-sized LoRA projections), `large` at or above 2^30 (the
+/// base-weight GEMMs), `medium` between.
+fn gemm_class(m: usize, k: usize, n: usize) -> &'static str {
+    let flops = 2u128 * m as u128 * k as u128 * n as u128;
+    if flops < 1 << 24 {
+        "small"
+    } else if flops < 1 << 30 {
+        "medium"
+    } else {
+        "large"
+    }
+}
+
 /// Opens the per-call GEMM span and bumps the registry metrics. One
-/// `OnceLock` resolve plus two relaxed atomic adds; the span guard is
+/// `OnceLock` resolve plus a few relaxed atomic adds; the span guard is
 /// inert when tracing is disabled.
 fn gemm_trace(layout: Layout, m: usize, k: usize, n: usize) -> SpanGuard {
-    static METRICS: std::sync::OnceLock<(Counter, Histogram)> = std::sync::OnceLock::new();
-    let (calls, m_tokens) = METRICS.get_or_init(|| {
+    static METRICS: std::sync::OnceLock<(Counter, Histogram, [Counter; 3])> =
+        std::sync::OnceLock::new();
+    let (calls, m_tokens, by_class) = METRICS.get_or_init(|| {
+        let class = |v| lorafusion_trace::label::Scope::new(&[("class", v)]);
         (
             counter("gemm.calls"),
-            histogram(
-                "gemm.m.tokens",
-                &[64, 128, 256, 512, 1024, 2048, 4096, 8192],
-            ),
+            lorafusion_trace::metrics::quantile_histogram("gemm.m.tokens"),
+            [
+                class("small").counter("gemm.calls"),
+                class("medium").counter("gemm.calls"),
+                class("large").counter("gemm.calls"),
+            ],
         )
     });
     calls.incr();
+    match gemm_class(m, k, n) {
+        "small" => by_class[0].incr(),
+        "medium" => by_class[1].incr(),
+        _ => by_class[2].incr(),
+    }
     m_tokens.record(m as u64);
     let name = match layout {
         Layout::Nn => "gemm.nn",

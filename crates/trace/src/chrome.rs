@@ -52,13 +52,16 @@ fn num(value: f64) -> f64 {
     }
 }
 
-struct Events {
+/// Incremental trace-event JSON builder. Crate-visible so the flight
+/// recorder renders its post-mortem dumps through the same escaping
+/// and schema as the live exporter.
+pub(crate) struct Events {
     out: String,
     first: bool,
 }
 
 impl Events {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Events {
             out: String::from("{\"traceEvents\":[\n"),
             first: true,
@@ -74,7 +77,7 @@ impl Events {
         &mut self.out
     }
 
-    fn metadata(&mut self, pid: u64, tid: u64, which: &str, name: &str) {
+    pub(crate) fn metadata(&mut self, pid: u64, tid: u64, which: &str, name: &str) {
         let out = self.start();
         let _ = write!(
             out,
@@ -85,7 +88,7 @@ impl Events {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn complete(
+    pub(crate) fn complete(
         &mut self,
         pid: u64,
         tid: u64,
@@ -119,19 +122,19 @@ impl Events {
         out.push('}');
     }
 
-    fn counter(&mut self, name: &str, ts_us: f64, value: f64) {
+    pub(crate) fn counter(&mut self, pid: u64, name: &str, ts_us: f64, value: f64) {
         let out = self.start();
         out.push_str("{\"ph\":\"C\",\"name\":\"");
         escape(out, name);
         let _ = write!(
             out,
-            "\",\"pid\":{CPU_PID},\"tid\":0,\"ts\":{},\"args\":{{\"value\":{}}}}}",
+            "\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{{\"value\":{}}}}}",
             num(ts_us),
             num(value)
         );
     }
 
-    fn finish(mut self) -> String {
+    pub(crate) fn finish(mut self) -> String {
         self.out.push_str("\n]}\n");
         self.out
     }
@@ -193,7 +196,7 @@ pub fn render_trace() -> String {
         );
     }
     for s in &samples {
-        events.counter(s.name, s.ts_us, s.value);
+        events.counter(CPU_PID, s.name, s.ts_us, s.value);
     }
     events.finish()
 }

@@ -1,0 +1,368 @@
+//! Flight recorder: fixed-capacity per-thread rings of recent events,
+//! dumpable as a valid Chrome trace after the fact.
+//!
+//! Tracing captures *everything* and is usually off in production; the
+//! flight recorder is the opposite trade — always-affordable capture
+//! of only the *recent* past, so a scheduler anomaly (a cold re-solve
+//! storm, a quality-ε breach, a panic) can be reconstructed post-hoc
+//! without having paid for a full trace. Each thread that records
+//! events owns one ring of [`RING_CAPACITY`] slots; when the ring is
+//! full the oldest event is overwritten (the overwrite count is kept,
+//! never silent).
+//!
+//! Two event sources feed the rings when [`enabled`] is on:
+//!
+//! * **spans** — every [`crate::span`] guard reports its completed
+//!   interval on drop (this works even when full tracing is off: the
+//!   guard goes live for the flight recorder alone);
+//! * **notes** — explicit [`note`] calls marking counter-style moments
+//!   (the scheduler notes each repair-ladder rung hit).
+//!
+//! Draining is *only* through the public API: an explicit
+//! [`FlightRecorder::snapshot`] (merged, time-ordered, non-destructive)
+//! or [`FlightRecorder::dump_to`], which renders the rings as a
+//! `trace.json` that passes [`crate::validate`]. The `lorafusion-lint`
+//! `flight-ring-encapsulation` rule enforces that the ring internals
+//! (`FlightRing`, `flight_ring_*`) never leak outside this module.
+//!
+//! [`dump_on_panic`] arms a panic hook that writes the dump before
+//! unwinding continues — set `LORAFUSION_FLIGHT_DUMP=<path>` and a
+//! crashing bench leaves a loadable post-mortem behind. README.md
+//! ("Panic-dump triage") walks through reading one.
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
+
+/// Slots per thread ring. Big enough to hold the last few scheduler
+/// events' worth of spans, small enough that an armed flight recorder
+/// costs a few tens of KB per thread, fixed so recording never
+/// allocates after a ring's first event.
+pub const RING_CAPACITY: usize = 256;
+
+/// What a recorded event was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A completed span interval.
+    Span,
+    /// A counter-style note (`value` carries the noted number).
+    Note,
+}
+
+/// One event in a flight ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    pub kind: FlightKind,
+    pub name: &'static str,
+    pub start_ns: u64,
+    /// Span duration; 0 for notes.
+    pub dur_ns: u64,
+    /// Note value; 0 for spans.
+    pub value: u64,
+    /// Flight-recorder thread id (its own numbering, not the span
+    /// layer's).
+    pub tid: u64,
+}
+
+struct FlightRingState {
+    /// Ring storage; grows to `RING_CAPACITY` then stays fixed.
+    events: Vec<FlightEvent>,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    /// Total events ever pushed (so `total - len` = overwritten).
+    total: u64,
+}
+
+struct FlightRing {
+    tid: u64,
+    name: String,
+    state: Mutex<FlightRingState>,
+}
+
+static FLIGHT_ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn rings() -> &'static Mutex<Vec<Arc<FlightRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<FlightRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: RefCell<Option<Arc<FlightRing>>> = const { RefCell::new(None) };
+}
+
+/// Locks a mutex even when a panicking thread poisoned it — the dump
+/// path runs inside panic hooks and must not double-panic.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn local_ring() -> Arc<FlightRing> {
+    LOCAL_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(ring) = slot.as_ref() {
+            return Arc::clone(ring);
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        let ring = Arc::new(FlightRing {
+            tid,
+            name,
+            state: Mutex::new(FlightRingState {
+                events: Vec::with_capacity(RING_CAPACITY),
+                head: 0,
+                total: 0,
+            }),
+        });
+        lock_unpoisoned(rings()).push(Arc::clone(&ring));
+        *slot = Some(Arc::clone(&ring));
+        ring
+    })
+}
+
+fn flight_ring_push(mut event: FlightEvent) {
+    let ring = local_ring();
+    event.tid = ring.tid;
+    let mut state = lock_unpoisoned(&ring.state);
+    state.total += 1;
+    if state.events.len() < RING_CAPACITY {
+        state.events.push(event);
+    } else {
+        let head = state.head;
+        state.events[head] = event;
+        state.head = (head + 1) % RING_CAPACITY;
+    }
+}
+
+/// One ring's events in recording order plus its census, as drained by
+/// the public snapshot path.
+fn flight_ring_snapshot() -> Vec<(u64, String, Vec<FlightEvent>, u64)> {
+    let rings = lock_unpoisoned(rings());
+    rings
+        .iter()
+        .map(|ring| {
+            let state = lock_unpoisoned(&ring.state);
+            let mut events = Vec::with_capacity(state.events.len());
+            events.extend_from_slice(&state.events[state.head..]);
+            events.extend_from_slice(&state.events[..state.head]);
+            (ring.tid, ring.name.clone(), events, state.total)
+        })
+        .collect()
+}
+
+/// Whether flight recording is armed. One relaxed load; the span layer
+/// checks this on every guard open/drop.
+#[inline]
+pub fn enabled() -> bool {
+    FLIGHT_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arm flight recording (rings start filling).
+pub fn enable() {
+    FLIGHT_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarm flight recording. Already-buffered events are kept and still
+/// snapshot/dump.
+pub fn disable() {
+    FLIGHT_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Record a completed span interval into this thread's ring. Called by
+/// the span layer on guard drop; callable directly for synthesized
+/// intervals.
+#[inline]
+pub fn record_span(name: &'static str, start_ns: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    flight_ring_push(FlightEvent {
+        kind: FlightKind::Span,
+        name,
+        start_ns,
+        dur_ns,
+        value: 0,
+        tid: 0,
+    });
+}
+
+/// Record a counter-style note (name must be a static string; use
+/// [`crate::metrics::intern`] for dynamic names).
+#[inline]
+pub fn note(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    flight_ring_push(FlightEvent {
+        kind: FlightKind::Note,
+        name,
+        start_ns: crate::now_ns(),
+        dur_ns: 0,
+        value,
+        tid: 0,
+    });
+}
+
+/// The public read side of the flight rings.
+pub struct FlightRecorder;
+
+impl FlightRecorder {
+    /// All buffered events, merged across threads and sorted by
+    /// `(start_ns, tid)` — a deterministic function of the ring
+    /// contents. Non-destructive.
+    pub fn snapshot() -> Vec<FlightEvent> {
+        let mut all: Vec<FlightEvent> = flight_ring_snapshot()
+            .into_iter()
+            .flat_map(|(_, _, events, _)| events)
+            .collect();
+        all.sort_by_key(|e| (e.start_ns, e.tid, e.name));
+        all
+    }
+
+    /// Total events overwritten (pushed beyond ring capacity) across
+    /// all threads — how much history the rings have already lost.
+    pub fn overwritten() -> u64 {
+        flight_ring_snapshot()
+            .iter()
+            .map(|(_, _, events, total)| total - events.len() as u64)
+            .sum()
+    }
+
+    /// Render the rings as Chrome trace-event JSON (pid
+    /// [`FLIGHT_PID`], one track per recorded thread; spans as
+    /// `ph:"X"` `cat:"flight"` events, notes as `ph:"C"` counters).
+    /// The output passes [`crate::validate::validate_trace_str`].
+    pub fn render() -> String {
+        let rings = flight_ring_snapshot();
+        let mut events = crate::chrome::Events::new();
+        events.metadata(FLIGHT_PID, 0, "process_name", "flight recorder");
+        for (tid, name, ring_events, _) in &rings {
+            if !ring_events.is_empty() {
+                events.metadata(FLIGHT_PID, *tid, "thread_name", name);
+            }
+        }
+        for (tid, _, ring_events, _) in &rings {
+            for e in ring_events {
+                match e.kind {
+                    FlightKind::Span => events.complete(
+                        FLIGHT_PID,
+                        *tid,
+                        e.name,
+                        "flight",
+                        e.start_ns as f64 / 1e3,
+                        e.dur_ns as f64 / 1e3,
+                        &[],
+                    ),
+                    FlightKind::Note => {
+                        events.counter(FLIGHT_PID, e.name, e.start_ns as f64 / 1e3, e.value as f64)
+                    }
+                }
+            }
+        }
+        events.finish()
+    }
+
+    /// Write [`FlightRecorder::render`] to `path` (parent directories
+    /// created); counts the dump in `trace.flight.dumps`.
+    pub fn dump_to(path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, Self::render())?;
+        crate::metrics::counter("trace.flight.dumps").incr();
+        Ok(())
+    }
+}
+
+/// Process id the flight tracks render under (CPU spans are pid 1, the
+/// simulated GPU pid 2).
+pub const FLIGHT_PID: u64 = 3;
+
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+static HOOK: Once = Once::new();
+
+/// Arm flight recording and install a panic hook that dumps the rings
+/// to `path` before unwinding continues. The hook chains to the
+/// previous one (the default backtrace printer still runs) and fires
+/// for caught panics too — a `catch_unwind` test exercises exactly
+/// this. Re-calling replaces the dump path; the hook installs once.
+pub fn dump_on_panic(path: &Path) {
+    *lock_unpoisoned(&DUMP_PATH) = Some(path.to_path_buf());
+    enable();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(path) = lock_unpoisoned(&DUMP_PATH).clone() {
+                if let Err(e) = FlightRecorder::dump_to(&path) {
+                    eprintln!("flight dump to {} failed: {e}", path.display());
+                } else {
+                    eprintln!("flight recorder dumped to {}", path.display());
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_capture_spans_and_notes_and_render_validates() {
+        let _serial = crate::test_serial();
+        enable();
+        record_span("flight.test.span", 10, 5);
+        note("flight.test.note", 42);
+        disable();
+        let snap = FlightRecorder::snapshot();
+        assert!(snap
+            .iter()
+            .any(|e| e.kind == FlightKind::Span && e.name == "flight.test.span"));
+        assert!(snap
+            .iter()
+            .any(|e| e.kind == FlightKind::Note && e.value == 42));
+        let json = FlightRecorder::render();
+        let stats = crate::validate::validate_trace_str(&json).expect("flight dump validates");
+        assert!(stats.complete_events >= 1);
+        assert!(stats.counter_events >= 1);
+        assert!(stats.pids.contains(&FLIGHT_PID));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_at_fixed_capacity() {
+        let _serial = crate::test_serial();
+        enable();
+        for i in 0..(RING_CAPACITY as u64 + 50) {
+            note("flight.test.wrap", i);
+        }
+        disable();
+        let snap = FlightRecorder::snapshot();
+        let wraps: Vec<u64> = snap
+            .iter()
+            .filter(|e| e.name == "flight.test.wrap")
+            .map(|e| e.value)
+            .collect();
+        assert!(wraps.len() <= RING_CAPACITY);
+        // The survivors are the *most recent* values.
+        assert!(wraps.contains(&(RING_CAPACITY as u64 + 49)));
+        assert!(!wraps.contains(&0), "oldest events were overwritten");
+        assert!(FlightRecorder::overwritten() >= 50);
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _serial = crate::test_serial();
+        disable();
+        let before = FlightRecorder::snapshot().len();
+        note("flight.test.inert", 1);
+        record_span("flight.test.inert", 0, 1);
+        assert_eq!(FlightRecorder::snapshot().len(), before);
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic log-linear histogram buckets and exact quantile
+//! extraction.
+//!
+//! The fleet-telemetry metrics (per-event-class latencies, per-shape
+//! token distributions) need quantiles that are *reproducible*: the
+//! same multiset of recorded values must yield the same p50/p95/p99 on
+//! every machine, at every thread count, and regardless of the order
+//! in which per-thread counts are merged. That rules out sampling
+//! reservoirs and floating-point accumulation. Instead:
+//!
+//! * **Fixed bucket boundaries.** One global log-linear bound table
+//!   ([`bounds`]) covers the full `u64` range: each power-of-two octave
+//!   `[2^e, 2^(e+1))` is split into [`SUBBUCKETS`] linear sub-buckets,
+//!   boundaries deduplicated so the table is strictly ascending. The
+//!   table is a pure compile-time-deterministic function of nothing —
+//!   no configuration, no environment.
+//! * **`u64` counts.** Recording is one atomic add into the bucket
+//!   found by binary search; there is no floating point anywhere on
+//!   the write path.
+//! * **Merge contract.** Two histograms over the same bound table are
+//!   merged by elementwise addition of bucket counts. Addition of
+//!   `u64`s is commutative and associative, so any merge order (and
+//!   any interleaving of concurrent writers) yields identical buckets
+//!   — and therefore identical quantiles. [`merge_counts`] implements
+//!   (and tests assert) exactly this.
+//! * **Exact quantile rule.** [`quantile_from_buckets`] defines
+//!   `quantile(q)` as the inclusive upper bound of the first bucket
+//!   whose cumulative count reaches `ceil(q · total)` (clamped to
+//!   `[1, total]`); an empty histogram reports 0. The result is a
+//!   deterministic function of the bucket counts alone — "exact" in
+//!   the sense that there is no estimation step whose answer could
+//!   vary between runs; the resolution is the bucket width (≤ 25%
+//!   relative at [`SUBBUCKETS`] = 4).
+
+use std::sync::OnceLock;
+
+/// Linear sub-buckets per power-of-two octave. 4 bounds relative
+/// quantile error by 1/4 of the octave width (≤ 25%).
+pub const SUBBUCKETS: u64 = 4;
+
+/// The global log-linear bucket upper bounds (inclusive), strictly
+/// ascending, built once and leaked. Values above the last bound land
+/// in the registry's implicit overflow bucket (reported with bound
+/// `u64::MAX`).
+pub fn bounds() -> &'static [u64] {
+    static BOUNDS: OnceLock<&'static [u64]> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut out: Vec<u64> = Vec::new();
+        for e in 0..64u32 {
+            for s in 1..=SUBBUCKETS {
+                let b = ((1u128 << e) * (SUBBUCKETS + s) as u128) / SUBBUCKETS as u128;
+                if b > u64::MAX as u128 {
+                    continue;
+                }
+                let b = b as u64;
+                if out.last() != Some(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        Box::leak(out.into_boxed_slice())
+    })
+}
+
+/// Index of the bucket a value lands in: the first bound `>= value`,
+/// or `bounds().len()` (the overflow bucket) when none is.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    bounds().partition_point(|&b| b < value)
+}
+
+/// Exact deterministic quantile over `(upper_bound, count)` buckets:
+/// the upper bound of the first bucket whose cumulative count reaches
+/// `ceil(q · total)`, clamped to `[1, total]`. Empty histograms report
+/// 0. `q` is clamped to `[0, 1]`.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], q: f64) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for &(bound, count) in buckets {
+        cum += count;
+        if cum >= rank {
+            return bound;
+        }
+    }
+    buckets.last().map(|&(b, _)| b).unwrap_or(0)
+}
+
+/// Merge two bucket vectors over the same bound table by elementwise
+/// count addition — the documented (commutative, associative,
+/// order-invariant) merge operation. Panics if the bound tables
+/// disagree: histograms with different boundaries are different
+/// metrics and must never be merged.
+pub fn merge_counts(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    assert_eq!(a.len(), b.len(), "histogram merge: bucket count mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&(ba, ca), &(bb, cb))| {
+            assert_eq!(ba, bb, "histogram merge: bound mismatch");
+            (ba, ca + cb)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_ascending_and_cover_small_values() {
+        let b = bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert_eq!(b[0], 1);
+        // Small integers get their own bucket (width-1 sub-buckets).
+        assert!(b.contains(&2) && b.contains(&3) && b.contains(&4));
+        // Log-linear shape: 4 sub-buckets inside [1024, 2048).
+        assert!(b.contains(&1280) && b.contains(&1536) && b.contains(&1792) && b.contains(&2048));
+        assert!(b.len() < 260, "bound table stays compact: {}", b.len());
+    }
+
+    #[test]
+    fn bucket_index_matches_linear_scan() {
+        let b = bounds();
+        for v in [0u64, 1, 2, 3, 5, 100, 1023, 1024, 1025, 1 << 40, u64::MAX] {
+            let want = b.iter().position(|&x| v <= x).unwrap_or(b.len());
+            assert_eq!(bucket_index(v), want, "value {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_rule_is_exact_on_known_distributions() {
+        // 100 values in the bucket bounded by 8, then 1 outlier at the
+        // bucket bounded by 1024.
+        let mut buckets: Vec<(u64, u64)> = bounds().iter().map(|&b| (b, 0)).collect();
+        buckets[bucket_index(8)].1 = 100;
+        buckets[bucket_index(1024)].1 = 1;
+        assert_eq!(quantile_from_buckets(&buckets, 0.50), 8);
+        assert_eq!(quantile_from_buckets(&buckets, 0.99), 8);
+        assert_eq!(quantile_from_buckets(&buckets, 1.0), 1024);
+        assert_eq!(quantile_from_buckets(&[], 0.5), 0);
+        assert_eq!(quantile_from_buckets(&[(4, 0)], 0.5), 0, "empty total");
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let mk = |vals: &[u64]| {
+            let mut buckets: Vec<(u64, u64)> = bounds().iter().map(|&b| (b, 0)).collect();
+            buckets.push((u64::MAX, 0));
+            for &v in vals {
+                buckets[bucket_index(v)].1 += 1;
+            }
+            buckets
+        };
+        let a = mk(&[1, 5, 9000]);
+        let b = mk(&[2, 5, 1 << 50]);
+        let c = mk(&[700]);
+        let abc = merge_counts(&merge_counts(&a, &b), &c);
+        let cba = merge_counts(&c, &merge_counts(&b, &a));
+        assert_eq!(abc, cba);
+        assert_eq!(
+            quantile_from_buckets(&abc, 0.5),
+            quantile_from_buckets(&cba, 0.5)
+        );
+    }
+}

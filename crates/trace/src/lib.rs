@@ -41,7 +41,11 @@
 //! without touching the environment.
 
 pub mod chrome;
+pub mod flight;
+pub mod hist;
+pub mod label;
 pub mod metrics;
+pub mod regress;
 pub mod sim;
 pub mod span;
 pub mod validate;
@@ -74,6 +78,14 @@ fn init_from_env() {
             *PATH.lock().unwrap() = Some(PathBuf::from(path));
             ENABLED.store(true, Ordering::Relaxed);
         }
+    }
+    if let Ok(path) = std::env::var("LORAFUSION_FLIGHT_DUMP") {
+        if !path.is_empty() {
+            flight::dump_on_panic(Path::new(&path));
+        }
+    }
+    if std::env::var("LORAFUSION_FLIGHT").is_ok_and(|v| v == "1") {
+        flight::enable();
     }
 }
 

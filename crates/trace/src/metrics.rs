@@ -133,11 +133,10 @@ pub struct Histogram {
 impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
+        // First bound >= value; bounds are strictly ascending, so a
+        // binary search keeps recording O(log buckets) even for the
+        // ~250-bucket log-linear quantile table.
+        let idx = self.bounds.partition_point(|&b| b < value);
         self.cells[idx].fetch_add(1, Ordering::Relaxed);
     }
     pub fn total(&self) -> u64 {
@@ -154,6 +153,12 @@ impl Histogram {
                 (bound, c.load(Ordering::Relaxed))
             })
             .collect()
+    }
+    /// Deterministic quantile of the recorded values under the
+    /// [`crate::hist`] contract (upper bound of the bucket where the
+    /// cumulative count reaches `ceil(q · total)`; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        crate::hist::quantile_from_buckets(&self.buckets(), q)
     }
 }
 
@@ -178,6 +183,15 @@ pub fn histogram(name: &'static str, bounds: &'static [u64]) -> Histogram {
         cells: register(name, Kind::Histogram, bounds),
         bounds,
     }
+}
+
+/// Look up or create the log-linear quantile histogram `name`: the
+/// global [`crate::hist::bounds`] bucket table, merge-order-invariant
+/// `u64` counts, exact p50/p95/p99 via [`Histogram::quantile`]. This
+/// is the default histogram for new telemetry — explicit-bounds
+/// [`histogram`] remains for metrics whose buckets *are* the contract.
+pub fn quantile_histogram(name: &'static str) -> Histogram {
+    histogram(name, crate::hist::bounds())
 }
 
 /// Point-in-time value of one registered metric.

@@ -154,6 +154,10 @@ struct LiveSpan {
     start_ns: u64,
     args: [(&'static str, u64); MAX_ARGS],
     nargs: u8,
+    /// Whether full tracing was on at open time: buffer the event for
+    /// export. A guard live only for the flight recorder skips the
+    /// span buffers entirely.
+    to_trace: bool,
 }
 
 /// RAII span guard returned by [`span_guard`] and the [`span!`] /
@@ -173,11 +177,14 @@ impl SpanGuard {
 }
 
 /// Open a span. Returns an inert guard (no allocation, no thread-local
-/// buffer touch) when tracing is disabled. `args` beyond [`MAX_ARGS`]
+/// buffer touch) when both tracing and the flight recorder are
+/// disabled; a guard opened for the flight recorder alone records into
+/// its ring but never the export buffers. `args` beyond [`MAX_ARGS`]
 /// are dropped.
 #[inline]
 pub fn span_guard(name: &'static str, cat: Cat, args: &[(&'static str, u64)]) -> SpanGuard {
-    if !crate::enabled() {
+    let to_trace = crate::enabled();
+    if !to_trace && !crate::flight::enabled() {
         return SpanGuard {
             live: None,
             _not_send: PhantomData,
@@ -198,6 +205,7 @@ pub fn span_guard(name: &'static str, cat: Cat, args: &[(&'static str, u64)]) ->
             start_ns: crate::now_ns(),
             args: packed,
             nargs: nargs as u8,
+            to_trace,
         }),
         _not_send: PhantomData,
     }
@@ -210,6 +218,10 @@ impl Drop for SpanGuard {
             STACK.with(|s| {
                 s.borrow_mut().pop();
             });
+            crate::flight::record_span(live.name, live.start_ns, dur_ns);
+            if !live.to_trace {
+                return;
+            }
             let buf = local_buf();
             buf.events.lock().unwrap().push(SpanEvent {
                 name: live.name,

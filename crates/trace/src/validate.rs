@@ -336,6 +336,8 @@ pub fn validate_trace_str(text: &str) -> Result<TraceStats, String> {
             }
             "C" => {
                 let name = require_str(event, "name", index)?;
+                crate::label::check_labeled_name(name)
+                    .map_err(|e| format!("event {index}: counter name {name:?}: {e}"))?;
                 require_num(event, "ts", index)?;
                 let pid = require_num(event, "pid", index)? as u64;
                 stats.pids.insert(pid);
@@ -377,6 +379,96 @@ pub fn validate_trace_file(path: &Path) -> Result<TraceStats, String> {
     validate_trace_str(&text)
 }
 
+/// Summary of a validated `*.metrics.json` snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsStats {
+    /// Scalar (counter/gauge) metric names.
+    pub scalar_names: BTreeSet<String>,
+    /// Histogram metric names.
+    pub histogram_names: BTreeSet<String>,
+}
+
+/// Validate a metrics snapshot (`<trace stem>.metrics.json`) emitted by
+/// `lorafusion-bench`'s reporter: a single object mapping metric names
+/// to either a number (counter/gauge) or a histogram object
+/// `{total, p50, p95, p99, buckets: [[bound, count], ...]}` with
+/// strictly ascending bounds and `total == sum(counts)`. Every name
+/// must satisfy the labeled-metric grammar
+/// ([`crate::label::check_labeled_name`]).
+pub fn validate_metrics_str(text: &str) -> Result<MetricsStats, String> {
+    let doc = parse_json(text)?;
+    let Value::Obj(fields) = &doc else {
+        return Err("metrics snapshot: top level must be an object".into());
+    };
+    let mut stats = MetricsStats::default();
+    for (name, value) in fields {
+        crate::label::check_labeled_name(name).map_err(|e| format!("metric name {name:?}: {e}"))?;
+        match value {
+            Value::Num(_) => {
+                stats.scalar_names.insert(name.clone());
+            }
+            Value::Obj(_) => {
+                let total = value
+                    .get("total")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("histogram {name:?}: missing numeric \"total\""))?;
+                for q in ["p50", "p95", "p99"] {
+                    if value.get(q).is_some_and(|v| v.as_num().is_none()) {
+                        return Err(format!("histogram {name:?}: non-numeric {q:?}"));
+                    }
+                }
+                let buckets = value
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| format!("histogram {name:?}: missing \"buckets\" array"))?;
+                let mut sum = 0.0;
+                let mut prev_bound = -1.0;
+                for (i, b) in buckets.iter().enumerate() {
+                    let pair = b.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        format!("histogram {name:?}: bucket {i} is not a [bound, count] pair")
+                    })?;
+                    let bound = pair[0]
+                        .as_num()
+                        .ok_or_else(|| format!("histogram {name:?}: bucket {i} bound"))?;
+                    let count = pair[1]
+                        .as_num()
+                        .ok_or_else(|| format!("histogram {name:?}: bucket {i} count"))?;
+                    if bound <= prev_bound {
+                        return Err(format!(
+                            "histogram {name:?}: bucket bounds must be strictly ascending \
+                             (bucket {i}: {bound} after {prev_bound})"
+                        ));
+                    }
+                    if count < 0.0 {
+                        return Err(format!("histogram {name:?}: negative count at bucket {i}"));
+                    }
+                    prev_bound = bound;
+                    sum += count;
+                }
+                if sum != total {
+                    return Err(format!(
+                        "histogram {name:?}: total {total} != bucket sum {sum}"
+                    ));
+                }
+                stats.histogram_names.insert(name.clone());
+            }
+            _ => {
+                return Err(format!(
+                    "metric {name:?}: value must be a number or a histogram object"
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Validate the metrics snapshot at `path`.
+pub fn validate_metrics_file(path: &Path) -> Result<MetricsStats, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    validate_metrics_str(&text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +506,43 @@ mod tests {
         assert_eq!(stats.counter_tracks, 1);
         assert!(stats.counter_names.contains("gemm.calls"));
         assert_eq!(stats.pids.len(), 2);
+    }
+
+    #[test]
+    fn validates_metrics_snapshot() {
+        let good = r#"{
+            "gemm.calls": 12,
+            "gemm.calls{class=small}": 9,
+            "scheduler.event.padded_tokens{class=arrive}":
+                {"total": 3, "p50": 128, "p95": 256, "p99": 256,
+                 "buckets": [[128, 2], [256, 1]]}
+        }"#;
+        let stats = validate_metrics_str(good).unwrap();
+        assert!(stats.scalar_names.contains("gemm.calls{class=small}"));
+        assert!(stats
+            .histogram_names
+            .contains("scheduler.event.padded_tokens{class=arrive}"));
+
+        let bad_total = r#"{"h": {"total": 5, "buckets": [[1, 1], [2, 1]]}}"#;
+        assert!(validate_metrics_str(bad_total).is_err());
+        let bad_bounds = r#"{"h": {"total": 2, "buckets": [[2, 1], [1, 1]]}}"#;
+        assert!(validate_metrics_str(bad_bounds).is_err());
+        let bad_name = r#"{"h{b=2,a=1}": 3}"#;
+        assert!(validate_metrics_str(bad_name).is_err());
+        assert!(validate_metrics_str("[1]").is_err());
+    }
+
+    #[test]
+    fn counter_names_must_be_wellformed_labels() {
+        let bad = r#"{"traceEvents":[
+            {"ph":"C","name":"a{b=2,a=1}","pid":1,"tid":0,"ts":0,"args":{"value":1}}
+        ]}"#;
+        let err = validate_trace_str(bad).unwrap_err();
+        assert!(err.contains("ascending"), "got: {err}");
+        let good = r#"{"traceEvents":[
+            {"ph":"C","name":"a{a=1,b=2}.p99","pid":1,"tid":0,"ts":0,"args":{"value":1}}
+        ]}"#;
+        assert!(validate_trace_str(good).is_ok());
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Post-mortem contract: a forced panic with `dump_on_panic` armed must
+//! leave a flight-recorder dump on disk that passes `trace::validate`.
+//!
+//! Runs as its own integration-test binary so the installed panic hook
+//! and the flight-enable flag cannot leak into unrelated unit tests.
+
+use std::panic;
+
+#[test]
+fn forced_panic_writes_a_valid_flight_dump() {
+    let path = std::env::temp_dir().join(format!(
+        "lorafusion_flight_panic_{}.trace.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    lorafusion_trace::flight::dump_on_panic(&path);
+
+    // Activity before the crash: spans land in the per-thread rings
+    // (dump_on_panic enables flight recording) plus an explicit note.
+    for i in 0..8u64 {
+        let _span = lorafusion_trace::span!("flight.step", i = i);
+        lorafusion_trace::flight::note("flight.progress", i);
+    }
+
+    let result = panic::catch_unwind(|| {
+        let _span = lorafusion_trace::span!("flight.doomed");
+        panic!("forced panic: flight-recorder integration test");
+    });
+    assert!(result.is_err(), "the panic must actually fire");
+
+    let stats = lorafusion_trace::validate::validate_trace_file(&path)
+        .expect("flight dump must be a valid Chrome trace");
+    assert!(stats.complete_events >= 8, "ring spans present: {stats:?}");
+    assert!(stats.counter_events >= 8, "notes present: {stats:?}");
+    assert!(
+        stats.pids.contains(&lorafusion_trace::flight::FLIGHT_PID),
+        "events are on the flight process: {stats:?}"
+    );
+
+    // The recorder itself counts successful dumps.
+    assert!(lorafusion_trace::metrics::counter("trace.flight.dumps").get() >= 1);
+    let _ = std::fs::remove_file(&path);
+}

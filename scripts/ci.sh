@@ -25,8 +25,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Static invariants: the in-tree linter re-checks the whole workspace for
 # undocumented unsafe, nondeterministic iteration, wall-clock reads in
 # compute crates, thread-count dependence, SIMD/intrinsics confinement,
-# external dependencies, and unsafe-budget drift (see DESIGN.md "Static
-# invariants"). Runs in both
+# external dependencies, unsafe-budget drift, and flight-recorder ring
+# encapsulation (see DESIGN.md "Static invariants"). Runs in both
 # the quick and full paths — it takes well under a second.
 step "lorafusion-lint check"
 cargo run -q -p lorafusion-lint -- check
@@ -124,7 +124,8 @@ if [[ "$QUICK" -eq 0 ]]; then
     --require-counter loss.fused_calls \
     --require-counter loss.reference_calls \
     --require-counter loss.chunks \
-    --require-counter chains.fused_calls
+    --require-counter chains.fused_calls \
+    --require-histogram loss.chunk.tokens
 else
   LORAFUSION_TRACE="$TRACE_TMP/loss_trace.json" BENCH_LOSS_TOKENS=96 BENCH_LOSS_HIDDEN=64 \
     BENCH_LOSS_VOCAB=512 BENCH_LOSS_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_loss
@@ -133,7 +134,8 @@ else
     --require-counter loss.fused_calls \
     --require-counter loss.reference_calls \
     --require-counter loss.chunks \
-    --require-counter chains.fused_calls
+    --require-counter chains.fused_calls \
+    --require-histogram loss.chunk.tokens
 fi
 
 # Online-scheduler gate: bench_scheduler asserts in-binary that a full
@@ -151,7 +153,8 @@ if [[ "$QUICK" -eq 0 ]]; then
     --require-counter scheduler.repack.local_repair \
     --require-counter scheduler.repack.warm_solves \
     --require-counter scheduler.repack.cold_solves \
-    --require-counter solver.bb.warm_start_prunes
+    --require-counter solver.bb.warm_start_prunes \
+    --require-histogram 'scheduler.event.padded_tokens{class=arrive}'
 else
   LORAFUSION_TRACE="$TRACE_TMP/sched_trace.json" BENCH_SCHED_JOBS=128 BENCH_SCHED_EVENTS=512 \
     BENCH_SCHED_WRITE=0 cargo run -q -p lorafusion-bench --bin bench_scheduler
@@ -160,7 +163,19 @@ else
     --require-counter scheduler.repack.local_repair \
     --require-counter scheduler.repack.warm_solves \
     --require-counter scheduler.repack.cold_solves \
-    --require-counter solver.bb.warm_start_prunes
+    --require-counter solver.bb.warm_start_prunes \
+    --require-histogram 'scheduler.event.padded_tokens{class=arrive}'
 fi
+
+# Bench-regression gate: diff every committed results/BENCH_*.json against
+# its pinned copy under results/baselines/. Provenance fields (host_cores,
+# detected_features, simd_path) are skipped, rate/latency fields get a wide
+# relative band, and digests/counts must match exactly — so the gate is
+# deterministic on any host while still catching a silently edited or
+# regressed committed result. The machine-readable verdict lands in the CI
+# temp dir for triage. Runs in both paths: it is a pure file diff.
+step "bench_regress gate (results/ vs results/baselines/)"
+cargo run -q -p lorafusion-bench --bin bench_regress -- \
+  --out "$TRACE_TMP/bench_regress_verdict.json"
 
 step "CI OK"
