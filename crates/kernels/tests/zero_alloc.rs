@@ -126,3 +126,48 @@ fn steady_state_step_performs_no_heap_allocation() {
         assert!(all_close(&ws.dx, &ref_bwd.dx, 1e-6));
     });
 }
+
+#[test]
+fn seeded_allocation_is_caught_by_the_counting_allocator() {
+    // The static mirror of this gate is the `alloc-in-hot-path` lint
+    // rule; its positive fixture (`crates/lint/fixtures/hot_alloc_pos.rs`)
+    // seeds a per-step staging buffer into a hot entry point. This test
+    // performs that exact pattern inside the measured window and proves
+    // the dynamic gate would catch the same bug the lint flags: the two
+    // enforcement tiers agree on what "allocation on the hot path" means.
+    let mut rng = Pcg32::seeded(7);
+    let cfg = LoraConfig {
+        rank: 8,
+        alpha: 1.5,
+        dropout: 0.25,
+        seed: 7,
+    };
+    let layer = LoraLayer::init_nonzero(96, 80, cfg, &mut rng);
+    let x = Matrix::random_uniform(64, 96, 1.0, &mut rng);
+
+    lorafusion_trace::disable();
+    let pool = Pool::new(1);
+    with_pool(&pool, || {
+        let mut ws = fused::Workspace::new();
+        for _ in 0..2 {
+            ws.forward_into(&layer, &x, 0).unwrap();
+        }
+
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+
+        // The seeded defect from the lint fixture: stage the output
+        // through a freshly allocated buffer instead of writing in place.
+        ws.forward_into(&layer, &x, 0).unwrap();
+        let mut staging = Vec::with_capacity(ws.y.as_slice().len());
+        for &v in ws.y.as_slice() {
+            staging.push(v);
+        }
+        std::hint::black_box(&staging);
+
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+        assert!(
+            allocs > 0,
+            "the counting allocator must observe the seeded staging buffer"
+        );
+    });
+}

@@ -1,0 +1,12 @@
+// Negative fixture: the tolerated reduction forms — accumulate in
+// `f64` (associativity error stays below `f32` ulp), or fold with a
+// non-additive (order-insensitive) combiner.
+
+pub fn mean(xs: &[f32]) -> f32 {
+    let total = xs.iter().map(|&x| x as f64).sum::<f64>();
+    (total / xs.len() as f64) as f32
+}
+
+pub fn peak(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, &x| acc.max(x))
+}

@@ -1,0 +1,12 @@
+// Positive fixture: order-sensitive `f32` reductions outside the
+// documented exact-parking sites — a `sum::<f32>()` turbofish and an
+// additive `fold` with an `f32`-suffixed seed.
+
+pub fn mean(xs: &[f32]) -> f32 {
+    let total = xs.iter().sum::<f32>();
+    total / xs.len() as f32
+}
+
+pub fn dot(xs: &[f32], ys: &[f32]) -> f32 {
+    xs.iter().zip(ys).fold(0.0f32, |acc, (&x, &y)| acc + x * y)
+}

@@ -1,0 +1,17 @@
+// Negative fixture: the same hot entry point writes only into buffers
+// its caller preallocated; nothing on the reachable path allocates.
+
+impl Workspace {
+    pub fn forward_into(&mut self, out: &mut [f32]) {
+        for o in out.iter_mut() {
+            *o = o.mul_add(2.0, 1.0);
+        }
+        scale_in_place(out);
+    }
+}
+
+fn scale_in_place(out: &mut [f32]) {
+    for o in out.iter_mut() {
+        *o *= 0.5;
+    }
+}

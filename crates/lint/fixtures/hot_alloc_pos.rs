@@ -1,0 +1,19 @@
+// Positive fixture: allocation APIs inside a function on the hot
+// roster (`kernels::Workspace::forward_into`). All three needle kinds
+// fire: an associated constructor (`Vec::with_capacity`), an
+// unresolved allocating method (`push`), and an allocating macro
+// (`format!`). The dynamic counting-allocator gate
+// (`crates/kernels/tests/zero_alloc.rs`,
+// `seeded_allocation_is_caught_by_the_counting_allocator`) catches this
+// same per-step staging-buffer pattern at run time.
+
+impl Workspace {
+    pub fn forward_into(&mut self, out: &mut [f32]) {
+        let mut staging = Vec::with_capacity(out.len());
+        for o in out.iter_mut() {
+            staging.push(*o);
+        }
+        let label = format!("step of {}", out.len());
+        record(&label, &staging);
+    }
+}

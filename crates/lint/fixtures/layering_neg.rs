@@ -1,0 +1,8 @@
+// Negative fixture: a `tensor` file importing only the `trace` crate,
+// an edge the fixture contract declares.
+
+use lorafusion_trace::metrics;
+
+pub fn tick(n: u64) {
+    metrics::counter("tensor.tick").add(n);
+}

@@ -1,0 +1,10 @@
+// Positive fixture: a `tensor` file importing the `kernels` crate — a
+// layer inversion the fixture contract does not declare. The nested
+// `use` group exercises the tree-flattening path: every leaf lands on
+// the same undeclared `tensor -> kernels` edge.
+
+use lorafusion_kernels::{fused::{pack_a, Workspace}, plan};
+
+pub fn peek(w: &Workspace) -> usize {
+    plan::cost(w) + pack_a as usize
+}

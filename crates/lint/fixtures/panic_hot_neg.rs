@@ -1,0 +1,14 @@
+// Negative fixture: the total form of the same microkernel —
+// `debug_assert!` (compiles out in release, tolerated), an explicit
+// `None` arm instead of `unwrap`, and iterators instead of indexing.
+
+pub fn microkernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize) {
+    debug_assert!(a.len() >= k);
+    let head = match b.first() {
+        Some(h) => *h,
+        None => return,
+    };
+    for (o, &x) in out.iter_mut().zip(a.iter()) {
+        *o = x * head;
+    }
+}

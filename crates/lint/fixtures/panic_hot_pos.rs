@@ -1,0 +1,9 @@
+// Positive fixture: panicking constructs inside the packed microkernel
+// tier, which the contract requires to be total — a release assert, an
+// `unwrap`, and two slice-index expressions.
+
+pub fn microkernel(a: &[f32], b: &[f32], out: &mut [f32], k: usize) {
+    assert!(a.len() >= k);
+    let head = b.first().unwrap();
+    out[0] = a[k - 1] * head;
+}

@@ -1,0 +1,20 @@
+// Negative fixture: lexer/parser edge cases that must flow through the
+// whole two-tier pipeline without desynchronizing or firing any rule —
+// nested generics closed by single `>` tokens, raw `r#ident`
+// identifiers, and a multi-segment nested `use` group over declared
+// edges only.
+
+use lorafusion_trace::{metrics::{counter, gauge}, now_us};
+
+pub fn r#loop(tiles: Vec<Vec<f32>>) -> f64 {
+    let r#final = now_us();
+    let mut acc = 0.0f64;
+    for tile in tiles.iter() {
+        for &x in tile.iter() {
+            acc += x as f64;
+        }
+    }
+    counter("tensor.tiles").add(tiles.len() as u64);
+    gauge("tensor.t0").set(r#final);
+    acc
+}

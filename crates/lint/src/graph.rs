@@ -1,0 +1,478 @@
+//! Workspace model: per-crate item tables, cross-crate import edges,
+//! and an approximate intra-workspace call graph.
+//!
+//! Built from every file's [`crate::parse::ParsedFile`], the graph
+//! gives the semantic rules three things the token tier cannot:
+//!
+//! 1. **Import edges** — every `use lorafusion_*::…` (and any
+//!    `lorafusion_*::` path expression) becomes a `from-crate →
+//!    to-crate` edge checked against the declared layering DAG;
+//! 2. **Call resolution** — a call site resolves through the file's
+//!    own `use` imports first (so `gemm_fused(…)` under
+//!    `use lorafusion_tensor::matmul::gemm_fused` lands in the tensor
+//!    crate), then by qualifier (`Matrix::resize` → the `resize`
+//!    method on `Matrix`), with a **method-name fallback** for bare
+//!    `.name(…)` calls restricted to crates the caller can actually
+//!    see per the manifest dependency graph — a deliberate
+//!    over-approximation that errs toward reachability;
+//! 3. **Test attribution** — functions inside `#[cfg(test)]` regions
+//!    or `tests/` files are marked so hot-path rules skip them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{CallSite, MacroSite, ParsedFile};
+
+/// Maps an extern-crate path head (`lorafusion_tensor`) to the short
+/// crate name used throughout the linter (`tensor`). Returns `None`
+/// for non-workspace crates (`std`, `core`, external names).
+pub fn extern_crate(seg: &str) -> Option<&'static str> {
+    Some(match seg {
+        "lorafusion" => "core",
+        "lorafusion_trace" => "trace",
+        "lorafusion_tensor" => "tensor",
+        "lorafusion_gpu" => "gpu",
+        "lorafusion_kernels" => "kernels",
+        "lorafusion_data" => "data",
+        "lorafusion_solver" => "solver",
+        "lorafusion_sched" => "scheduler",
+        "lorafusion_dist" => "dist",
+        "lorafusion_lint" => "lint",
+        "lorafusion_bench" => "bench",
+        "lorafusion_suite" => "suite",
+        _ => return None,
+    })
+}
+
+/// Maps a manifest package name (`lorafusion-sched`) to the short
+/// crate name (`scheduler`).
+pub fn package_crate(name: &str) -> Option<&'static str> {
+    extern_crate(&name.replace('-', "_"))
+}
+
+/// One function in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Short crate name (`tensor`, `scheduler`, `suite`, …).
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// File stem (`fused` for `crates/kernels/src/fused.rs`) — the
+    /// module qualifier for path-call resolution.
+    pub module: String,
+    pub self_ty: Option<String>,
+    pub name: String,
+    pub line_start: u32,
+    pub line_end: u32,
+    pub calls: Vec<CallSite>,
+    pub macros: Vec<MacroSite>,
+    pub index_lines: Vec<u32>,
+    /// Inside a `#[cfg(test)]`/`#[test]` region or a `tests/` file.
+    pub in_test: bool,
+}
+
+impl FnNode {
+    /// `crate::Type::name` / `crate::module::name` display form.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{}::{}::{}", self.krate, ty, self.name),
+            None => format!("{}::{}::{}", self.krate, self.module, self.name),
+        }
+    }
+}
+
+/// One cross-crate import observed in source.
+#[derive(Debug, Clone)]
+pub struct UseEdge {
+    pub file: String,
+    pub line: u32,
+    pub from: String,
+    pub to: String,
+}
+
+/// The assembled workspace model.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub fns: Vec<FnNode>,
+    /// Function indices by bare name (methods and free functions).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Cross-crate source import edges, in file order.
+    pub use_edges: Vec<UseEdge>,
+    /// Per-file import map: leaf name → full imported path segments.
+    imports: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    /// Manifest dependency edges: crate → direct deps (short names).
+    pub manifest_deps: BTreeMap<String, BTreeSet<String>>,
+    /// Transitive visibility closure derived from `manifest_deps`.
+    visible: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Is this file a test target (under a `tests/` directory)?
+fn is_test_file(rel_path: &str) -> bool {
+    rel_path.split('/').any(|seg| seg == "tests")
+}
+
+/// Method names excluded from the fallback resolver because they
+/// collide with ubiquitous std/primitive methods: a `ptr.add(n)` must
+/// not become an edge to `tensor::ops::add`. Calls with these names
+/// resolve as external; allocation/panic needles still inspect the
+/// site itself.
+const METHOD_FALLBACK_STOPLIST: [&str; 24] = [
+    "add", "sub", "mul", "div", "rem", "neg", "offset", "read", "write", "cast", "len", "get",
+    "get_mut", "map", "and_then", "min", "max", "abs", "sqrt", "clone", "push", "pop", "insert",
+    "extend",
+];
+
+impl Graph {
+    /// Adds one parsed file. `test_regions` are the `#[cfg(test)]`
+    /// line spans from [`crate::source::test_regions`].
+    pub fn add_file(
+        &mut self,
+        rel_path: &str,
+        krate: &str,
+        parsed: &ParsedFile,
+        test_regions: &[(u32, u32)],
+    ) {
+        let module = rel_path
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or("")
+            .to_string();
+        let test_file = is_test_file(rel_path);
+        let mut import_map = BTreeMap::new();
+        for u in &parsed.uses {
+            if let Some(first) = u.segments.first() {
+                if let Some(to) = extern_crate(first) {
+                    if to != krate {
+                        self.use_edges.push(UseEdge {
+                            file: rel_path.to_string(),
+                            line: u.line,
+                            from: krate.to_string(),
+                            to: to.to_string(),
+                        });
+                    }
+                }
+            }
+            if let Some(leaf) = u.segments.last() {
+                if leaf != "*" {
+                    import_map.insert(leaf.clone(), u.segments.clone());
+                }
+            }
+        }
+        self.imports.insert(rel_path.to_string(), import_map);
+        for f in &parsed.fns {
+            let in_test = test_file
+                || test_regions
+                    .iter()
+                    .any(|&(a, b)| a <= f.line_start && f.line_start <= b);
+            // Path expressions like `lorafusion_x::y(…)` inside bodies
+            // are import edges too (no `use` needed to violate layering).
+            for c in &f.calls {
+                if let Some(first) = c.path.first() {
+                    if let Some(to) = extern_crate(first) {
+                        if to != krate {
+                            self.use_edges.push(UseEdge {
+                                file: rel_path.to_string(),
+                                line: c.line,
+                                from: krate.to_string(),
+                                to: to.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            let idx = self.fns.len();
+            self.fns.push(FnNode {
+                krate: krate.to_string(),
+                file: rel_path.to_string(),
+                module: module.clone(),
+                self_ty: f.self_ty.clone(),
+                name: f.name.clone(),
+                line_start: f.line_start,
+                line_end: f.line_end,
+                calls: f.calls.clone(),
+                macros: f.macros.clone(),
+                index_lines: f.index_lines.clone(),
+                in_test,
+            });
+            self.by_name.entry(f.name.clone()).or_default().push(idx);
+        }
+    }
+
+    /// Records one crate's manifest dependency edges (short names).
+    pub fn add_manifest_deps(&mut self, krate: &str, deps: BTreeSet<String>) {
+        self.manifest_deps
+            .entry(krate.to_string())
+            .or_default()
+            .extend(deps);
+    }
+
+    /// Finalize: compute the transitive visibility closure. Call after
+    /// every file and manifest has been added.
+    pub fn finish(&mut self) {
+        for krate in self.manifest_deps.keys().cloned().collect::<Vec<_>>() {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            let mut stack = vec![krate.clone()];
+            while let Some(c) = stack.pop() {
+                if !seen.insert(c.clone()) {
+                    continue;
+                }
+                if let Some(deps) = self.manifest_deps.get(&c) {
+                    stack.extend(deps.iter().cloned());
+                }
+            }
+            self.visible.insert(krate, seen);
+        }
+    }
+
+    fn is_visible(&self, from: &str, to: &str) -> bool {
+        from == to
+            || self
+                .visible
+                .get(from)
+                .is_some_and(|s| s.contains(to))
+            // A crate absent from the manifests (synthetic test paths)
+            // sees everything — over-approximate toward reachability.
+            || !self.visible.contains_key(from)
+    }
+
+    /// Resolves one call site from `caller` (an index into `fns`) to
+    /// the workspace functions it may invoke. External calls (std,
+    /// unknown names) resolve to the empty set.
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Vec<usize> {
+        let from = &self.fns[caller];
+        if call.method {
+            // Method-name fallback: any same-named method in a crate
+            // the caller can see. Names that collide with ubiquitous
+            // std/primitive methods (`ptr.add`, `Option::map`,
+            // `Vec::push`, …) are resolved as external instead — a
+            // fallback edge there is almost always false, and the
+            // hot-path needle checks still cover the call site itself.
+            let name = call.path.last().map(String::as_str).unwrap_or("");
+            if METHOD_FALLBACK_STOPLIST.contains(&name) {
+                return Vec::new();
+            }
+            return self
+                .by_name
+                .get(name)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&i| {
+                            // A method call can only land on a method —
+                            // a same-named free fn is never its target.
+                            self.fns[i].self_ty.is_some()
+                                && self.is_visible(&from.krate, &self.fns[i].krate)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+        if call.path.len() == 1 && call.path[0] == "drop" {
+            // Bare `drop(x)` is the prelude's `mem::drop`, not a
+            // workspace `Drop` impl.
+            return Vec::new();
+        }
+        // Expand the head segment through the file's imports.
+        let mut path = call.path.clone();
+        if let Some(map) = self.imports.get(&from.file) {
+            if let Some(expanded) = path.first().and_then(|h| map.get(h)) {
+                let mut full = expanded.clone();
+                full.extend(path.iter().skip(1).cloned());
+                path = full;
+            }
+        }
+        // Normalize the head: crate-local prefixes and extern names.
+        let mut target_crate = from.krate.clone();
+        let mut explicit_crate = false;
+        while let Some(first) = path.first().cloned() {
+            match first.as_str() {
+                "crate" | "self" | "super" => {
+                    path.remove(0);
+                }
+                "std" | "core" | "alloc" => return Vec::new(),
+                other => {
+                    if let Some(to) = extern_crate(other) {
+                        target_crate = to.to_string();
+                        explicit_crate = true;
+                        path.remove(0);
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        let Some(name) = path.last().cloned() else {
+            return Vec::new();
+        };
+        let qualifier = (path.len() >= 2).then(|| path[path.len() - 2].clone());
+        let Some(candidates) = self.by_name.get(&name) else {
+            return Vec::new();
+        };
+        let matches: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                if f.krate != target_crate {
+                    return false;
+                }
+                match &qualifier {
+                    Some(q) => {
+                        f.self_ty.as_deref() == Some(q.as_str())
+                            || f.module == *q
+                            || *q == target_crate
+                    }
+                    None => true,
+                }
+            })
+            .collect();
+        if let (true, false, Some(q)) = (matches.is_empty(), explicit_crate, &qualifier) {
+            // `Type::assoc(…)` on an imported type: fall back to a
+            // workspace-wide self-type match within visible crates.
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let f = &self.fns[i];
+                    f.self_ty.as_deref() == Some(q.as_str())
+                        && self.is_visible(&from.krate, &f.krate)
+                })
+                .collect();
+        }
+        matches
+    }
+
+    /// All functions matching a `crate::Qualifier::name` /
+    /// `crate::name` roster pattern (qualifier matches the impl type
+    /// or the module file stem).
+    pub fn match_pattern(&self, pattern: &str) -> Vec<usize> {
+        let segs: Vec<&str> = pattern.split("::").collect();
+        let (krate, qual, name) = match segs.len() {
+            2 => (segs[0], None, segs[1]),
+            3 => (segs[0], Some(segs[1]), segs[2]),
+            _ => return Vec::new(),
+        };
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.krate == krate
+                    && f.name == name
+                    && !f.in_test
+                    && match qual {
+                        Some(q) => f.self_ty.as_deref() == Some(q) || f.module == q,
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::source::test_regions;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let mut g = Graph::default();
+        for (rel, src) in files {
+            let lexed = lex(src);
+            let parsed = parse(&lexed);
+            let regions = test_regions(&lexed.toks);
+            g.add_file(rel, crate::rules::crate_of(rel), &parsed, &regions);
+        }
+        for (k, deps) in [
+            ("tensor", vec!["trace"]),
+            ("kernels", vec!["tensor", "trace"]),
+            ("trace", vec![]),
+        ] {
+            g.add_manifest_deps(k, deps.into_iter().map(String::from).collect());
+        }
+        g.finish();
+        g
+    }
+
+    #[test]
+    fn imported_free_fn_resolves_across_crates() {
+        let g = graph_of(&[
+            (
+                "crates/kernels/src/fused.rs",
+                "use lorafusion_tensor::matmul::gemm_fused;\nfn step() { gemm_fused(1.0); }\n",
+            ),
+            (
+                "crates/tensor/src/matmul.rs",
+                "pub fn gemm_fused(alpha: f32) {}\n",
+            ),
+        ]);
+        let step = g.fns.iter().position(|f| f.name == "step").unwrap();
+        let callees = g.resolve(step, &g.fns[step].calls[0].clone());
+        assert_eq!(callees.len(), 1);
+        assert_eq!(g.fns[callees[0]].display(), "tensor::matmul::gemm_fused");
+    }
+
+    #[test]
+    fn method_fallback_respects_crate_visibility() {
+        let g = graph_of(&[
+            (
+                "crates/tensor/src/tensor.rs",
+                "impl Matrix { pub fn resize(&mut self) {} }\nfn local() { let mut m = make(); m.resize(); }\n",
+            ),
+            (
+                "crates/kernels/src/fused.rs",
+                "fn step(m: &mut Matrix) { m.resize(); }\n",
+            ),
+            (
+                "crates/trace/src/span.rs",
+                "fn t(m: &mut Matrix) { m.resize(); }\n",
+            ),
+        ]);
+        let step = g.fns.iter().position(|f| f.name == "step").unwrap();
+        let call = g.fns[step].calls[0].clone();
+        assert_eq!(g.resolve(step, &call).len(), 1, "kernels sees tensor");
+        let t = g.fns.iter().position(|f| f.name == "t").unwrap();
+        let call = g.fns[t].calls[0].clone();
+        assert!(
+            g.resolve(t, &call).is_empty(),
+            "trace does not depend on tensor; the fallback must not invent an edge"
+        );
+    }
+
+    #[test]
+    fn cross_crate_use_edges_are_recorded() {
+        let g = graph_of(&[(
+            "crates/kernels/src/lib.rs",
+            "use lorafusion_tensor::Matrix;\nuse lorafusion_trace::span;\nuse std::fmt;\n",
+        )]);
+        let tos: Vec<&str> = g.use_edges.iter().map(|e| e.to.as_str()).collect();
+        assert_eq!(tos, vec!["tensor", "trace"], "std is not an edge");
+    }
+
+    #[test]
+    fn pattern_matching_finds_methods_and_module_fns() {
+        let g = graph_of(&[(
+            "crates/kernels/src/fused.rs",
+            "impl Workspace { pub fn forward_into(&mut self) {} }\npub fn forward() {}\n#[cfg(test)]\nmod tests { fn forward_into() {} }\n",
+        )]);
+        assert_eq!(g.match_pattern("kernels::Workspace::forward_into").len(), 1);
+        assert_eq!(g.match_pattern("kernels::fused::forward").len(), 1);
+        assert_eq!(
+            g.match_pattern("kernels::forward_into").len(),
+            1,
+            "test-region fns never match a roster"
+        );
+        assert!(g.match_pattern("scheduler::nope").is_empty());
+    }
+
+    #[test]
+    fn test_regions_mark_fns_as_test() {
+        let g = graph_of(&[(
+            "crates/tensor/src/x.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn check() {}\n}\n",
+        )]);
+        assert!(!g.fns.iter().find(|f| f.name == "prod").unwrap().in_test);
+        assert!(g.fns.iter().find(|f| f.name == "check").unwrap().in_test);
+    }
+}

@@ -29,7 +29,8 @@ pub enum TokKind {
     Str,
     /// Char or byte literal (content not preserved).
     Char,
-    /// Numeric literal (content not preserved).
+    /// Numeric literal; `text` preserves the source spelling (including
+    /// any type suffix, so `0.0f32` is distinguishable from `0.0f64`).
     Num,
     /// Lifetime or loop label (without the leading `'`).
     Lifetime,
@@ -304,6 +305,7 @@ pub fn lex(src: &str) -> Lexed {
         // fraction/exponent — enough to keep `1.0f32` a single token while
         // leaving `0..n` as number-punct-punct-ident).
         if c.is_ascii_digit() {
+            let start = i;
             i += 1;
             while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                 i += 1;
@@ -316,7 +318,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.toks.push(Tok {
                 kind: TokKind::Num,
-                text: String::new(),
+                text: chars[start..i].iter().collect(),
                 line,
             });
             continue;

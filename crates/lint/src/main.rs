@@ -1,15 +1,18 @@
 //! CLI for `lorafusion-lint`.
 //!
 //! ```text
-//! cargo run -p lorafusion-lint -- check [--root <dir>]   # exit 1 on any violation
-//! cargo run -p lorafusion-lint -- budget [--root <dir>]  # print current unsafe counts
+//! cargo run -p lorafusion-lint -- check [--root <dir>] [--json <path>]
+//!     # exit 1 on any violation; --json also writes machine-readable
+//!     # diagnostics (schema documented on `lorafusion_lint::render_json`)
+//! cargo run -p lorafusion-lint -- budget [--root <dir>]
+//!     # print current unsafe + pragma counts in lint-budget.toml format
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lorafusion-lint <check|budget> [--root <dir>]");
+    eprintln!("usage: lorafusion-lint <check|budget> [--root <dir>] [--json <path>]");
     ExitCode::from(2)
 }
 
@@ -19,10 +22,15 @@ fn main() -> ExitCode {
         return usage();
     };
     let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--json" => match args.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
                 None => return usage(),
             },
             _ => return usage(),
@@ -48,6 +56,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &json {
+        let rendered = lorafusion_lint::render_json(&report);
+        if let Err(err) = std::fs::write(path, rendered) {
+            eprintln!("lorafusion-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     match cmd.as_str() {
         "check" => {
             for d in &report.diags {
@@ -69,7 +85,10 @@ fn main() -> ExitCode {
             }
         }
         "budget" => {
-            print!("{}", lorafusion_lint::render_budget(&report.unsafe_counts));
+            print!(
+                "{}",
+                lorafusion_lint::render_budget(&report.unsafe_counts, &report.pragma_counts)
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

@@ -1,0 +1,684 @@
+//! Item-level Rust parser over the [`crate::lexer`] token stream.
+//!
+//! The token tier answers "does identifier X appear in code?"; the
+//! semantic tier needs more structure: which *function* a token sits
+//! in, what that function *calls*, and what the file *imports*. This
+//! parser recovers exactly that — items (`fn`, `impl`, `trait`, `mod`,
+//! `use`), function signatures and bodies, call expressions (free,
+//! path-qualified, method, turbofish), macro invocations, and
+//! index-expression sites — without attempting expression-level
+//! precision. It is an approximate parser by design: resolution
+//! happens downstream in [`crate::graph`] with a method-name fallback,
+//! so the contract here is "never desynchronize, never panic, always
+//! attribute a call to the innermost enclosing `fn`".
+//!
+//! Cases the parser gets right that a regex cannot:
+//! * nested generics close with single `>` tokens (the lexer never
+//!   fuses `>>`), so `Vec<Vec<f32>>` does not unbalance the scanner;
+//! * `r#ident` raw identifiers arrive dequoted from the lexer and
+//!   behave like plain names;
+//! * multi-segment `use a::{b::{c, d}, e};` trees are flattened into
+//!   leaf paths with the shared prefix applied;
+//! * `impl Trait for Type` methods are attributed to `Type`, plain
+//!   `impl Type` and `trait Name` members to their owner;
+//! * `vec![…]` is a macro invocation, not an index expression, and
+//!   `#[attr]` brackets are never counted as indexing.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments as written: `["Matrix", "resize"]`, `["foo"]`,
+    /// `["tensor", "ops", "axpy"]`. For method calls, the single
+    /// method name.
+    pub path: Vec<String>,
+    /// `receiver.name(…)` rather than `path::name(…)`.
+    pub method: bool,
+    pub line: u32,
+    /// Turbofish type arguments (`sum::<f32>()` → `["f32"]`), if any.
+    pub generics: Vec<String>,
+    /// For `fold`/`reduce`-style calls: the first argument token is an
+    /// `f32`-suffixed numeric literal (`0.0f32`, `0f32`).
+    pub f32_seed: bool,
+    /// For `fold`/`reduce`-style calls: a `+` operator appears inside
+    /// the argument list (an additive, order-sensitive accumulation).
+    pub additive: bool,
+}
+
+/// One macro invocation (`name!(…)`, `name![…]`, `name!{…}`).
+#[derive(Debug, Clone)]
+pub struct MacroSite {
+    pub name: String,
+    pub line: u32,
+}
+
+/// One function (or method) item with everything the reachability
+/// engine needs to know about its body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl`/`trait` target type, if any (`Workspace` for
+    /// `impl Workspace { fn step… }`).
+    pub self_ty: Option<String>,
+    pub line_start: u32,
+    pub line_end: u32,
+    pub calls: Vec<CallSite>,
+    pub macros: Vec<MacroSite>,
+    /// Lines containing index expressions (`expr[…]`) — each can panic
+    /// on out-of-bounds.
+    pub index_lines: Vec<u32>,
+}
+
+/// One flattened `use` leaf: `use a::{b, c::d};` yields `[a, b]` and
+/// `[a, c, d]`.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    pub segments: Vec<String>,
+    pub line: u32,
+}
+
+/// Parse result for one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub uses: Vec<UseItem>,
+    pub fns: Vec<FnItem>,
+}
+
+/// Keywords that can directly precede `(` or `[` without forming a
+/// call/index expression.
+const KEYWORDS: [&str; 30] = [
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "where", "while",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct && t.text.len() == 1 && t.text.as_bytes()[0] == c as u8
+}
+
+fn is_ident(t: &Tok, name: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == name
+}
+
+/// Parses one lexed file into its item structure.
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    Parser {
+        toks: &lexed.toks,
+        out: ParsedFile::default(),
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    out: ParsedFile,
+}
+
+impl Parser<'_> {
+    fn run(mut self) -> ParsedFile {
+        self.items(0, self.toks.len(), None);
+        self.out
+    }
+
+    /// Scans `[i, end)` for items; `self_ty` is the enclosing
+    /// `impl`/`trait` target for `fn` items found at this level.
+    fn items(&mut self, mut i: usize, end: usize, self_ty: Option<&str>) {
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                // Skip over stray brace groups (e.g. const initializer
+                // blocks) so nested content is not re-scanned as items.
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "use" => i = self.parse_use(i + 1, end),
+                "fn" => i = self.parse_fn(i, end, self_ty),
+                "impl" | "trait" => i = self.parse_impl_or_trait(i, end),
+                "mod" => {
+                    // `mod name { … }`: recurse into the block (items in
+                    // inline modules still belong to this file); `mod
+                    // name;` is just skipped.
+                    let mut j = i + 1;
+                    while j < end && !(is_punct(&self.toks[j], '{') || is_punct(&self.toks[j], ';'))
+                    {
+                        j += 1;
+                    }
+                    if j < end && is_punct(&self.toks[j], '{') {
+                        let close = self.match_brace(j, end);
+                        self.items(j + 1, close, None);
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Returns the index of the `}` matching the `{` at `open` (or
+    /// `end` if unbalanced).
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < end {
+            if is_punct(&self.toks[j], '{') {
+                depth += 1;
+            } else if is_punct(&self.toks[j], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses a `use …;` item starting after the `use` keyword;
+    /// returns the index just past the terminating `;`.
+    fn parse_use(&mut self, mut i: usize, end: usize) -> usize {
+        let line = self.toks.get(i).map_or(0, |t| t.line);
+        let mut prefix: Vec<String> = Vec::new();
+        let i0 = i;
+        self.use_tree(&mut i, end, &mut prefix, line);
+        // Consume through the `;` (use_tree stops at it).
+        while i < end && !is_punct(&self.toks[i], ';') {
+            i += 1;
+        }
+        let _ = i0;
+        i + 1
+    }
+
+    /// Recursive-descent over one `use` tree level, pushing leaf paths
+    /// into `self.out.uses`. Stops at `;`, `,` (at this level) or `}`.
+    fn use_tree(&mut self, i: &mut usize, end: usize, prefix: &mut Vec<String>, line: u32) {
+        let base_len = prefix.len();
+        loop {
+            if *i >= end {
+                break;
+            }
+            let t = &self.toks[*i];
+            if t.kind == TokKind::Ident {
+                if t.text == "as" {
+                    // Alias: consume the alias name; the imported path
+                    // is what matters for edges.
+                    *i += 1;
+                    if *i < end && self.toks[*i].kind == TokKind::Ident {
+                        *i += 1;
+                    }
+                    continue;
+                }
+                prefix.push(t.text.clone());
+                *i += 1;
+            } else if is_punct(t, '*') {
+                prefix.push("*".to_string());
+                *i += 1;
+            } else if is_punct(t, ':') {
+                // `::` — continue the path.
+                *i += 1;
+                if *i < end && is_punct(&self.toks[*i], ':') {
+                    *i += 1;
+                }
+                continue;
+            } else if is_punct(t, '{') {
+                // Braced group: each comma-separated subtree shares the
+                // current prefix.
+                *i += 1;
+                loop {
+                    if *i >= end || is_punct(&self.toks[*i], '}') {
+                        *i += 1;
+                        break;
+                    }
+                    let before = prefix.len();
+                    self.use_tree(i, end, prefix, line);
+                    prefix.truncate(before);
+                    if *i < end && is_punct(&self.toks[*i], ',') {
+                        *i += 1;
+                        continue;
+                    }
+                    if *i < end && is_punct(&self.toks[*i], '}') {
+                        *i += 1;
+                        break;
+                    }
+                    if *i >= end || is_punct(&self.toks[*i], ';') {
+                        break;
+                    }
+                }
+                prefix.truncate(base_len);
+                return;
+            } else {
+                break; // `;`, `,`, `}` — end of this subtree.
+            }
+            // After an identifier: if the path continues (`::`), loop;
+            // otherwise this is a leaf.
+            if *i < end
+                && is_punct(&self.toks[*i], ':')
+                && *i + 1 < end
+                && is_punct(&self.toks[*i + 1], ':')
+            {
+                *i += 2;
+                continue;
+            }
+            if prefix.len() > base_len || !prefix.is_empty() {
+                self.out.uses.push(UseItem {
+                    segments: prefix.clone(),
+                    line,
+                });
+            }
+            prefix.truncate(base_len);
+            return;
+        }
+        prefix.truncate(base_len);
+    }
+
+    /// Parses `impl …` / `trait …`, extracting the target type and
+    /// recursing into the body; returns the index past the closing `}`.
+    fn parse_impl_or_trait(&mut self, i: usize, end: usize) -> usize {
+        // Scan the header up to the body `{`, tracking angle-bracket
+        // depth so `impl<T: Into<u64>> Foo<T>` does not stop early.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut last_path_seg: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        while j < end {
+            let t = &self.toks[j];
+            if is_punct(t, '<') {
+                angle += 1;
+            } else if is_punct(t, '>') {
+                angle -= 1;
+            } else if angle == 0 && is_punct(t, '{') {
+                break;
+            } else if angle == 0 && is_ident(t, "for") {
+                saw_for = true;
+            } else if angle == 0 && is_ident(t, "where") {
+                // Bounds follow; the target is already captured.
+            } else if angle == 0 && t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                if saw_for {
+                    // Keep updating: the *last* segment of the `for`
+                    // path is the concrete type name.
+                    after_for = Some(t.text.clone());
+                } else {
+                    last_path_seg = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let self_ty = after_for.or(last_path_seg);
+        let close = self.match_brace(j, end);
+        self.items(j + 1, close, self_ty.as_deref());
+        close + 1
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword; returns the
+    /// index just past the body's closing `}` (or past `;` for a
+    /// body-less trait/extern declaration).
+    fn parse_fn(&mut self, i: usize, end: usize, self_ty: Option<&str>) -> usize {
+        let Some(name_tok) = self.toks.get(i + 1) else {
+            return end;
+        };
+        if name_tok.kind != TokKind::Ident {
+            // `fn(` pointer type or malformed — not an item.
+            return i + 1;
+        }
+        let name = name_tok.text.clone();
+        let line_start = self.toks[i].line;
+        // Find the body `{` (angle-aware: `fn f<T: Iterator<Item = u8>>`)
+        // or a `;` ending a body-less declaration.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < end {
+            let t = &self.toks[j];
+            if is_punct(t, '<') {
+                angle += 1;
+            } else if is_punct(t, '>') {
+                // `->` return arrows: the `-` precedes; don't let the
+                // arrow's `>` underflow the generic depth.
+                if j > 0 && is_punct(&self.toks[j - 1], '-') {
+                    // arrow, ignore
+                } else if angle > 0 {
+                    angle -= 1;
+                }
+            } else if angle == 0 && is_punct(t, '{') {
+                break;
+            } else if angle == 0 && is_punct(t, ';') {
+                // Trait method declaration without a body.
+                self.out.fns.push(FnItem {
+                    name,
+                    self_ty: self_ty.map(str::to_string),
+                    line_start,
+                    line_end: t.line,
+                    calls: Vec::new(),
+                    macros: Vec::new(),
+                    index_lines: Vec::new(),
+                });
+                return j + 1;
+            }
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let close = self.match_brace(j, end);
+        let mut item = FnItem {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            line_start,
+            line_end: self.toks.get(close).map_or(line_start, |t| t.line),
+            calls: Vec::new(),
+            macros: Vec::new(),
+            index_lines: Vec::new(),
+        };
+        self.scan_body(j + 1, close, &mut item);
+        self.out.fns.push(item);
+        close + 1
+    }
+
+    /// Collects call/macro/index sites from a body token range.
+    ///
+    /// Nested closures are attributed to the enclosing `fn`; nested
+    /// `fn` items (rare) are attributed here too — a conservative
+    /// over-approximation for reachability.
+    fn scan_body(&mut self, start: usize, end: usize, item: &mut FnItem) {
+        let mut k = start;
+        while k < end {
+            let t = &self.toks[k];
+            // Index expression: `[` preceded by an ident (non-keyword),
+            // `)`, or `]`.
+            if is_punct(t, '[') && k > start {
+                let p = &self.toks[k - 1];
+                let indexable = (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                    || is_punct(p, ')')
+                    || is_punct(p, ']');
+                if indexable {
+                    item.index_lines.push(t.line);
+                }
+                k += 1;
+                continue;
+            }
+            if t.kind != TokKind::Ident || is_keyword(&t.text) {
+                k += 1;
+                continue;
+            }
+            // Macro invocation: ident `!` then a delimiter.
+            if k + 2 < end
+                && is_punct(&self.toks[k + 1], '!')
+                && (is_punct(&self.toks[k + 2], '(')
+                    || is_punct(&self.toks[k + 2], '[')
+                    || is_punct(&self.toks[k + 2], '{'))
+            {
+                item.macros.push(MacroSite {
+                    name: t.text.clone(),
+                    line: t.line,
+                });
+                k += 3;
+                continue;
+            }
+            // Call expression: ident [turbofish] `(`.
+            let mut generics = Vec::new();
+            let mut paren = k + 1;
+            if k + 3 < end
+                && is_punct(&self.toks[k + 1], ':')
+                && is_punct(&self.toks[k + 2], ':')
+                && is_punct(&self.toks[k + 3], '<')
+            {
+                // `name::<T, U>(…)` — capture the type idents.
+                let mut depth = 1i32;
+                let mut m = k + 4;
+                while m < end && depth > 0 {
+                    let g = &self.toks[m];
+                    if is_punct(g, '<') {
+                        depth += 1;
+                    } else if is_punct(g, '>') {
+                        if m > 0 && is_punct(&self.toks[m - 1], '-') {
+                            // `->` inside an Fn bound
+                        } else {
+                            depth -= 1;
+                        }
+                    } else if g.kind == TokKind::Ident {
+                        generics.push(g.text.clone());
+                    }
+                    m += 1;
+                }
+                paren = m;
+            }
+            if paren < end && is_punct(&self.toks[paren], '(') {
+                // Build the path backwards over `::`-joined segments.
+                let mut path = vec![t.text.clone()];
+                let mut b = k;
+                while b >= 3
+                    && is_punct(&self.toks[b - 1], ':')
+                    && is_punct(&self.toks[b - 2], ':')
+                    && self.toks[b - 3].kind == TokKind::Ident
+                {
+                    path.insert(0, self.toks[b - 3].text.clone());
+                    b -= 3;
+                }
+                let method = b > start && is_punct(&self.toks[b - 1], '.');
+                // Inspect the argument tokens for the float-fold rule.
+                let (f32_seed, additive) = self.scan_args(paren, end);
+                item.calls.push(CallSite {
+                    path,
+                    method,
+                    line: t.line,
+                    generics,
+                    f32_seed,
+                    additive,
+                });
+                // Continue scanning *inside* the argument list (nested
+                // calls must be collected too).
+                k = paren + 1;
+                continue;
+            }
+            k += 1;
+        }
+    }
+
+    /// For a call's argument list starting at `open` (the `(`): does
+    /// the first argument token carry an `f32` suffix, and does a `+`
+    /// operator appear anywhere inside?
+    fn scan_args(&self, open: usize, end: usize) -> (bool, bool) {
+        let mut depth = 0i32;
+        let mut m = open;
+        let mut first: Option<&Tok> = None;
+        let mut additive = false;
+        while m < end {
+            let t = &self.toks[m];
+            if is_punct(t, '(') {
+                depth += 1;
+            } else if is_punct(t, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if first.is_none() {
+                    first = Some(t);
+                }
+                if is_punct(t, '+') {
+                    // `+=` is an additive accumulation too; both lex as
+                    // `+` then `=`.
+                    additive = true;
+                }
+            }
+            m += 1;
+        }
+        let f32_seed = first.is_some_and(|t| t.kind == TokKind::Num && t.text.ends_with("f32"));
+        (f32_seed, additive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_and_calls_are_extracted() {
+        let p = parse_src(
+            "fn outer(x: &Matrix) -> f32 {\n    let y = helper(x);\n    y.finish()\n}\nfn helper(x: &Matrix) -> V { Matrix::resize(x) }\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        let outer = &p.fns[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.calls.len(), 2);
+        assert_eq!(outer.calls[0].path, vec!["helper"]);
+        assert!(!outer.calls[0].method);
+        assert_eq!(outer.calls[1].path, vec!["finish"]);
+        assert!(outer.calls[1].method);
+        let helper = &p.fns[1];
+        assert_eq!(helper.calls[0].path, vec!["Matrix", "resize"]);
+        assert!(!helper.calls[0].method);
+    }
+
+    #[test]
+    fn impl_methods_get_their_self_type() {
+        let p = parse_src(
+            "impl Workspace {\n    pub fn step(&mut self) { self.buf.push(1); }\n}\nimpl Default for Workspace {\n    fn default() -> Self { Workspace::new() }\n}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Workspace"));
+        assert_eq!(p.fns[0].name, "step");
+        assert!(p.fns[0]
+            .calls
+            .iter()
+            .any(|c| c.path == ["push"] && c.method));
+        assert_eq!(
+            p.fns[1].self_ty.as_deref(),
+            Some("Workspace"),
+            "`impl Trait for Type` attributes to Type"
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_do_not_desync() {
+        let p = parse_src(
+            "impl<T: Into<Vec<Vec<f32>>>> Holder<T> {\n    fn get(&self) -> usize { self.inner.len() }\n}\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn nested_generics_close_without_shift_confusion() {
+        // `Vec<Vec<f32>>` ends with two `>` tokens; the signature
+        // scanner must still find the body.
+        let p = parse_src("fn deep(v: Vec<Vec<f32>>) -> Vec<Vec<f32>> {\n    transform(v)\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].path, vec!["transform"]);
+    }
+
+    #[test]
+    fn turbofish_generics_are_captured() {
+        let p = parse_src("fn f(v: &[f32]) -> f32 { v.iter().sum::<f32>() }\n");
+        let sum = p.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.path == ["sum"])
+            .expect("sum call");
+        assert!(sum.method);
+        assert_eq!(sum.generics, vec!["f32"]);
+    }
+
+    #[test]
+    fn fold_argument_introspection() {
+        let p = parse_src(
+            "fn f(v: &[f32]) -> f32 { v.iter().fold(0.0f32, |a, &b| a + b) }\nfn g(v: &[f32]) -> f32 { v.iter().fold(0.0f32, |a, &b| a.max(b)) }\nfn h(v: &[f64]) -> f64 { v.iter().fold(0.0f64, |a, &b| a + b) }\n",
+        );
+        let fold_of = |i: usize| {
+            p.fns[i]
+                .calls
+                .iter()
+                .find(|c| c.path.last().map(String::as_str) == Some("fold"))
+                .expect("fold call")
+        };
+        assert!(fold_of(0).f32_seed && fold_of(0).additive);
+        assert!(fold_of(1).f32_seed && !fold_of(1).additive, "max is not +");
+        assert!(!fold_of(2).f32_seed, "f64 seed is not an f32 fold");
+    }
+
+    #[test]
+    fn use_trees_flatten_with_shared_prefixes() {
+        let p = parse_src("use a::{b::{c, d}, e};\nuse x::y as z;\nuse q::*;\n");
+        let paths: Vec<Vec<&str>> = p
+            .uses
+            .iter()
+            .map(|u| u.segments.iter().map(String::as_str).collect())
+            .collect();
+        assert!(paths.contains(&vec!["a", "b", "c"]));
+        assert!(paths.contains(&vec!["a", "b", "d"]));
+        assert!(paths.contains(&vec!["a", "e"]));
+        assert!(paths.contains(&vec!["x", "y"]), "alias keeps the real path");
+        assert!(paths.contains(&vec!["q", "*"]));
+    }
+
+    #[test]
+    fn raw_identifiers_parse_as_plain_names() {
+        let p = parse_src("fn r#match(r#type: u32) -> u32 { r#type.wrapping_add(1) }\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "match");
+        assert!(p.fns[0].calls.iter().any(|c| c.path == ["wrapping_add"]));
+    }
+
+    #[test]
+    fn index_sites_are_found_but_macros_and_attrs_are_not() {
+        let p = parse_src(
+            "fn f(v: &[f32], i: usize) -> f32 {\n    let m = vec![1, 2];\n    let s = &v[1..3];\n    v[i] + s[0] + m[1] as f32\n}\n#[derive(Debug)]\nstruct S;\n",
+        );
+        let f = &p.fns[0];
+        assert!(f.macros.iter().any(|m| m.name == "vec"));
+        // v[1..3], v[i], s[0], m[1] — four index expressions.
+        assert_eq!(f.index_lines.len(), 4, "{:?}", f.index_lines);
+    }
+
+    #[test]
+    fn macro_invocations_are_recorded() {
+        let p =
+            parse_src("fn f() -> String { format!(\"x{}\", 1) }\nfn g() { panic!(\"boom\"); }\n");
+        assert!(p.fns[0].macros.iter().any(|m| m.name == "format"));
+        assert!(p.fns[1].macros.iter().any(|m| m.name == "panic"));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_items() {
+        let p = parse_src(
+            "trait Step {\n    fn apply(&self) -> u32;\n    fn twice(&self) -> u32 { self.apply() * 2 }\n}\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "apply");
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Step"));
+        assert!(p.fns[1].calls.iter().any(|c| c.path == ["apply"]));
+    }
+
+    #[test]
+    fn inline_modules_are_descended() {
+        let p = parse_src("mod inner {\n    pub fn leaf() { helper(); }\n}\n");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "leaf");
+    }
+
+    #[test]
+    fn nested_closures_attribute_to_the_enclosing_fn() {
+        let p = parse_src(
+            "fn f(v: Vec<u32>) -> Vec<u32> {\n    v.iter().map(|x| transform(x)).collect()\n}\n",
+        );
+        let f = &p.fns[0];
+        assert!(f.calls.iter().any(|c| c.path == ["transform"]));
+        assert!(f.calls.iter().any(|c| c.path == ["collect"]));
+    }
+}

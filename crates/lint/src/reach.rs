@@ -1,0 +1,688 @@
+//! Reachability engine and the semantic rule family driven by the
+//! checked-in `architecture.toml` contract.
+//!
+//! Four rules live here, all operating on the [`crate::graph::Graph`]:
+//!
+//! * **crate-layering** — the `[deps]` table declares the crate DAG;
+//!   any source import of an undeclared edge is a violation, and the
+//!   table is cross-checked against the real `Cargo.toml` dependency
+//!   edges in both directions (undeclared edge used, declared edge
+//!   unused) so the contract cannot drift from the build.
+//! * **alloc-in-hot-path** — functions transitively reachable from the
+//!   `[hot] alloc_roots` roster must not call allocation APIs. This
+//!   makes the dynamic counting-allocator contract (`zero_alloc.rs`)
+//!   statically visible at every call site. Warm-up growth paths are
+//!   exempted by name in `[hot.cold]`, each with a mandatory reason.
+//! * **panic-free-hot-path** — the `[hot] panic_roots` roster must be
+//!   transitively free of `unwrap`/`expect`, panicking macros, and
+//!   slice indexing.
+//! * **nonassociative-float-reduction** — order-sensitive `f32` folds
+//!   (`.sum::<f32>()`, `fold(0.0f32, +)`) are banned outside the
+//!   documented exact-parking sites listed in `[float] exempt_files`;
+//!   everywhere else, reductions must either accumulate in `f64` or
+//!   use the fixed-shape SIMD reductions whose order is part of the
+//!   kernel contract.
+//!
+//! Reachability is an over-approximation: the call graph's method-name
+//! fallback can invent edges, never drop real ones (within the
+//! resolver's path subset), so a clean run is meaningful while a
+//! violation may occasionally need a reviewed `[hot.cold]` entry.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::Graph;
+use crate::rules::Diag;
+use crate::toml_lite;
+
+/// The parsed `architecture.toml` contract.
+#[derive(Debug, Default)]
+pub struct ArchSpec {
+    /// Declared crate DAG: crate → direct dependencies (short names).
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+    /// Line of each crate's `[deps]` entry, for drift diagnostics.
+    pub deps_line: BTreeMap<String, u32>,
+    /// Hot entry points for the allocation rule.
+    pub alloc_roots: Vec<String>,
+    /// Hot entry points for the panic rule.
+    pub panic_roots: Vec<String>,
+    /// Files whose `f32` reductions are documented exact-parking sites.
+    pub float_exempt: Vec<String>,
+    /// Crates the hot-path reachability does not descend into (the
+    /// telemetry layer, whose amortized ring buffers are proven by the
+    /// dynamic counting-allocator test, not the static tier).
+    pub boundary_crates: Vec<String>,
+    /// Named warm-up/cold functions exempt from hot-path reachability,
+    /// each with its mandatory reason: `(pattern, reason, line)`.
+    pub cold: Vec<(String, String, u32)>,
+}
+
+impl ArchSpec {
+    pub fn parse(src: &str) -> ArchSpec {
+        let mut spec = ArchSpec::default();
+        for (krate, deps, line) in toml_lite::parse_str_list_table(src, "deps") {
+            spec.deps_line.insert(krate.clone(), line);
+            spec.deps.insert(krate, deps.into_iter().collect());
+        }
+        for (key, values, _) in toml_lite::parse_str_list_table(src, "hot") {
+            match key.as_str() {
+                "alloc_roots" => spec.alloc_roots = values,
+                "panic_roots" => spec.panic_roots = values,
+                "boundary_crates" => spec.boundary_crates = values,
+                _ => {}
+            }
+        }
+        for (key, values, _) in toml_lite::parse_str_list_table(src, "float") {
+            if key == "exempt_files" {
+                spec.float_exempt = values;
+            }
+        }
+        spec.cold = toml_lite::parse_str_table(src, "hot.cold");
+        spec
+    }
+}
+
+const ARCH_FILE: &str = "architecture.toml";
+
+/// Checks source import edges and manifest drift against the declared
+/// crate DAG.
+pub fn check_layering(graph: &Graph, spec: &ArchSpec) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let mut seen: BTreeSet<(String, String, u32)> = BTreeSet::new();
+    for edge in &graph.use_edges {
+        let declared = spec
+            .deps
+            .get(&edge.from)
+            .is_some_and(|d| d.contains(&edge.to));
+        if !declared && seen.insert((edge.file.clone(), edge.to.clone(), edge.line)) {
+            diags.push(Diag::new(
+                &edge.file,
+                edge.line,
+                "crate-layering",
+                &format!(
+                    "crate `{}` imports `{}`, an edge `architecture.toml` does not declare; \
+                     layering is a reviewed contract — declare the edge or remove the import",
+                    edge.from, edge.to
+                ),
+            ));
+        }
+    }
+    // Drift, direction 1: manifest edge not declared.
+    for (krate, mdeps) in &graph.manifest_deps {
+        let declared = spec.deps.get(krate);
+        for dep in mdeps {
+            if !declared.is_some_and(|d| d.contains(dep)) {
+                diags.push(Diag::new(
+                    ARCH_FILE,
+                    0,
+                    "crate-layering",
+                    &format!(
+                        "drift: `crates/{krate}/Cargo.toml` depends on `{dep}` but \
+                         `architecture.toml [deps]` does not declare the edge"
+                    ),
+                ));
+            }
+        }
+        if declared.is_none() {
+            diags.push(Diag::new(
+                ARCH_FILE,
+                0,
+                "crate-layering",
+                &format!("drift: crate `{krate}` has a manifest but no `[deps]` entry"),
+            ));
+        }
+    }
+    // Drift, direction 2: declared edge unused by any manifest.
+    for (krate, deps) in &spec.deps {
+        let line = spec.deps_line.get(krate).copied().unwrap_or(0);
+        let Some(mdeps) = graph.manifest_deps.get(krate) else {
+            diags.push(Diag::new(
+                ARCH_FILE,
+                line,
+                "crate-layering",
+                &format!("drift: `[deps]` declares crate `{krate}` but no manifest defines it"),
+            ));
+            continue;
+        };
+        for dep in deps {
+            if !mdeps.contains(dep) {
+                diags.push(Diag::new(
+                    ARCH_FILE,
+                    line,
+                    "crate-layering",
+                    &format!(
+                        "drift: `[deps]` declares edge `{krate} -> {dep}` but \
+                         `crates/{krate}/Cargo.toml` has no such dependency"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Expands roster patterns to function indices; unknown patterns become
+/// drift diagnostics under `rule`.
+fn expand_roster(graph: &Graph, roster: &[String], rule: &'static str) -> (Vec<usize>, Vec<Diag>) {
+    let mut roots = Vec::new();
+    let mut diags = Vec::new();
+    for pat in roster {
+        let matched = graph.match_pattern(pat);
+        if matched.is_empty() {
+            diags.push(Diag::new(
+                ARCH_FILE,
+                0,
+                rule,
+                &format!(
+                    "hot roster entry `{pat}` matches no function in the workspace; \
+                     fix the pattern or drop the stale entry"
+                ),
+            ));
+        }
+        roots.extend(matched);
+    }
+    (roots, diags)
+}
+
+/// BFS over the call graph from `roots`, skipping test functions and
+/// functions matched by a `[hot.cold]` pattern. Returns each reached
+/// function's index mapped to its BFS parent (roots map to themselves),
+/// plus the set of cold patterns that actually matched something.
+fn reach(
+    graph: &Graph,
+    roots: &[usize],
+    spec: &ArchSpec,
+) -> (BTreeMap<usize, usize>, BTreeSet<String>) {
+    let mut cold_fns: BTreeSet<usize> = BTreeSet::new();
+    let mut cold_used: BTreeSet<String> = BTreeSet::new();
+    for (pat, _, _) in &spec.cold {
+        let matched = graph.match_pattern(pat);
+        if !matched.is_empty() {
+            cold_used.insert(pat.clone());
+        }
+        cold_fns.extend(matched);
+    }
+    let skip = |idx: usize| {
+        graph.fns[idx].in_test
+            || cold_fns.contains(&idx)
+            || spec.boundary_crates.contains(&graph.fns[idx].krate)
+    };
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for &r in roots {
+        if !skip(r) && !parent.contains_key(&r) {
+            parent.insert(r, r);
+            queue.push(r);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let cur = queue[head];
+        head += 1;
+        for call in &graph.fns[cur].calls.clone() {
+            for callee in graph.resolve(cur, call) {
+                if skip(callee) {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(cur);
+                    queue.push(callee);
+                }
+            }
+        }
+    }
+    (parent, cold_used)
+}
+
+/// Renders the call chain from a BFS root down to `idx`.
+fn chain(graph: &Graph, parent: &BTreeMap<usize, usize>, idx: usize) -> String {
+    let mut segs = vec![graph.fns[idx].display()];
+    let mut cur = idx;
+    while let Some(&p) = parent.get(&cur) {
+        if p == cur {
+            break;
+        }
+        segs.push(graph.fns[p].display());
+        cur = p;
+        if segs.len() > 6 {
+            segs.push("…".to_string());
+            break;
+        }
+    }
+    segs.reverse();
+    segs.join(" -> ")
+}
+
+/// Allocation needles: `Type::fn` associated calls that allocate.
+const ALLOC_ASSOC: [(&str, &str); 7] = [
+    ("Box", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+];
+
+/// Allocation needles: method names that (may) allocate when they do
+/// not resolve to a workspace function.
+const ALLOC_METHODS: [&str; 12] = [
+    "push",
+    "push_str",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "reserve",
+    "reserve_exact",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+];
+
+/// Allocation needles: macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Macros that panic (debug_assert* compiles out in release and is
+/// deliberately tolerated).
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Methods that panic when they do not resolve to a workspace function.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Shared scan over one hot roster: `site_check` inspects a reached
+/// function and appends its violations.
+fn check_hot<F>(
+    graph: &Graph,
+    spec: &ArchSpec,
+    roster: &[String],
+    rule: &'static str,
+    mut site_check: F,
+) -> Vec<Diag>
+where
+    F: FnMut(&Graph, usize, &str, &mut Vec<Diag>),
+{
+    let (roots, mut diags) = expand_roster(graph, roster, rule);
+    let (parent, cold_used) = reach(graph, roots.as_slice(), spec);
+    for (pat, reason, line) in &spec.cold {
+        if !cold_used.contains(pat) {
+            diags.push(Diag::new(
+                ARCH_FILE,
+                *line,
+                rule,
+                &format!(
+                    "drift: `[hot.cold]` entry `{pat}` (\"{reason}\") matches no function; \
+                     drop the stale exemption"
+                ),
+            ));
+        }
+        if reason.trim().is_empty() {
+            diags.push(Diag::new(
+                ARCH_FILE,
+                *line,
+                rule,
+                &format!("`[hot.cold]` entry `{pat}` has an empty reason; reasons are mandatory"),
+            ));
+        }
+    }
+    let mut indices: Vec<usize> = parent.keys().copied().collect();
+    indices.sort();
+    for idx in indices {
+        let via = chain(graph, &parent, idx);
+        site_check(graph, idx, &via, &mut diags);
+    }
+    diags
+}
+
+/// **alloc-in-hot-path**: no allocation API reachable from the roster.
+pub fn check_alloc(graph: &Graph, spec: &ArchSpec) -> Vec<Diag> {
+    check_hot(
+        graph,
+        spec,
+        &spec.alloc_roots,
+        "alloc-in-hot-path",
+        |graph, idx, via, diags| {
+            let f = &graph.fns[idx];
+            for m in &f.macros {
+                if ALLOC_MACROS.contains(&m.name.as_str()) {
+                    diags.push(Diag::new(
+                        &f.file,
+                        m.line,
+                        "alloc-in-hot-path",
+                        &format!(
+                            "`{}!` allocates on a hot path ({via}); preallocate in the \
+                             workspace or exempt the enclosing fn in `[hot.cold]` with a reason",
+                            m.name
+                        ),
+                    ));
+                }
+            }
+            for call in &f.calls {
+                let name = call.path.last().map(String::as_str).unwrap_or("");
+                let resolved = !graph.resolve(idx, call).is_empty();
+                let flagged = if call.method {
+                    !resolved && ALLOC_METHODS.contains(&name)
+                } else {
+                    let qual =
+                        (call.path.len() >= 2).then(|| call.path[call.path.len() - 2].as_str());
+                    ALLOC_ASSOC
+                        .iter()
+                        .any(|&(t, n)| n == name && qual == Some(t))
+                };
+                if flagged {
+                    diags.push(Diag::new(
+                        &f.file,
+                        call.line,
+                        "alloc-in-hot-path",
+                        &format!(
+                            "`{}` allocates on a hot path ({via}); the warmed-step \
+                             zero-alloc contract (`zero_alloc.rs`) bans it — preallocate, \
+                             or exempt the fn in `[hot.cold]` with a reason",
+                            call.path.join("::")
+                        ),
+                    ));
+                }
+            }
+        },
+    )
+}
+
+/// **panic-free-hot-path**: no panicking construct reachable from the
+/// roster.
+pub fn check_panic(graph: &Graph, spec: &ArchSpec) -> Vec<Diag> {
+    check_hot(
+        graph,
+        spec,
+        &spec.panic_roots,
+        "panic-free-hot-path",
+        |graph, idx, via, diags| {
+            let f = &graph.fns[idx];
+            for m in &f.macros {
+                if PANIC_MACROS.contains(&m.name.as_str()) {
+                    diags.push(Diag::new(
+                        &f.file,
+                        m.line,
+                        "panic-free-hot-path",
+                        &format!(
+                            "`{}!` can panic on a hot path ({via}); return an error, use \
+                             `debug_assert!`, or exempt the fn in `[hot.cold]` with a reason",
+                            m.name
+                        ),
+                    ));
+                }
+            }
+            for call in &f.calls {
+                let name = call.path.last().map(String::as_str).unwrap_or("");
+                if call.method
+                    && PANIC_METHODS.contains(&name)
+                    && graph.resolve(idx, call).is_empty()
+                {
+                    diags.push(Diag::new(
+                        &f.file,
+                        call.line,
+                        "panic-free-hot-path",
+                        &format!(
+                            "`.{name}()` can panic on a hot path ({via}); handle the \
+                             `None`/`Err` arm explicitly"
+                        ),
+                    ));
+                }
+            }
+            for &line in &f.index_lines {
+                diags.push(Diag::new(
+                    &f.file,
+                    line,
+                    "panic-free-hot-path",
+                    &format!(
+                        "slice indexing can panic on a hot path ({via}); use `get`/\
+                         iterators, hoist a bounds check, or exempt the fn in `[hot.cold]`"
+                    ),
+                ));
+            }
+        },
+    )
+}
+
+/// **nonassociative-float-reduction**: order-sensitive `f32` folds are
+/// banned outside the documented exact-parking files.
+pub fn check_float(graph: &Graph, spec: &ArchSpec) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for f in &graph.fns {
+        if f.in_test || spec.float_exempt.iter().any(|e| f.file.ends_with(e)) {
+            continue;
+        }
+        for call in &f.calls {
+            let name = call.path.last().map(String::as_str).unwrap_or("");
+            let flagged = match name {
+                "sum" | "product" => call.generics.iter().any(|g| g == "f32"),
+                "fold" | "reduce" => call.f32_seed && call.additive,
+                _ => false,
+            };
+            if flagged {
+                diags.push(Diag::new(
+                    &f.file,
+                    call.line,
+                    "nonassociative-float-reduction",
+                    &format!(
+                        "order-sensitive `f32` reduction (`{name}`) outside the documented \
+                         exact-parking sites; accumulate in `f64` or route through the \
+                         fixed-order reductions in `tensor::loss`/`tensor::simd`",
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Runs the whole semantic family. `arch_src` is the content of
+/// `architecture.toml`; its absence is itself a violation.
+pub fn check_architecture(graph: &Graph, arch_src: Option<&str>) -> Vec<Diag> {
+    let Some(src) = arch_src else {
+        return vec![Diag::new(
+            ARCH_FILE,
+            0,
+            "crate-layering",
+            "missing architecture.toml at the workspace root; the crate DAG and hot \
+             rosters are a checked-in contract",
+        )];
+    };
+    let spec = ArchSpec::parse(src);
+    let mut diags = check_layering(graph, &spec);
+    diags.extend(check_alloc(graph, &spec));
+    diags.extend(check_panic(graph, &spec));
+    diags.extend(check_float(graph, &spec));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::source::test_regions;
+
+    fn graph_of(files: &[(&str, &str)], manifests: &[(&str, &[&str])]) -> Graph {
+        let mut g = Graph::default();
+        for (rel, src) in files {
+            let lexed = lex(src);
+            let parsed = parse(&lexed);
+            let regions = test_regions(&lexed.toks);
+            g.add_file(rel, crate::rules::crate_of(rel), &parsed, &regions);
+        }
+        for (k, deps) in manifests {
+            g.add_manifest_deps(k, deps.iter().map(|s| s.to_string()).collect());
+        }
+        g.finish();
+        g
+    }
+
+    const SPEC: &str = "[deps]\ntrace = []\ntensor = [\"trace\"]\nkernels = [\"tensor\", \"trace\"]\n\n[hot]\nalloc_roots = [\"kernels::Workspace::forward_into\"]\npanic_roots = [\"kernels::Workspace::forward_into\"]\n\n[float]\nexempt_files = [\"crates/tensor/src/loss.rs\"]\n\n[hot.cold]\n\"tensor::Matrix::resize\" = \"warm-up growth only; steady state proven by zero_alloc.rs\"\n";
+
+    #[test]
+    fn undeclared_import_is_a_layering_violation() {
+        let g = graph_of(
+            &[(
+                "crates/tensor/src/matmul.rs",
+                "use lorafusion_kernels::fused::Workspace;\n",
+            )],
+            &[
+                ("tensor", &["trace"]),
+                ("kernels", &["tensor", "trace"]),
+                ("trace", &[]),
+            ],
+        );
+        let spec = ArchSpec::parse(SPEC);
+        let diags = check_layering(&g, &spec);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "crate-layering");
+        assert!(diags[0].message.contains("`tensor` imports `kernels`"));
+    }
+
+    #[test]
+    fn manifest_drift_is_flagged_both_directions() {
+        let spec = ArchSpec::parse(SPEC);
+        // Direction 1: manifest has an edge the spec does not declare.
+        let g = graph_of(
+            &[],
+            &[
+                ("tensor", &["trace", "gpu"]),
+                ("kernels", &["tensor", "trace"]),
+                ("trace", &[]),
+            ],
+        );
+        let diags = check_layering(&g, &spec);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("drift"));
+        assert!(diags[0].message.contains("gpu"));
+        // Direction 2: spec declares an edge no manifest has.
+        let g = graph_of(
+            &[],
+            &[
+                ("tensor", &["trace"]),
+                ("kernels", &["tensor"]),
+                ("trace", &[]),
+            ],
+        );
+        let diags = check_layering(&g, &spec);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("kernels -> trace"));
+    }
+
+    #[test]
+    fn alloc_reachable_from_hot_root_is_flagged_and_cold_exempts() {
+        let g = graph_of(
+            &[
+                (
+                    "crates/kernels/src/fused.rs",
+                    "use lorafusion_tensor::matmul::gemm_fused;\nimpl Workspace {\n    pub fn forward_into(&mut self, m: &mut Matrix) {\n        m.resize();\n        gemm_fused();\n    }\n}\n",
+                ),
+                (
+                    "crates/tensor/src/matmul.rs",
+                    "pub fn gemm_fused() { helper(); }\nfn helper() { let mut v = Vec::with_capacity(8); v.push(1); }\n",
+                ),
+                (
+                    "crates/tensor/src/tensor.rs",
+                    "impl Matrix { pub fn resize(&mut self) { self.data.reserve(10); } }\n",
+                ),
+            ],
+            &[("tensor", &["trace"]), ("kernels", &["tensor", "trace"]), ("trace", &[])],
+        );
+        let spec = ArchSpec::parse(SPEC);
+        let diags = check_alloc(&g, &spec);
+        // helper's with_capacity + push are reachable (2 sites); the
+        // resize body is exempted by [hot.cold].
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "alloc-in-hot-path"));
+        assert!(diags.iter().all(|d| d.path.contains("matmul.rs")));
+        assert!(
+            diags[0].message.contains("forward_into"),
+            "chain names the root: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn stale_roster_and_cold_entries_are_drift() {
+        let g = graph_of(
+            &[("crates/kernels/src/fused.rs", "pub fn other() {}\n")],
+            &[
+                ("kernels", &["tensor", "trace"]),
+                ("tensor", &["trace"]),
+                ("trace", &[]),
+            ],
+        );
+        let spec = ArchSpec::parse(SPEC);
+        let diags = check_alloc(&g, &spec);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].message.contains("matches no function"));
+        assert!(diags[1].message.contains("stale exemption"));
+    }
+
+    #[test]
+    fn panic_sites_reachable_from_hot_root_are_flagged() {
+        let g = graph_of(
+            &[(
+                "crates/kernels/src/fused.rs",
+                "impl Workspace {\n    pub fn forward_into(&self, xs: &[f32], o: Option<u32>) -> f32 {\n        let v = o.unwrap();\n        assert!(xs.len() > 3);\n        xs[3]\n    }\n}\n",
+            )],
+            &[("kernels", &["tensor", "trace"]), ("tensor", &["trace"]), ("trace", &[])],
+        );
+        let spec = ArchSpec::parse(SPEC);
+        // The synthetic graph has no `Matrix::resize`, so the cold
+        // entry also reports drift; keep only the source-site diags.
+        let diags: Vec<Diag> = check_panic(&g, &spec)
+            .into_iter()
+            .filter(|d| d.path != ARCH_FILE)
+            .collect();
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["panic-free-hot-path"; 3], "{diags:?}");
+        let msgs = diags
+            .iter()
+            .map(|d| d.message.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(msgs.contains("unwrap"));
+        assert!(msgs.contains("assert"));
+        assert!(msgs.contains("indexing"));
+    }
+
+    #[test]
+    fn f32_reductions_are_banned_outside_parking_sites() {
+        let src = "pub fn a(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }\npub fn b(xs: &[f32]) -> f32 { xs.iter().fold(0.0f32, |a, &x| a + x) }\npub fn ok(xs: &[f32]) -> f64 { xs.iter().map(|&x| x as f64).sum::<f64>() }\npub fn ok2(xs: &[f32]) -> f32 { xs.iter().fold(0.0f32, |a, &x| a.max(x)) }\n";
+        let g = graph_of(
+            &[
+                ("crates/data/src/batch.rs", src),
+                ("crates/tensor/src/loss.rs", src),
+            ],
+            &[
+                ("data", &["tensor"]),
+                ("tensor", &["trace"]),
+                ("trace", &[]),
+            ],
+        );
+        let spec = ArchSpec::parse(SPEC);
+        let diags = check_float(&g, &spec);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.path.contains("batch.rs")));
+        assert!(diags
+            .iter()
+            .all(|d| d.rule == "nonassociative-float-reduction"));
+    }
+
+    #[test]
+    fn missing_architecture_file_is_a_violation() {
+        let g = graph_of(&[], &[]);
+        let diags = check_architecture(&g, None);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "crate-layering");
+    }
+}

@@ -1,5 +1,8 @@
-//! The rule engine: eight invariants, each one a machine-checked version
-//! of a determinism or soundness argument the repo's tests rely on.
+//! The rule engine: thirteen invariants, each one a machine-checked
+//! version of a determinism or soundness argument the repo's tests rely
+//! on.
+//!
+//! The **token tier** (this module) pattern-matches the lexed stream:
 //!
 //! | rule | invariant guarded |
 //! |------|-------------------|
@@ -11,11 +14,23 @@
 //! | `dep-freeze` | manifests declare only workspace-path or feature-gated deps; the offline zero-dep build stays true |
 //! | `unsafe-budget` | the per-crate `unsafe` count cannot grow without a reviewed `lint-budget.toml` bump |
 //! | `flight-ring-encapsulation` | flight-recorder rings are drained only through the public snapshot/dump API — the ring internals (`FlightRing*`, `flight_ring_*`) stay confined to `trace::flight` |
+//! | `pragma-budget` | the per-crate count of `lint: allow(…)` suppressions cannot grow without a reviewed `lint-budget.toml` bump |
+//!
+//! The **semantic tier** ([`crate::reach`], over [`crate::parse`] +
+//! [`crate::graph`]) enforces the `architecture.toml` contract:
+//!
+//! | rule | invariant guarded |
+//! |------|-------------------|
+//! | `crate-layering` | source imports and manifest edges match the declared crate DAG exactly, in both directions |
+//! | `alloc-in-hot-path` | nothing reachable from the declared hot roster allocates (the static face of `zero_alloc.rs`) |
+//! | `panic-free-hot-path` | nothing reachable from the hot roster can panic: no `unwrap`/`expect`, no panicking macros, no slice indexing |
+//! | `nonassociative-float-reduction` | order-sensitive `f32` folds happen only in the documented exact-parking sites |
 //!
 //! Rules 2–5 and 8 skip `#[cfg(test)]`/`#[test]` regions and files under
 //! a `tests/` directory (tests may time themselves, use scratch maps and
 //! force dispatch paths); rule 1 applies everywhere — an unsound test is
-//! still unsound.
+//! still unsound. The semantic hot-path rules skip test functions by
+//! construction (rosters never match them).
 
 // lint: allow(thread-count-dependence) — the rule's needle strings must
 // literally name the banned identifiers they search for.
@@ -28,7 +43,7 @@ use crate::toml_lite;
 
 /// Every rule id, in documentation order. `pragma` diagnostics (malformed
 /// suppressions) are reported by the engine itself and cannot be allowed.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 13] = [
     "undocumented-unsafe",
     "nondeterministic-iteration",
     "wall-clock-in-core",
@@ -37,6 +52,11 @@ pub const RULES: [&str; 8] = [
     "dep-freeze",
     "unsafe-budget",
     "flight-ring-encapsulation",
+    "pragma-budget",
+    "crate-layering",
+    "alloc-in-hot-path",
+    "panic-free-hot-path",
+    "nonassociative-float-reduction",
 ];
 
 /// One violation.
@@ -92,12 +112,28 @@ fn is_test_file(rel_path: &str) -> bool {
 /// without letting a stale comment from an unrelated item qualify.
 const SAFETY_LOOKBACK_CODE_LINES: u32 = 3;
 
+/// Everything the token tier learns about one file. The engine keeps
+/// the pragmas and test regions so the semantic tier can reuse them
+/// without re-lexing.
+pub struct FileCheck {
+    pub diags: Vec<Diag>,
+    pub unsafe_count: u64,
+    pub pragmas: crate::source::Pragmas,
+    pub test_regions: Vec<(u32, u32)>,
+}
+
 /// Checks one `.rs` file against rules 1–4, honoring its pragmas.
 /// Returns the diagnostics plus the file's `unsafe` count (for the
 /// budget rule, which aggregates per crate).
 pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
     let lexed = crate::lexer::lex(src);
-    let (pragmas, mut diags) = parse_pragmas(rel_path, &lexed);
+    let fc = check_rust_lexed(rel_path, &lexed);
+    (fc.diags, fc.unsafe_count)
+}
+
+/// Token-tier check over an already-lexed file.
+pub fn check_rust_lexed(rel_path: &str, lexed: &Lexed) -> FileCheck {
+    let (pragmas, mut diags) = parse_pragmas(rel_path, lexed);
     let regions = test_regions(&lexed.toks);
     let krate = crate_of(rel_path);
     let test_file = is_test_file(rel_path);
@@ -111,7 +147,7 @@ pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
                 "unsafe" => {
                     unsafe_count += 1;
                     if !pragmas.allows("undocumented-unsafe")
-                        && !has_safety_comment(&lexed, tok.line)
+                        && !has_safety_comment(lexed, tok.line)
                     {
                         diags.push(Diag::new(
                             rel_path,
@@ -277,7 +313,12 @@ pub fn check_rust_file(rel_path: &str, src: &str) -> (Vec<Diag>, u64) {
             _ => {}
         }
     }
-    (diags, unsafe_count)
+    FileCheck {
+        diags,
+        unsafe_count,
+        pragmas,
+        test_regions: regions,
+    }
 }
 
 /// Files allowed to observe the thread count.
@@ -400,6 +441,55 @@ pub fn check_unsafe_budget(
                 &format!(
                     "crate `{krate}` has {count} `unsafe` occurrences but a budget of {allowed}; \
                      growing the unsafe surface requires an explicit budget bump"
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Checks aggregated per-crate pragma suppression counts against the
+/// `[pragmas]` table of `lint-budget.toml` — exact match in both
+/// directions, like the unsafe budget, so suppressions can neither
+/// accumulate silently nor leave stale budget headroom behind.
+pub fn check_pragma_budget(
+    counts: &std::collections::BTreeMap<String, u64>,
+    budget_src: Option<&str>,
+) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    let Some(src) = budget_src else {
+        // The missing-file diagnostic is already emitted by the unsafe
+        // budget check; don't double-report.
+        return diags;
+    };
+    let budget: std::collections::BTreeMap<String, u64> =
+        toml_lite::parse_int_table(src, "pragmas")
+            .into_iter()
+            .collect();
+    for (krate, &count) in counts {
+        let allowed = budget.get(krate).copied().unwrap_or(0);
+        if count > allowed {
+            diags.push(Diag::new(
+                "lint-budget.toml",
+                0,
+                "pragma-budget",
+                &format!(
+                    "crate `{krate}` spends {count} lint suppressions but its `[pragmas]` \
+                     budget is {allowed}; adding a suppression requires an explicit bump"
+                ),
+            ));
+        }
+    }
+    for (krate, &allowed) in &budget {
+        let actual = counts.get(krate).copied().unwrap_or(0);
+        if actual < allowed {
+            diags.push(Diag::new(
+                "lint-budget.toml",
+                0,
+                "pragma-budget",
+                &format!(
+                    "crate `{krate}` budgets {allowed} lint suppressions but spends only \
+                     {actual}; shrink the budget so headroom cannot accumulate"
                 ),
             ));
         }
@@ -560,6 +650,27 @@ mod tests {
         assert_eq!(check_unsafe_budget(&counts, Some(budget)).len(), 1);
         // A missing budget file is itself a violation.
         assert_eq!(check_unsafe_budget(&counts, None).len(), 1);
+    }
+
+    #[test]
+    fn pragma_budget_is_exact_in_both_directions() {
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert("solver".to_string(), 1u64);
+        counts.insert("tensor".to_string(), 0u64);
+        let budget = "[unsafe]\nsolver = 9\n[pragmas]\nsolver = 1\ntensor = 0\n";
+        assert!(check_pragma_budget(&counts, Some(budget)).is_empty());
+        // Overspend fails…
+        counts.insert("solver".to_string(), 2);
+        let diags = check_pragma_budget(&counts, Some(budget));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "pragma-budget");
+        // …and so does stale headroom.
+        counts.insert("solver".to_string(), 0);
+        let diags = check_pragma_budget(&counts, Some(budget));
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("headroom"));
+        // Missing budget file: reported by the unsafe-budget check, not here.
+        assert!(check_pragma_budget(&counts, None).is_empty());
     }
 
     #[test]

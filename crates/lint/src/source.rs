@@ -14,11 +14,20 @@ use crate::rules::{Diag, RULES};
 #[derive(Debug, Default)]
 pub struct Pragmas {
     allowed: BTreeSet<String>,
+    /// Total rule names listed across the file's valid pragmas — the
+    /// unit the `pragma-budget` rule caps per crate.
+    count: u64,
 }
 
 impl Pragmas {
     pub fn allows(&self, rule: &str) -> bool {
         self.allowed.contains(rule)
+    }
+
+    /// Number of suppressions this file spends against its crate's
+    /// `[pragmas]` budget in `lint-budget.toml`.
+    pub fn suppression_count(&self) -> u64 {
+        self.count
     }
 }
 
@@ -99,6 +108,7 @@ pub fn parse_pragmas(path: &str, lexed: &Lexed) -> (Pragmas, Vec<Diag>) {
             bad = true;
         }
         if !bad {
+            pragmas.count += rules.len() as u64;
             pragmas.allowed.extend(rules);
         }
     }

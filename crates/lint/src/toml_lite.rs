@@ -1,9 +1,10 @@
-//! Minimal TOML reader for the two files the linter must understand:
+//! Minimal TOML reader for the three files the linter must understand:
 //! workspace `Cargo.toml` manifests (dependency tables, for the
-//! `dep-freeze` rule) and `lint-budget.toml` (integer tables, for the
-//! `unsafe-budget` rule). Same spirit as the in-tree JSON emitter in
-//! `bench::json`: parse exactly the subset we write, strictly, with no
-//! external crates.
+//! `dep-freeze` rule), `lint-budget.toml` (integer tables, for the
+//! `unsafe-budget` and `pragma-budget` rules), and `architecture.toml`
+//! (string arrays and string tables, for the semantic rule family).
+//! Same spirit as the in-tree JSON emitter in `bench::json`: parse
+//! exactly the subset we write, strictly, with no external crates.
 
 /// One dependency entry as declared in a manifest.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -227,6 +228,101 @@ pub fn parse_int_table(src: &str, table: &str) -> Vec<(String, u64)> {
     out
 }
 
+/// Extracts the double-quoted string literals from a fragment, in order.
+fn quoted_strings(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                if in_str {
+                    out.push(std::mem::take(&mut cur));
+                }
+                in_str = !in_str;
+            }
+            _ if in_str => cur.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses `key = ["a", "b", …]` pairs from one `[table]`, tolerating
+/// arrays that span multiple lines. Keys may be bare or quoted. Returns
+/// `(key, values, line)` with the line of the key.
+pub fn parse_str_list_table(src: &str, table: &str) -> Vec<(String, Vec<String>, u32)> {
+    let mut out: Vec<(String, Vec<String>, u32)> = Vec::new();
+    let mut in_table = false;
+    let mut open_array = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if open_array {
+            let entry = out.last_mut().expect("array was opened by its key line");
+            entry.1.extend(quoted_strings(line));
+            if line.contains(']') {
+                open_array = false;
+            }
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') && !line.contains('=') {
+            in_table = line.trim_start_matches('[').trim_end_matches(']').trim() == table;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            let v = v.trim();
+            if !v.starts_with('[') {
+                continue;
+            }
+            let key = k.trim().trim_matches('"').to_string();
+            let values = quoted_strings(v);
+            open_array = !v.contains(']');
+            out.push((key, values, idx as u32 + 1));
+        }
+    }
+    out
+}
+
+/// Parses `"key" = "value"` pairs from one `[table]` (used for the
+/// `[hot.cold]` exemption table of `architecture.toml`). Returns
+/// `(key, value, line)`.
+pub fn parse_str_table(src: &str, table: &str) -> Vec<(String, String, u32)> {
+    let mut out = Vec::new();
+    let mut in_table = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') && !line.contains('=') {
+            in_table = line.trim_start_matches('[').trim_end_matches(']').trim() == table;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            let strings = quoted_strings(v);
+            let value = match strings.first() {
+                Some(s) => s.clone(),
+                None => continue,
+            };
+            out.push((
+                k.trim().trim_matches('"').to_string(),
+                value,
+                idx as u32 + 1,
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +374,28 @@ mod tests {
         let deps = parse_dependencies(src);
         assert_eq!(deps.len(), 1);
         assert!(deps[0].path && !deps[0].external_source);
+    }
+
+    #[test]
+    fn str_list_table_reads_single_and_multiline_arrays() {
+        let src = "[deps]\ntrace = []\ntensor = [\"trace\"]\nkernels = [\n    \"tensor\", # fused kernels sit on the tensor substrate\n    \"trace\",\n]\n[other]\nx = [\"y\"]\n";
+        let t = parse_str_list_table(src, "deps");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], ("trace".to_string(), vec![], 2));
+        assert_eq!(t[1].1, vec!["trace"]);
+        assert_eq!(t[2].0, "kernels");
+        assert_eq!(t[2].1, vec!["tensor", "trace"]);
+        assert_eq!(t[2].2, 4);
+    }
+
+    #[test]
+    fn str_table_reads_quoted_keys_and_values() {
+        let src = "[hot.cold]\n\"tensor::Matrix::resize\" = \"warm-up growth only\" # note\nplain = \"reason\"\n";
+        let t = parse_str_table(src, "hot.cold");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, "tensor::Matrix::resize");
+        assert_eq!(t[0].1, "warm-up growth only");
+        assert_eq!(t[1].0, "plain");
     }
 
     #[test]

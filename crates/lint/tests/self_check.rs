@@ -50,3 +50,46 @@ fn checked_in_budget_matches_actual_counts_exactly() {
         "lint-budget.toml out of sync; regenerate with `cargo run -p lorafusion-lint -- budget`"
     );
 }
+
+#[test]
+fn checked_in_pragma_budget_matches_actual_counts_exactly() {
+    // Same exact-match discipline for suppression pragmas: spending a
+    // new `lint: allow(...)` without bumping `[pragmas]` fails, and so
+    // does padded headroom left behind after a pragma is removed.
+    let root = lorafusion_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = lorafusion_lint::check_workspace(&root).expect("scan workspace");
+    let budget_src =
+        std::fs::read_to_string(root.join("lint-budget.toml")).expect("lint-budget.toml");
+    let budget: std::collections::BTreeMap<String, u64> =
+        lorafusion_lint::toml_lite::parse_int_table(&budget_src, "pragmas")
+            .into_iter()
+            .collect();
+    assert_eq!(
+        budget, report.pragma_counts,
+        "lint-budget.toml [pragmas] out of sync; regenerate with \
+         `cargo run -p lorafusion-lint -- budget`"
+    );
+}
+
+#[test]
+fn architecture_contract_matches_the_real_crate_graph() {
+    // The [deps] table and the actual Cargo.toml dependency edges must
+    // agree in both directions; the workspace_tree_is_lint_clean gate
+    // above subsumes this, but an explicit assertion makes a layering
+    // drift failure name itself instead of hiding in a diag list.
+    let root = lorafusion_lint::walk::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = lorafusion_lint::check_workspace(&root).expect("scan workspace");
+    let drift: Vec<String> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == "crate-layering")
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        drift.is_empty(),
+        "architecture.toml disagrees with the crate graph:\n{}",
+        drift.join("\n")
+    );
+}

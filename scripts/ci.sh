@@ -16,20 +16,37 @@ fi
 
 step() { printf '\n==> %s\n' "$*"; }
 
+# Scratch dir for the machine-readable CI artifacts: the lint verdict
+# lands here next to the trace and bench-regress artifacts produced by
+# the gates further down.
+TRACE_TMP="$(mktemp -d)"
+DIGEST_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP" "$DIGEST_TMP"' EXIT
+
 step "cargo fmt --check"
 cargo fmt --all -- --check
 
 step "cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Static invariants: the in-tree linter re-checks the whole workspace for
-# undocumented unsafe, nondeterministic iteration, wall-clock reads in
-# compute crates, thread-count dependence, SIMD/intrinsics confinement,
-# external dependencies, unsafe-budget drift, and flight-recorder ring
-# encapsulation (see DESIGN.md "Static invariants"). Runs in both
-# the quick and full paths — it takes well under a second.
-step "lorafusion-lint check"
-cargo run -q -p lorafusion-lint -- check
+# Static invariants, both tiers (see DESIGN.md "Static invariants"): the
+# token tier catches undocumented unsafe, nondeterministic iteration,
+# wall-clock reads, thread-count dependence, SIMD confinement, external
+# dependencies, ring encapsulation, and unsafe/pragma budget drift; the
+# semantic tier rebuilds the workspace call graph and enforces the
+# architecture.toml contract — the crate layering DAG (cross-checked
+# against the real Cargo.toml dependency edges in BOTH directions, so a
+# manifest/contract drift fails here), allocation- and panic-freedom
+# from the hot rosters, and f32-reduction confinement. Runs in both the
+# quick and full paths — it takes well under a second.
+step "lorafusion-lint check (two-tier, --json verdict archived)"
+cargo run -q -p lorafusion-lint -- check --json "$TRACE_TMP/lint_verdict.json"
+
+# Dogfood: the linter's own fixture suite, parser/graph unit tests, and
+# the self-check that re-scans the tree and re-derives both budget
+# tables must hold before the rest of CI leans on the lint gate.
+step "lorafusion-lint self-check (fixtures + dogfood)"
+cargo test -q -p lorafusion-lint
 
 if [[ "$QUICK" -eq 0 ]]; then
   step "cargo build --release"
@@ -61,8 +78,6 @@ fi
 # explicit-SIMD kernel must be bitwise-equal to the fallback on every cell,
 # on this host, on every CI run.
 step "bench_gemm dual-path SIMD gate (size 128)"
-DIGEST_TMP="$(mktemp -d)"
-trap 'rm -rf "$DIGEST_TMP"' EXIT
 if [[ "$QUICK" -eq 0 ]]; then
   LORAFUSION_SIMD=0 BENCH_GEMM_SIZE=128 BENCH_GEMM_WRITE=0 BENCH_GEMM_DIGEST="$DIGEST_TMP/fallback.txt" \
     cargo run --release -q -p lorafusion-bench --bin bench_gemm
@@ -93,8 +108,6 @@ fi
 # schema with the in-tree validator (trace_validate exits nonzero on any
 # malformed event or if no counter tracks made it into the file).
 step "trace emission + validation gate"
-TRACE_TMP="$(mktemp -d)"
-trap 'rm -rf "$TRACE_TMP" "$DIGEST_TMP"' EXIT
 if [[ "$QUICK" -eq 0 ]]; then
   LORAFUSION_TRACE="$TRACE_TMP/trace.json" BENCH_LORA_SIZE=128 BENCH_LORA_WRITE=0 \
     cargo run --release -q -p lorafusion-bench --bin bench_lora
